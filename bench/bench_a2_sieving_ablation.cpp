@@ -1,0 +1,75 @@
+// A2 (ablation) — the data-sieving hole-fraction threshold.
+//
+// Design-choice ablation for DESIGN.md: mio's data sieving reads one big
+// gulp when the strided pattern's hole fraction is below a threshold.
+// Sweeps the hole fraction of the access pattern against the threshold and
+// reports the POSIX read counts plus wasted (hole) bytes.
+//
+// Expected shape: below the threshold, POSIX reads collapse to 1 but extra
+// bytes are fetched; above it, per-extent reads dominate. The crossover is
+// exactly where the knob is set — showing what the hint trades off.
+#include <atomic>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "mio/mio.hpp"
+#include "par/comm.hpp"
+#include "vfs/backend.hpp"
+#include "vfs/file_system.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+int main() {
+  bench::banner("A2", "ablation: data-sieving hole-fraction threshold");
+  TextTable table{{"pattern holes", "threshold", "POSIX reads", "bytes fetched",
+                   "useful fraction"}};
+  constexpr std::uint64_t kPiece = 64 * 1024;
+  constexpr int kPieces = 32;
+  for (const double hole_fraction : {0.25, 0.5, 0.75}) {
+    for (const double threshold : {0.0, 0.5, 1.0}) {
+      vfs::FileSystem fs;
+      vfs::LocalBackend backend{fs};
+      std::atomic<std::uint64_t> reads{0};
+      std::atomic<std::uint64_t> bytes{0};
+      par::Runtime runtime{1};
+      runtime.run([&](par::Comm& comm) {
+        mio::Hints hints;
+        hints.ds_max_hole_fraction = threshold;
+        auto file = mio::File::open_all(comm, backend, "/f", true, hints);
+        if (!file.ok()) throw std::runtime_error(file.error().message);
+        // Stride chosen so holes are `hole_fraction` of the span.
+        const auto stride = static_cast<std::uint64_t>(
+            static_cast<double>(kPiece) / (1.0 - hole_fraction));
+        std::vector<std::byte> content(stride * kPieces);
+        if (!file.value()->write_at(0, content).ok()) throw std::runtime_error("write");
+        std::vector<mio::Extent> extents;
+        for (int i = 0; i < kPieces; ++i) {
+          extents.push_back(mio::Extent{static_cast<std::uint64_t>(i) * stride,
+                                        Bytes{kPiece}});
+        }
+        std::vector<std::byte> out(kPiece * kPieces);
+        const auto before = file.value()->posix_counters();
+        if (!file.value()->read_strided(extents, out).ok()) throw std::runtime_error("read");
+        const auto after = file.value()->posix_counters();
+        reads = after.reads - before.reads;
+        bytes = after.bytes_read.count() - before.bytes_read.count();
+        (void)file.value()->close_all();
+      });
+      const double useful =
+          static_cast<double>(kPiece * kPieces) / static_cast<double>(bytes.load());
+      table.add_row({format_percent(hole_fraction), format_double(threshold, 2),
+                     std::to_string(reads.load()), format_bytes(Bytes{bytes.load()}),
+                     format_percent(useful)});
+      bench::emit_row(Record{{"hole_fraction", hole_fraction},
+                             {"threshold", threshold},
+                             {"posix_reads", reads.load()},
+                             {"bytes_fetched", bytes.load()},
+                             {"useful_fraction", useful}});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nshape check: one gulp (wasting hole bytes) when the pattern's hole\n"
+               "fraction is at or below the threshold; per-extent reads otherwise.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// C10 — Discrete-event engine throughput (the §IV.C substrate).
+//
+// Paper: simulation is the stand-in for testbeds researchers do not have;
+// that is only viable if the engine sustains millions of events per second.
+// This is the one google-benchmark microbenchmark binary: engine event
+// throughput, fluid-channel transfers, and end-to-end PFS model ops.
+#include <benchmark/benchmark.h>
+
+#include "net/fabric.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+namespace {
+
+void BM_EngineEventStorm(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    Rng rng = engine.rng_stream(1);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      engine.schedule_at(SimTime::from_ns(static_cast<std::int64_t>(rng.next_below(1u << 20))),
+                         [] {});
+    }
+    const auto executed = engine.run();
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+BENCHMARK(BM_EngineEventStorm)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  // Event-chain pattern: each handler schedules the next (server-loop shape).
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t remaining = depth;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) engine.schedule_after(1_us, next);
+    };
+    engine.schedule_after(1_us, next);
+    engine.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(depth) * state.iterations());
+}
+BENCHMARK(BM_EngineSelfScheduling)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FairShareChannel(benchmark::State& state) {
+  const auto flows = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FairShareChannel link{engine, Bandwidth::from_gib_per_sec(10.0), 1_us};
+    for (std::uint64_t f = 0; f < flows; ++f) {
+      engine.schedule_at(SimTime::from_us(static_cast<double>(f % 64)), [&link] {
+        link.transfer(1_MiB, [] {});
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(link.bytes_moved());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows) * state.iterations());
+}
+BENCHMARK(BM_FairShareChannel)->Arg(256)->Arg(1024);
+
+void BM_PfsModelEndToEnd(benchmark::State& state) {
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    pfs::PfsConfig config;
+    config.clients = 8;
+    config.io_nodes = 2;
+    config.osts = 8;
+    config.disk_kind = pfs::DiskKind::kSsd;
+    pfs::PfsModel model{engine, config};
+    pfs::MetaResult created;
+    model.meta(0, pfs::MetaOp::kCreate, "/bench", [&](pfs::MetaResult r) { created = r; });
+    engine.run();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      model.io(static_cast<pfs::ClientId>(i % 8), "/bench", created.inode->layout,
+               (i % 64) << 20, 1_MiB, true, [](pfs::IoResult) {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops) * state.iterations());
+}
+BENCHMARK(BM_PfsModelEndToEnd)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

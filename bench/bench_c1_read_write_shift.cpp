@@ -1,0 +1,68 @@
+// C1 — HPC storage is no longer write-dominated (Patel et al. [53], §V).
+//
+// Paper: "A recent I/O behavior analysis of a year's worth of I/O activity
+// at NERSC has revealed that HPC storage systems may no longer be dominated
+// by write I/O — challenging the long- and widely-held belief that HPC
+// workloads are write-intensive."
+//
+// We generate a 48-month synthetic facility log whose job mix evolves from
+// a simulation-dominated 2015 era toward the 2019 emerging mix, then let
+// the system-level temporal analysis find the read/write crossover.
+// Expected shape: early months write-dominated, a crossover mid-series, a
+// positive read-fraction trend.
+#include <iostream>
+
+#include "analysis/system_analysis.hpp"
+#include "bench_util.hpp"
+#include "workload/facility_mix.hpp"
+
+using namespace pio;
+
+int main() {
+  bench::banner("C1", "the read/write balance shift across facility eras (Patel et al.)");
+  workload::FacilityMixConfig config;
+  config.months = 48;
+  config.jobs_per_month = 2000;
+  const auto log = workload::generate_facility_log(config);
+  const auto monthly = workload::aggregate_by_month(log);
+  const auto trend = analysis::analyze_facility_trend(monthly);
+
+  TextTable table{{"month", "read", "written", "read share"}};
+  for (const auto& m : monthly) {
+    if (m.month % 6 != 0 && m.month + 1 != monthly.size()) continue;  // print quarterly-ish
+    table.add_row({std::to_string(m.month), format_bytes(m.bytes_read),
+                   format_bytes(m.bytes_written), format_percent(m.read_fraction())});
+  }
+  for (const auto& m : monthly) {
+    bench::emit_row(Record{{"month", static_cast<std::uint64_t>(m.month)},
+                           {"read_gib", m.bytes_read.gib()},
+                           {"written_gib", m.bytes_written.gib()},
+                           {"read_fraction", m.read_fraction()}});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "read-fraction trend: " << format_double(trend.read_fraction_trend, 5)
+            << " per month (positive = shifting toward reads)\n";
+  std::cout << "read dominance from month: " << trend.read_dominance_onset << " of "
+            << config.months << "\n";
+
+  // Pure-era endpoints for the headline comparison.
+  for (const bool emerging : {false, true}) {
+    workload::FacilityMixConfig era;
+    era.months = 1;
+    era.jobs_per_month = 4000;
+    era.from = era.to = emerging ? workload::era_emerging_2019()
+                                 : workload::era_simulation_2015();
+    const auto summary = workload::aggregate_by_month(workload::generate_facility_log(era));
+    std::cout << (emerging ? "2019-era mix" : "2015-era mix")
+              << " read share: " << format_percent(summary[0].read_fraction()) << "\n";
+    bench::emit_row(Record{{"era", std::string(emerging ? "2019" : "2015")},
+                           {"read_fraction", summary[0].read_fraction()}});
+  }
+  const bool shape_holds = trend.read_fraction_trend > 0.0 &&
+                           trend.read_dominance_onset > 0 &&
+                           monthly.front().read_fraction() < 0.5 &&
+                           monthly.back().read_fraction() > 0.5;
+  std::cout << "shape check: " << (shape_holds ? "HOLDS" : "VIOLATED")
+            << " (write-dominated start, read-dominated end, positive trend)\n";
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// C2 — DL training's random small reads vs sequential-optimized PFS (§V.B).
+//
+// Paper: "the DL training phase gives rise to highly random small file
+// accesses. The requirement of randomly shuffled input imposes significant
+// pressure to parallel file systems, which are typically designed and
+// optimized for large sequential I/O."
+//
+// Expected shape: on the HDD-backed reference system, shuffled minibatch
+// reads deliver a small fraction of the bandwidth of the same volume read
+// sequentially, and both trail a bulk IOR read. Larger samples close part
+// of the gap (seek cost amortizes).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/dlio.hpp"
+#include "workload/kernels.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+namespace {
+
+double run_reader(const workload::Workload& w) {
+  const auto system = bench::reference_testbed(pfs::DiskKind::kHdd);
+  const auto result = bench::simulate(system, w);
+  return result.read_bandwidth().mib_per_sec();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C2", "shuffled DL minibatch reads vs sequential access (§V.B)");
+  TextTable table{{"sample size", "access pattern", "read bw", "vs sequential"}};
+  for (const Bytes sample : {64_KiB, 256_KiB, 1_MiB}) {
+    workload::DlioConfig dl;
+    dl.ranks = 8;
+    dl.samples = 2048;
+    dl.sample_size = sample;
+    dl.samples_per_file = 256;
+    dl.compute_per_batch = SimTime::zero();
+    dl.include_preparation = true;
+    dl.shuffle = true;
+    const double shuffled = run_reader(*workload::dlio_like(dl));
+    dl.shuffle = false;
+    const double sequential = run_reader(*workload::dlio_like(dl));
+    table.add_row({format_bytes(sample), "shuffled minibatch",
+                   format_double(shuffled, 1) + " MiB/s",
+                   format_percent(shuffled / sequential)});
+    table.add_row({format_bytes(sample), "sequential scan",
+                   format_double(sequential, 1) + " MiB/s", "100.0%"});
+    bench::emit_row(Record{{"sample_kib", sample.kib()},
+                           {"shuffled_mib_s", shuffled},
+                           {"sequential_mib_s", sequential},
+                           {"slowdown", sequential / shuffled}});
+  }
+  // Traditional bulk read baseline at the same total volume.
+  workload::IorConfig ior;
+  ior.ranks = 8;
+  ior.block_size = 16_MiB;
+  ior.transfer_size = 8_MiB;
+  ior.write_phase = true;
+  ior.read_phase = true;
+  const auto system = bench::reference_testbed(pfs::DiskKind::kHdd);
+  const auto bulk = bench::simulate(system, *workload::ior_like(ior));
+  table.add_row({"-", "IOR bulk read",
+                 format_double(bulk.read_bandwidth().mib_per_sec(), 1) + " MiB/s", "-"});
+  std::cout << table.to_string();
+  std::cout << "\nshape check: shuffled minibatch bandwidth must be a small fraction of\n"
+               "the sequential scan on seek-bound disks, with the gap narrowing as the\n"
+               "sample size grows.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// C6 — Trace extrapolation (Luo et al. ScalaIOExtrap [16, 17]).
+//
+// Paper: "gather I/O traces on a small system, to analyze the traces and
+// extrapolate them, and then finally enable I/O replay to verify the
+// correctness of the projected extrapolation of the I/O behavior."
+//
+// We record a 4-rank file-per-process run in simulation, fit the
+// rank-affine model to the *recorded trace* (not the generator), project to
+// 8/16/32 ranks, replay each projection, and compare against directly
+// generated runs at the same scale. Expected shape: byte volumes exact,
+// makespans within a few percent.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "replay/extrapolate.hpp"
+#include "replay/fidelity.hpp"
+#include "replay/trace_workload.hpp"
+#include "trace/tracer.hpp"
+#include "workload/dsl.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+namespace {
+
+std::unique_ptr<workload::Workload> fpp_app(int ranks) {
+  // A symmetric file-per-process application. Compute phases are omitted:
+  // recorded inter-op gaps include queueing noise that varies per rank, and
+  // a real extrapolation pipeline fits the I/O pattern, not the noise.
+  return workload::parse_dsl("name \"fpp-app\"\nranks " + std::to_string(ranks) + R"(
+    mkdir "/out"
+    create "/out/part.{rank}"
+    loop step 4 {
+      loop t 16 {
+        write "/out/part.{rank}" at step * 16MiB + t * 1MiB size 1MiB
+      }
+      fsync "/out/part.{rank}"
+    }
+    close "/out/part.{rank}"
+  )");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C6", "capture small, extrapolate, replay, verify (ScalaIOExtrap)");
+  const auto system = bench::reference_testbed(pfs::DiskKind::kSsd);
+
+  // Capture: record the 4-rank run's trace in simulation.
+  trace::Tracer tracer;
+  const auto captured_app = fpp_app(4);
+  (void)bench::simulate(system, *captured_app, &tracer);
+  replay::TraceReplayConfig replay_config;
+  replay_config.preserve_think_time = false;  // fit the I/O pattern, not noise
+  const auto recorded = replay::workload_from_trace(tracer.take(), replay_config);
+
+  // Fit the rank-parametric model to the *recorded* workload.
+  replay::ExtrapolationError error;
+  const auto model = replay::ExtrapolationModel::fit(*recorded, &error);
+  if (!model.has_value()) {
+    std::cout << "extrapolation failed at op " << error.position << ": " << error.reason
+              << "\n";
+    return 1;
+  }
+  std::cout << "fitted rank-affine pattern: " << model->ops_per_rank()
+            << " ops/rank from " << model->captured_ranks() << " captured ranks\n\n";
+
+  TextTable table{{"target ranks", "direct makespan", "extrapolated makespan", "bytes ratio",
+                   "makespan ratio"}};
+  bool all_faithful = true;
+  for (const int target : {8, 16, 32}) {
+    const auto projected = model->generate(target);
+    const auto direct = fpp_app(target);
+    const auto projected_run = bench::simulate(system, *projected, nullptr, 11);
+    const auto direct_run = bench::simulate(system, *direct, nullptr, 11);
+    const auto fidelity = replay::compare_runs(direct_run, projected_run);
+    table.add_row({std::to_string(target), format_time(direct_run.makespan),
+                   format_time(projected_run.makespan),
+                   format_double(fidelity.bytes_written_ratio, 3),
+                   format_double(fidelity.makespan_ratio, 3)});
+    bench::emit_row(Record{{"ranks", static_cast<std::int64_t>(target)},
+                           {"direct_s", direct_run.makespan.sec()},
+                           {"extrapolated_s", projected_run.makespan.sec()},
+                           {"makespan_ratio", fidelity.makespan_ratio}});
+    all_faithful = all_faithful && std::abs(fidelity.bytes_written_ratio - 1.0) < 1e-9 &&
+                   std::abs(fidelity.makespan_ratio - 1.0) < 0.1;
+  }
+  std::cout << table.to_string();
+  std::cout << "\nshape check: extrapolated replays match direct runs "
+            << (all_faithful ? "(HOLDS, within 10%)" : "(VIOLATED)") << "\n";
+  return all_faithful ? 0 : 1;
+}

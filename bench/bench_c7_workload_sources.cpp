@@ -1,0 +1,100 @@
+// C7 — Workload sources trade accuracy for flexibility (Snyder et al. [20]).
+//
+// Paper §IV.B.4: "Each method offers distinct trade-offs; no technique
+// works best in all scenarios" across the three workload sources — I/O
+// traces, I/O characterization profiles, and synthetic descriptions.
+//
+// We run one "application" (a mixed read/write job with a strided phase),
+// then regenerate it three ways and replay each on the same storage model.
+// Expected shape: trace replay is the most accurate, characterization-based
+// generation lands close on volumes but diverges on fine-grained timing,
+// and the hand-written synthetic approximation diverges the most.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "replay/fidelity.hpp"
+#include "replay/trace_workload.hpp"
+#include "trace/profiler.hpp"
+#include "trace/tracer.hpp"
+#include "workload/dsl.hpp"
+#include "workload/from_profile.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+int main() {
+  bench::banner("C7", "trace vs characterization vs synthetic workload sources (IOWA)");
+  const auto system = bench::reference_testbed(pfs::DiskKind::kHdd);
+
+  // The "application": per-rank output file written sequentially, then a
+  // strided read-back of every fourth megabyte.
+  const auto app = workload::parse_dsl(R"(
+    name "mixed-app"
+    ranks 8
+    mkdir "/app"
+    create "/app/out.{rank}"
+    loop t 32 {
+      write "/app/out.{rank}" at t * 1MiB size 1MiB
+    }
+    loop s 8 {
+      read "/app/out.{rank}" at s * 4MiB size 256KiB
+    }
+    close "/app/out.{rank}"
+  )");
+
+  trace::Tracer tracer;
+  trace::Profiler profiler;
+  trace::MultiSink sinks;
+  sinks.add(tracer);
+  sinks.add(profiler);
+  const auto original = bench::simulate(system, *app, &sinks);
+
+  // Source 1: lossless trace replay.
+  const auto from_trace = replay::workload_from_trace(tracer.take());
+  // Source 2: characterization-based regeneration (statistical).
+  const auto from_profile =
+      workload::workload_from_profile(profiler.snapshot(), workload::FromProfileConfig{});
+  // Source 3: a hand-written synthetic approximation — the author knows the
+  // volumes but guesses one access size and skips the strided read-back.
+  const auto synthetic = workload::parse_dsl(R"(
+    name "synthetic-guess"
+    ranks 8
+    mkdir "/app"
+    create "/app/out.{rank}"
+    loop t 9 {
+      write "/app/out.{rank}" at t * 4MiB size 4MiB
+    }
+    read "/app/out.{rank}" at 0 size 2MiB
+    close "/app/out.{rank}"
+  )");
+
+  TextTable table{{"workload source", "bytes ratio (w)", "bytes ratio (r)", "makespan ratio",
+                   "worst deviation"}};
+  struct Case {
+    std::string name;
+    const workload::Workload* workload;
+  };
+  double deviations[3] = {0, 0, 0};
+  int idx = 0;
+  for (const Case& c : {Case{"I/O trace replay", from_trace.get()},
+                        Case{"characterization profile", from_profile.get()},
+                        Case{"synthetic description", synthetic.get()}}) {
+    const auto replayed = bench::simulate(system, *c.workload, nullptr, 13);
+    const auto fidelity = replay::compare_runs(original, replayed);
+    table.add_row({c.name, format_double(fidelity.bytes_written_ratio, 3),
+                   format_double(fidelity.bytes_read_ratio, 3),
+                   format_double(fidelity.makespan_ratio, 3),
+                   format_percent(fidelity.worst_deviation())});
+    bench::emit_row(Record{{"source", c.name},
+                           {"bytes_written_ratio", fidelity.bytes_written_ratio},
+                           {"bytes_read_ratio", fidelity.bytes_read_ratio},
+                           {"makespan_ratio", fidelity.makespan_ratio},
+                           {"worst_deviation", fidelity.worst_deviation()}});
+    deviations[idx++] = fidelity.worst_deviation();
+  }
+  std::cout << table.to_string();
+  const bool ordering = deviations[0] <= deviations[1] && deviations[1] <= deviations[2];
+  std::cout << "\nshape check: accuracy ordering trace <= characterization <= synthetic: "
+            << (ordering ? "HOLDS" : "VIOLATED") << "\n";
+  return ordering ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Fig. 4 — Phases of the iterative large-scale I/O evaluation process.
+//
+// Paper: "the process of understanding I/O behavior and performance ... is
+// performed iteratively and empirically in a closed loop fashion" with
+// feedback between measurement, modeling/prediction, and simulation.
+//
+// Expected shape: starting from a deliberately mis-calibrated storage
+// model, each trip around the loop (measure -> replay-model -> simulate ->
+// calibrate) reduces the prediction error.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/campaign.hpp"
+#include "workload/kernels.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+int main() {
+  bench::banner("fig4", "the closed evaluation loop converges (Fig. 4)");
+  eval::CampaignConfig config;
+  config.testbed = bench::reference_testbed();
+  config.model = bench::reference_testbed();
+  // The model's disks are 3x too fast and its MDS 2x too slow — the loop
+  // must calibrate this away.
+  config.model.hdd.stream_bandwidth = Bandwidth::from_mib_per_sec(540.0);
+  config.model.mds.create_cost = config.model.mds.create_cost * 2;
+  config.iterations = 5;
+
+  std::vector<std::unique_ptr<workload::Workload>> sweep;
+  for (const Bytes transfer : {1_MiB, 4_MiB, 16_MiB}) {
+    workload::IorConfig ior;
+    ior.ranks = 8;
+    ior.block_size = 64_MiB;
+    ior.transfer_size = transfer;
+    sweep.push_back(workload::ior_like(ior));
+  }
+  std::vector<const workload::Workload*> borrowed;
+  for (const auto& w : sweep) borrowed.push_back(w.get());
+
+  eval::Campaign campaign{config};
+  const auto result = campaign.run(borrowed);
+  std::cout << result.to_string() << "\n";
+  for (const auto& iteration : result.iterations) {
+    bench::emit_row(Record{{"iteration", static_cast<std::uint64_t>(iteration.index)},
+                           {"calibration", iteration.calibration_in_use},
+                           {"mean_abs_pct_error", iteration.mean_abs_pct_error()}});
+  }
+  std::cout << "shape check: the mean |error| column must fall from iteration 0 to the\n"
+               "last iteration (feedback loop converging): "
+            << (result.converged() ? "CONVERGED" : "DID NOT CONVERGE") << "\n";
+  return result.converged() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the PIOEval bench harnesses.
+//
+// Every bench binary reproduces one figure or quantitative claim of the
+// paper (see DESIGN.md §4) and prints (a) a human-readable table and (b)
+// machine-readable JSON lines prefixed with "##" for re-plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/record_io.hpp"
+#include "common/types.hpp"
+#include "driver/sim_driver.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+#include "trace/event.hpp"
+#include "workload/op.hpp"
+
+namespace pio::bench {
+
+/// Reference testbed sized like the Fig. 1 sketch: a small cluster with a
+/// two-tier fabric and an HDD-backed storage cluster.
+inline pfs::PfsConfig reference_testbed(pfs::DiskKind disk = pfs::DiskKind::kHdd) {
+  pfs::PfsConfig config;
+  config.clients = 16;
+  config.io_nodes = 4;
+  config.osts = 8;
+  config.disk_kind = disk;
+  return config;
+}
+
+/// One execution-driven run on a fresh engine + model.
+inline driver::SimRunResult simulate(const pfs::PfsConfig& system,
+                                     const workload::Workload& workload,
+                                     trace::Sink* sink = nullptr, std::uint64_t seed = 1,
+                                     pfs::PfsModel** model_out = nullptr) {
+  static thread_local std::unique_ptr<sim::Engine> engine;
+  static thread_local std::unique_ptr<pfs::PfsModel> model;
+  engine = std::make_unique<sim::Engine>(seed);
+  model = std::make_unique<pfs::PfsModel>(*engine, system);
+  if (model_out != nullptr) *model_out = model.get();
+  driver::ExecutionDrivenSimulator sim{*engine, *model};
+  auto result = sim.run(workload, sink);
+  // Let background drains finish so server-side stats are complete.
+  engine->run();
+  return result;
+}
+
+/// Print the bench banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==============================================================\n";
+  std::cout << "pioeval bench " << id << "\n";
+  std::cout << claim << "\n";
+  std::cout << "==============================================================\n";
+}
+
+/// Emit one machine-readable series row.
+inline void emit_row(const Record& record) {
+  std::cout << "## " << record.to_json_line() << "\n";
+}
+
+}  // namespace pio::bench

@@ -1,0 +1,79 @@
+// PIOEval example: evaluating deep-learning training I/O (§V.B).
+//
+// Simulates a DLIO-style distributed training job on the HDD-backed
+// reference system, then runs both analysis lenses over the observations:
+// the job-level analyzer on the client trace and the system-level analyzer
+// on the server-side monitoring series. Demonstrates why shuffled
+// minibatch input stresses a sequential-optimized file system.
+//
+//   $ ./examples/dl_training_io
+#include <iostream>
+
+#include "analysis/job_analysis.hpp"
+#include "analysis/system_analysis.hpp"
+#include "common/format.hpp"
+#include "driver/sim_driver.hpp"
+#include "trace/server_stats.hpp"
+#include "trace/tracer.hpp"
+#include "workload/dlio.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+int main() {
+  // The training job: 8 workers, 2048 samples of 256 KiB in 8 shards,
+  // 2 epochs of globally shuffled minibatches.
+  workload::DlioConfig dl;
+  dl.ranks = 8;
+  dl.samples = 2048;
+  dl.sample_size = 256_KiB;
+  dl.samples_per_file = 256;
+  dl.batch_size = 32;
+  dl.epochs = 2;
+  dl.compute_per_batch = SimTime::from_ms(20.0);
+
+  // The system under evaluation: an HDD-backed center-wide file system.
+  pfs::PfsConfig system;
+  system.clients = 8;
+  system.io_nodes = 2;
+  system.osts = 8;
+  system.disk_kind = pfs::DiskKind::kHdd;
+
+  sim::Engine engine{2024};
+  pfs::PfsModel model{engine, system};
+  trace::Tracer tracer;
+  trace::ServerStatsCollector servers{SimTime::from_ms(50.0)};
+  servers.attach(model);
+
+  driver::ExecutionDrivenSimulator sim{engine, model};
+  const auto result = sim.run(*workload::dlio_like(dl), &tracer);
+  engine.run();
+
+  std::cout << "simulated training run: " << format_time(result.makespan) << " makespan, "
+            << format_bytes(result.bytes_read) << " read at "
+            << format_bandwidth(result.read_bandwidth()) << "\n\n";
+
+  // Job-level lens: periodicity (epochs), burstiness, rank variability.
+  analysis::JobAnalysisConfig job_config;
+  job_config.window = SimTime::from_ms(50.0);
+  std::cout << analysis::analyze_job(tracer.take(), job_config).to_string() << "\n";
+
+  // System-level lens: temporal read/write balance, OST imbalance, and the
+  // MDS/OST activity correlation.
+  std::cout << analysis::analyze_system(servers).to_string();
+
+  // The §V.B diagnosis in one number: how random were the reads?
+  std::uint64_t seeks = 0;
+  std::uint64_t sequential = 0;
+  for (std::uint32_t i = 0; i < model.ost_count(); ++i) {
+    if (const auto* hdd = dynamic_cast<const pfs::HddModel*>(&model.ost(i).disk())) {
+      seeks += hdd->seeks();
+      sequential += hdd->sequential_hits();
+    }
+  }
+  std::cout << "\ndevice-level view: " << seeks << " seeks vs " << sequential
+            << " sequential hits — shuffled minibatch input turns the dataset\n"
+               "scan into seek-bound random I/O, exactly the pressure the paper\n"
+               "describes for DL workloads on PFS designed for sequential access.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// PIOEval example: the record -> compress -> extrapolate -> replay pipeline.
+//
+// The §IV.B.3 workflow end to end: capture a small-scale run's trace,
+// compress it into a grammar (Hao et al.), reconstruct it losslessly, fit
+// the rank-parametric pattern (ScalaIOExtrap), project to 4x the scale,
+// replay the projection, and score the fidelity against a direct run.
+//
+//   $ ./examples/trace_replay_extrapolate
+#include <iostream>
+
+#include "common/format.hpp"
+#include "driver/sim_driver.hpp"
+#include "replay/compress.hpp"
+#include "replay/extrapolate.hpp"
+#include "replay/fidelity.hpp"
+#include "replay/trace_workload.hpp"
+#include "trace/tracer.hpp"
+#include "workload/dsl.hpp"
+
+using namespace pio;
+using namespace pio::literals;
+
+namespace {
+
+std::unique_ptr<workload::Workload> app_at(int ranks) {
+  return workload::parse_dsl("name \"phases\"\nranks " + std::to_string(ranks) + R"(
+    mkdir "/run"
+    create "/run/state.{rank}"
+    loop phase 3 {
+      loop t 8 {
+        write "/run/state.{rank}" at phase * 8MiB + t * 1MiB size 1MiB
+      }
+      fsync "/run/state.{rank}"
+    }
+    loop t 6 {
+      read "/run/state.{rank}" at t * 4MiB size 512KiB
+    }
+    close "/run/state.{rank}"
+  )");
+}
+
+driver::SimRunResult simulate(const workload::Workload& w, trace::Sink* sink = nullptr) {
+  sim::Engine engine{5};
+  pfs::PfsConfig system;
+  system.clients = 32;
+  system.io_nodes = 4;
+  system.osts = 8;
+  system.disk_kind = pfs::DiskKind::kSsd;
+  pfs::PfsModel model{engine, system};
+  driver::ExecutionDrivenSimulator sim{engine, model};
+  return sim.run(w, sink);
+}
+
+}  // namespace
+
+int main() {
+  // 1. Record: trace a 4-rank run of the application in the simulator.
+  std::cout << "[1/5] recording a 4-rank run...\n";
+  trace::Tracer tracer;
+  const auto small = app_at(4);
+  const auto small_run = simulate(*small, &tracer);
+  const auto trace = tracer.take();
+  std::cout << "      " << trace.size() << " events, makespan "
+            << format_time(small_run.makespan) << "\n";
+
+  // 2. Convert the trace into a replayable workload (I/O pattern only).
+  replay::TraceReplayConfig replay_config;
+  replay_config.preserve_think_time = false;
+  const auto recorded = replay::workload_from_trace(trace, replay_config);
+
+  // 3. Compress: grammar-based trace compression, losslessly reversible.
+  std::cout << "[2/5] compressing the recorded op stream...\n";
+  const auto compressed = replay::CompressedWorkload::compress(*recorded);
+  std::cout << "      " << compressed.original_ops() << " ops -> "
+            << compressed.stored_symbols() << " grammar symbols ("
+            << format_double(compressed.compression_ratio(), 1) << "x)\n";
+  const auto restored = compressed.decompress();
+
+  // 4. Extrapolate: fit the rank-affine pattern and project to 16 ranks.
+  std::cout << "[3/5] fitting the rank-parametric pattern...\n";
+  replay::ExtrapolationError error;
+  const auto model = replay::ExtrapolationModel::fit(*restored, &error);
+  if (!model.has_value()) {
+    std::cout << "      extrapolation failed at op " << error.position << ": "
+              << error.reason << "\n";
+    return 1;
+  }
+  std::cout << "      " << model->ops_per_rank() << " ops/rank, captured at "
+            << model->captured_ranks() << " ranks\n";
+  std::cout << "[4/5] projecting to 16 ranks and replaying...\n";
+  const auto projected = model->generate(16);
+  const auto projected_run = simulate(*projected);
+
+  // 5. Verify: compare against a directly generated 16-rank run.
+  std::cout << "[5/5] verifying against a direct 16-rank run...\n";
+  const auto direct_run = simulate(*app_at(16));
+  const auto fidelity = replay::compare_runs(direct_run, projected_run);
+  std::cout << "      " << fidelity.to_string() << "\n";
+  std::cout << (fidelity.faithful(0.1) ? "extrapolated replay is faithful (within 10%)\n"
+                                       : "extrapolated replay diverged!\n");
+  return fidelity.faithful(0.1) ? 0 : 1;
+}

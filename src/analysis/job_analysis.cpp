@@ -1,0 +1,155 @@
+#include "analysis/job_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "stats/descriptive.hpp"
+
+namespace pio::analysis {
+
+namespace {
+
+/// Normalized autocorrelation of a mean-centered series at a given lag.
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  if (lag >= series.size()) return 0.0;
+  const double m = stats::mean(series);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double d = series[i] - m;
+    den += d * d;
+    if (i + lag < series.size()) num += d * (series[i + lag] - m);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace
+
+JobIoReport analyze_job(const trace::Trace& trace, const JobAnalysisConfig& config) {
+  JobIoReport report;
+  report.window = config.window;
+  if (trace.empty()) return report;
+
+  SimTime first = SimTime::max();
+  SimTime last = SimTime::zero();
+  std::map<std::int32_t, SimTime> rank_io_time;
+  for (const auto& e : trace.events()) {
+    first = std::min(first, e.start);
+    last = std::max(last, e.end);
+    switch (e.op) {
+      case trace::OpKind::kRead:
+        ++report.reads;
+        report.bytes_read += Bytes{e.size};
+        rank_io_time[e.rank] += e.duration();
+        break;
+      case trace::OpKind::kWrite:
+        ++report.writes;
+        report.bytes_written += Bytes{e.size};
+        rank_io_time[e.rank] += e.duration();
+        break;
+      default:
+        if (trace::is_metadata_op(e.op)) ++report.metadata_ops;
+        break;
+    }
+  }
+  report.span = last - first;
+  report.mean_bandwidth = observed_bandwidth(report.bytes_read + report.bytes_written,
+                                             report.span);
+
+  // Binned byte series (data ops attributed to their completion window).
+  const auto windows = static_cast<std::size_t>(report.span / config.window) + 1;
+  report.bytes_per_window.assign(windows, 0.0);
+  for (const auto& e : trace.events()) {
+    if (!trace::is_data_op(e.op)) continue;
+    const auto w = static_cast<std::size_t>((e.end - first) / config.window);
+    report.bytes_per_window[std::min(w, windows - 1)] += static_cast<double>(e.size);
+  }
+
+  // Periodicity: strongest autocorrelation peak over lags >= 2 that is a
+  // local maximum.
+  const std::size_t max_lag = std::min(config.max_lag, windows / 2);
+  double best_strength = 0.0;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = 2; lag + 1 < max_lag; ++lag) {
+    const double here = autocorrelation(report.bytes_per_window, lag);
+    const double prev = autocorrelation(report.bytes_per_window, lag - 1);
+    const double next = autocorrelation(report.bytes_per_window, lag + 1);
+    if (here > best_strength && here >= prev && here >= next) {
+      best_strength = here;
+      best_lag = lag;
+    }
+  }
+  if (best_strength >= config.min_period_strength) {
+    report.period = config.window * static_cast<std::int64_t>(best_lag);
+    report.period_strength = best_strength;
+  }
+
+  // Burstiness.
+  std::vector<double> busy;
+  double total_bytes = 0.0;
+  for (const double b : report.bytes_per_window) {
+    total_bytes += b;
+    if (b > 0.0) busy.push_back(b);
+  }
+  if (!busy.empty()) {
+    report.peak_to_mean = stats::max(busy) / stats::mean(busy);
+    std::vector<double> sorted = report.bytes_per_window;
+    std::sort(sorted.rbegin(), sorted.rend());
+    const std::size_t top = std::max<std::size_t>(1, sorted.size() / 10);
+    double top_bytes = 0.0;
+    for (std::size_t i = 0; i < top; ++i) top_bytes += sorted[i];
+    report.burst_concentration = total_bytes == 0.0 ? 0.0 : top_bytes / total_bytes;
+  }
+
+  // Rank variability.
+  std::vector<double> io_times;
+  io_times.reserve(rank_io_time.size());
+  for (const auto& [rank, t] : rank_io_time) io_times.push_back(t.sec());
+  report.rank_io_time_cov = stats::coefficient_of_variation(io_times);
+
+  // Phases: maximal runs of busy windows.
+  std::size_t w = 0;
+  while (w < windows) {
+    if (report.bytes_per_window[w] <= 0.0) {
+      ++w;
+      continue;
+    }
+    IoPhase phase;
+    phase.start = first + config.window * static_cast<std::int64_t>(w);
+    double phase_bytes = 0.0;
+    while (w < windows && report.bytes_per_window[w] > 0.0) {
+      phase_bytes += report.bytes_per_window[w];
+      ++w;
+    }
+    phase.end = first + config.window * static_cast<std::int64_t>(w);
+    phase.bytes = Bytes{static_cast<std::uint64_t>(phase_bytes)};
+    report.phases.push_back(phase);
+  }
+  return report;
+}
+
+std::string JobIoReport::to_string() const {
+  std::ostringstream out;
+  out << "# job-level I/O analysis\n";
+  out << "span " << format_time(span) << ", read " << format_bytes(bytes_read) << ", written "
+      << format_bytes(bytes_written) << ", mean bw " << format_bandwidth(mean_bandwidth)
+      << "\n";
+  out << "ops: " << reads << " reads, " << writes << " writes, " << metadata_ops
+      << " metadata (" << format_percent(metadata_fraction()) << " metadata)\n";
+  if (period > SimTime::zero()) {
+    out << "periodic I/O every " << format_time(period) << " (strength "
+        << format_double(period_strength) << ")\n";
+  } else {
+    out << "no dominant I/O period detected\n";
+  }
+  out << "burstiness: peak/mean " << format_double(peak_to_mean) << ", top-10% windows carry "
+      << format_percent(burst_concentration) << " of bytes\n";
+  out << "rank I/O-time CoV " << format_double(rank_io_time_cov) << ", " << phases.size()
+      << " I/O phases\n";
+  return out.str();
+}
+
+}  // namespace pio::analysis

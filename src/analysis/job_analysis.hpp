@@ -1,0 +1,80 @@
+// PIOEval analysis: job-level I/O behavior analysis (§IV.B.1, category 1).
+//
+// "Analysis work of type (1) describes the I/O behavior of specific
+// applications, such as data transfer rates, I/O periodicity and
+// repetition, and I/O variability of individual jobs." This analyzer
+// consumes a trace and produces exactly those: a binned I/O time series,
+// an autocorrelation-based periodicity estimate, burstiness measures,
+// cross-rank variability, and detected I/O phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace pio::analysis {
+
+/// One detected I/O phase: a maximal run of busy windows.
+struct IoPhase {
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  Bytes bytes = Bytes::zero();
+};
+
+struct JobIoReport {
+  // -- volume and rates ------------------------------------------------
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  SimTime span = SimTime::zero();
+  Bandwidth mean_bandwidth{};
+
+  // -- time series -----------------------------------------------------
+  SimTime window = SimTime::zero();
+  std::vector<double> bytes_per_window;
+
+  // -- periodicity -----------------------------------------------------
+  /// Dominant I/O period (autocorrelation peak), zero when aperiodic.
+  SimTime period = SimTime::zero();
+  /// Autocorrelation value at the detected period (0..1-ish confidence).
+  double period_strength = 0.0;
+
+  // -- burstiness ------------------------------------------------------
+  /// Peak-window bytes / mean-window bytes (over busy windows).
+  double peak_to_mean = 0.0;
+  /// Fraction of all bytes moved inside the busiest 10% of windows.
+  double burst_concentration = 0.0;
+
+  // -- variability -----------------------------------------------------
+  /// Coefficient of variation of per-rank total I/O time (stragglers).
+  double rank_io_time_cov = 0.0;
+
+  // -- phases ----------------------------------------------------------
+  std::vector<IoPhase> phases;
+
+  // -- op mix ----------------------------------------------------------
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t metadata_ops = 0;
+  [[nodiscard]] double metadata_fraction() const {
+    const auto total = reads + writes + metadata_ops;
+    return total == 0 ? 0.0 : static_cast<double>(metadata_ops) / static_cast<double>(total);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct JobAnalysisConfig {
+  SimTime window = SimTime::from_ms(100.0);
+  /// Autocorrelation lags to scan (in windows).
+  std::size_t max_lag = 256;
+  /// Minimum autocorrelation to accept a periodicity hypothesis.
+  double min_period_strength = 0.3;
+};
+
+[[nodiscard]] JobIoReport analyze_job(const trace::Trace& trace,
+                                      const JobAnalysisConfig& config = {});
+
+}  // namespace pio::analysis

@@ -1,0 +1,129 @@
+#include "analysis/system_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace pio::analysis {
+
+SystemReport analyze_system(const trace::ServerStatsCollector& stats) {
+  SystemReport report;
+  const auto aggregate = stats.aggregate_osts();
+
+  // ---- temporal ----------------------------------------------------------
+  report.temporal.windows = aggregate.size();
+  std::vector<double> xs;
+  for (const auto& [window, sample] : aggregate) {
+    report.temporal.total_read += sample.bytes_read;
+    report.temporal.total_written += sample.bytes_written;
+    const double total = sample.bytes_read.as_double() + sample.bytes_written.as_double();
+    const double fraction = total == 0.0 ? 0.0 : sample.bytes_read.as_double() / total;
+    report.temporal.read_fraction_series.push_back(fraction);
+    xs.push_back(static_cast<double>(window));
+    if (report.temporal.read_dominance_onset < 0 && fraction >= 0.5 && total > 0.0) {
+      report.temporal.read_dominance_onset = static_cast<std::int64_t>(window);
+    }
+  }
+  if (xs.size() >= 2) {
+    report.temporal.read_fraction_trend =
+        stats::fit_simple(xs, report.temporal.read_fraction_series).slope;
+  }
+
+  // ---- spatial ------------------------------------------------------------
+  report.spatial.servers = stats.ost_series().size();
+  for (const auto& [window, factor] : stats.ost_imbalance()) {
+    report.spatial.imbalance_series.push_back(factor);
+  }
+  if (!report.spatial.imbalance_series.empty()) {
+    report.spatial.mean_imbalance = stats::mean(report.spatial.imbalance_series);
+    report.spatial.worst_imbalance = stats::max(report.spatial.imbalance_series);
+  }
+  double total_bytes = 0.0;
+  double hottest_bytes = 0.0;
+  for (const auto& [ost, series] : stats.ost_series()) {
+    double bytes = 0.0;
+    for (const auto& [window, sample] : series) {
+      bytes += sample.bytes_read.as_double() + sample.bytes_written.as_double();
+    }
+    total_bytes += bytes;
+    if (bytes > hottest_bytes) {
+      hottest_bytes = bytes;
+      report.spatial.hottest_server = ost;
+    }
+  }
+  report.spatial.hottest_share = total_bytes == 0.0 ? 0.0 : hottest_bytes / total_bytes;
+
+  // ---- correlative ---------------------------------------------------------
+  // Align MDS and OST series on the union of windows.
+  std::map<std::uint64_t, std::pair<double, double>> joined;  // window -> (mds ops, ost bytes)
+  for (const auto& [window, sample] : stats.mds_series()) {
+    joined[window].first = static_cast<double>(sample.meta_ops);
+  }
+  for (const auto& [window, sample] : aggregate) {
+    joined[window].second = sample.bytes_read.as_double() + sample.bytes_written.as_double();
+  }
+  std::vector<double> mds_series;
+  std::vector<double> ost_series;
+  for (const auto& [window, pair] : joined) {
+    mds_series.push_back(pair.first);
+    ost_series.push_back(pair.second);
+  }
+  if (mds_series.size() >= 2) {
+    report.correlative.mds_vs_ost_activity = stats::pearson(mds_series, ost_series);
+  }
+  std::vector<double> depth_series;
+  std::vector<double> latency_series;
+  for (const auto& [window, sample] : aggregate) {
+    const auto data_ops = sample.read_ops + sample.write_ops;
+    if (data_ops == 0) continue;
+    depth_series.push_back(static_cast<double>(sample.max_queue_depth));
+    latency_series.push_back(sample.total_latency.sec() / static_cast<double>(data_ops));
+  }
+  if (depth_series.size() >= 2) {
+    report.correlative.queue_depth_vs_latency = stats::pearson(depth_series, latency_series);
+  }
+  return report;
+}
+
+TemporalReport analyze_facility_trend(const std::vector<workload::MonthlyIoSummary>& monthly) {
+  TemporalReport report;
+  report.windows = monthly.size();
+  std::vector<double> xs;
+  for (const auto& m : monthly) {
+    report.total_read += m.bytes_read;
+    report.total_written += m.bytes_written;
+    report.read_fraction_series.push_back(m.read_fraction());
+    xs.push_back(static_cast<double>(m.month));
+    if (report.read_dominance_onset < 0 && m.read_fraction() >= 0.5) {
+      report.read_dominance_onset = m.month;
+    }
+  }
+  if (xs.size() >= 2) {
+    report.read_fraction_trend = stats::fit_simple(xs, report.read_fraction_series).slope;
+  }
+  return report;
+}
+
+std::string SystemReport::to_string() const {
+  std::ostringstream out;
+  out << "# system-level analysis (temporal / spatial / correlative)\n";
+  out << "temporal: " << temporal.windows << " windows, read "
+      << format_bytes(temporal.total_read) << " vs written "
+      << format_bytes(temporal.total_written) << ", read-fraction trend "
+      << format_double(temporal.read_fraction_trend, 5) << "/window, read dominance from window "
+      << temporal.read_dominance_onset << "\n";
+  out << "spatial: " << spatial.servers << " OSTs, mean imbalance "
+      << format_double(spatial.mean_imbalance) << "x, worst " << format_double(spatial.worst_imbalance)
+      << "x, hottest OST " << spatial.hottest_server << " carries "
+      << format_percent(spatial.hottest_share) << "\n";
+  out << "correlative: corr(MDS ops, OST bytes) = "
+      << format_double(correlative.mds_vs_ost_activity) << ", corr(queue depth, latency) = "
+      << format_double(correlative.queue_depth_vs_latency) << "\n";
+  return out.str();
+}
+
+}  // namespace pio::analysis

@@ -1,0 +1,73 @@
+// PIOEval analysis: storage-system-level analysis (§IV.B.1, category 2).
+//
+// Patel et al. [53] "introduce[d] the possibility to gain insights about
+// the storage systems through temporal, spatial, and correlative analysis."
+// This module applies those three lenses to (a) server-side monitoring
+// series from the PFS model and (b) facility-scale job logs — including the
+// read/write-balance trend analysis behind the paper's headline claim that
+// HPC storage "may no longer be dominated by write I/O" (experiment C1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/server_stats.hpp"
+#include "workload/facility_mix.hpp"
+
+namespace pio::analysis {
+
+/// Temporal lens: trends of cluster-wide traffic over time.
+struct TemporalReport {
+  std::size_t windows = 0;
+  Bytes total_read = Bytes::zero();
+  Bytes total_written = Bytes::zero();
+  /// Read fraction per window (bytes_read / bytes_total).
+  std::vector<double> read_fraction_series;
+  /// Linear-regression slope of the read fraction per window (positive =
+  /// the system is trending toward read dominance).
+  double read_fraction_trend = 0.0;
+  /// First window with read fraction >= 0.5; -1 when never.
+  std::int64_t read_dominance_onset = -1;
+};
+
+/// Spatial lens: load placement across servers.
+struct SpatialReport {
+  std::size_t servers = 0;
+  /// Per-window max/mean imbalance factors (1.0 = perfectly balanced).
+  std::vector<double> imbalance_series;
+  double mean_imbalance = 0.0;
+  double worst_imbalance = 0.0;
+  /// Index of the busiest server by total bytes.
+  std::uint32_t hottest_server = 0;
+  /// Its share of all bytes moved.
+  double hottest_share = 0.0;
+};
+
+/// Correlative lens: relationships between metrics.
+struct CorrelativeReport {
+  /// Correlation of per-window MDS op count vs OST data volume: high values
+  /// mean metadata load tracks data load; low/negative values expose
+  /// metadata-heavy phases that data-centric monitoring would miss.
+  double mds_vs_ost_activity = 0.0;
+  /// Correlation of per-window OST queue depth vs mean op latency —
+  /// queueing is the latency driver when this is high.
+  double queue_depth_vs_latency = 0.0;
+};
+
+struct SystemReport {
+  TemporalReport temporal;
+  SpatialReport spatial;
+  CorrelativeReport correlative;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyze server-side monitoring output.
+[[nodiscard]] SystemReport analyze_system(const trace::ServerStatsCollector& stats);
+
+/// Facility-log variant of the temporal lens (per-month granularity).
+[[nodiscard]] TemporalReport analyze_facility_trend(
+    const std::vector<workload::MonthlyIoSummary>& monthly);
+
+}  // namespace pio::analysis

@@ -1,0 +1,110 @@
+#include "common/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pio {
+
+namespace {
+
+std::string with_unit(double v, const char* unit, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << v << " " << unit;
+  return out.str();
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const double v = b.as_double();
+  if (v >= 1024.0 * 1024.0 * 1024.0) return with_unit(b.gib(), "GiB", 2);
+  if (v >= 1024.0 * 1024.0) return with_unit(b.mib(), "MiB", 2);
+  if (v >= 1024.0) return with_unit(b.kib(), "KiB", 2);
+  return std::to_string(b.count()) + " B";
+}
+
+std::string format_time(SimTime t) {
+  const double ns = static_cast<double>(t.ns());
+  const double mag = std::abs(ns);
+  if (mag >= 1e9) return with_unit(t.sec(), "s", 3);
+  if (mag >= 1e6) return with_unit(t.ms(), "ms", 3);
+  if (mag >= 1e3) return with_unit(t.us(), "us", 3);
+  return std::to_string(t.ns()) + " ns";
+}
+
+std::string format_bandwidth(Bandwidth bw) {
+  const double v = bw.bytes_per_sec();
+  if (v >= 1024.0 * 1024.0 * 1024.0) return with_unit(bw.gib_per_sec(), "GiB/s", 2);
+  if (v >= 1024.0 * 1024.0) return with_unit(bw.mib_per_sec(), "MiB/s", 2);
+  if (v >= 1024.0) return with_unit(v / 1024.0, "KiB/s", 2);
+  return with_unit(v, "B/s", 1);
+}
+
+Bytes parse_bytes(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  std::size_t start = i;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0) ++i;
+  if (i == start) throw std::invalid_argument("parse_bytes: no digits in '" + std::string{text} + "'");
+  const std::uint64_t value = std::stoull(std::string{text.substr(start, i - start)});
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  std::string suffix;
+  for (; i < text.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) != 0) break;
+    suffix.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(text[i]))));
+  }
+  if (suffix.empty() || suffix == "b") return Bytes{value};
+  if (suffix == "k" || suffix == "kb" || suffix == "kib") return Bytes::from_kib(value);
+  if (suffix == "m" || suffix == "mb" || suffix == "mib") return Bytes::from_mib(value);
+  if (suffix == "g" || suffix == "gb" || suffix == "gib") return Bytes::from_gib(value);
+  throw std::invalid_argument("parse_bytes: unknown suffix '" + suffix + "'");
+}
+
+std::string format_double(double v, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << v;
+  return out.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace pio

@@ -1,0 +1,68 @@
+// PIOEval common: fixed-bucket and log2-bucket histograms.
+//
+// Darshan-style I/O characterization is built on access-size histograms with
+// power-of-two buckets; the profiler and the statistics layer both use these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pio {
+
+/// Histogram over power-of-two buckets: bucket k counts values v with
+/// 2^k <= v < 2^(k+1); values of 0 land in bucket 0.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  /// Smallest bucket lower bound b such that at least `q` (0..1) of the mass
+  /// lies in buckets <= b. Approximate quantile with bucket resolution.
+  [[nodiscard]] std::uint64_t quantile_bucket_floor(double q) const;
+
+  /// Index of the first and last non-empty bucket; (kBuckets, 0) when empty.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> nonempty_range() const;
+
+  Log2Histogram& merge(const Log2Histogram& other);
+
+  /// Human-readable rows "[lo, hi): count" for non-empty buckets.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Equal-width histogram over [lo, hi) with out-of-range values clamped to
+/// the edge buckets. Used by the analysis layer for time-series binning.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pio

@@ -1,0 +1,106 @@
+#include "common/interval_set.hpp"
+
+#include <algorithm>
+
+namespace pio {
+
+void IntervalSet::insert(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return;
+  // Find the first interval that could touch [lo, hi): the one before lo.
+  auto it = map_.upper_bound(lo);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {  // touches or overlaps
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      total_ -= prev->second - prev->first;
+      it = map_.erase(prev);
+    }
+  }
+  // Absorb all intervals starting within [lo, hi].
+  while (it != map_.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    total_ -= it->second - it->first;
+    it = map_.erase(it);
+  }
+  map_.emplace(lo, hi);
+  total_ += hi - lo;
+}
+
+void IntervalSet::erase(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return;
+  auto it = map_.upper_bound(lo);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) it = prev;
+  }
+  while (it != map_.end() && it->first < hi) {
+    const std::uint64_t cur_lo = it->first;
+    const std::uint64_t cur_hi = it->second;
+    total_ -= cur_hi - cur_lo;
+    it = map_.erase(it);
+    if (cur_lo < lo) {
+      map_.emplace(cur_lo, lo);
+      total_ += lo - cur_lo;
+    }
+    if (cur_hi > hi) {
+      map_.emplace(hi, cur_hi);
+      total_ += cur_hi - hi;
+    }
+  }
+}
+
+bool IntervalSet::contains(std::uint64_t lo, std::uint64_t hi) const {
+  if (lo >= hi) return true;
+  auto it = map_.upper_bound(lo);
+  if (it == map_.begin()) return false;
+  const auto prev = std::prev(it);
+  return prev->first <= lo && prev->second >= hi;
+}
+
+std::uint64_t IntervalSet::covered_bytes(std::uint64_t lo, std::uint64_t hi) const {
+  if (lo >= hi) return 0;
+  std::uint64_t covered = 0;
+  auto it = map_.upper_bound(lo);
+  if (it != map_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second > lo) {
+      covered += std::min(prev->second, hi) - lo;
+    }
+  }
+  for (; it != map_.end() && it->first < hi; ++it) {
+    covered += std::min(it->second, hi) - it->first;
+  }
+  return covered;
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::gaps(std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<Interval> result;
+  if (lo >= hi) return result;
+  std::uint64_t cursor = lo;
+  auto it = map_.upper_bound(lo);
+  if (it != map_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second > lo) cursor = std::min(prev->second, hi);
+  }
+  for (; it != map_.end() && it->first < hi && cursor < hi; ++it) {
+    if (it->first > cursor) result.push_back(Interval{cursor, std::min(it->first, hi)});
+    cursor = std::max(cursor, std::min(it->second, hi));
+  }
+  if (cursor < hi) result.push_back(Interval{cursor, hi});
+  return result;
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::to_vector() const {
+  std::vector<Interval> result;
+  result.reserve(map_.size());
+  for (const auto& [lo, hi] : map_) result.push_back(Interval{lo, hi});
+  return result;
+}
+
+void IntervalSet::clear() {
+  map_.clear();
+  total_ = 0;
+}
+
+}  // namespace pio

@@ -1,0 +1,50 @@
+// PIOEval common: a set of disjoint half-open byte intervals [lo, hi).
+//
+// Used for burst-buffer residency tracking, data-sieving hole analysis, and
+// VFS sparse-file accounting. Adjacent/overlapping inserts coalesce.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pio {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    std::uint64_t lo;
+    std::uint64_t hi;  // exclusive
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  /// Insert [lo, hi); merges with neighbours. No-op for empty ranges.
+  void insert(std::uint64_t lo, std::uint64_t hi);
+
+  /// Remove [lo, hi); may split an existing interval.
+  void erase(std::uint64_t lo, std::uint64_t hi);
+
+  /// True iff [lo, hi) is entirely covered.
+  [[nodiscard]] bool contains(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Number of bytes of [lo, hi) that are covered.
+  [[nodiscard]] std::uint64_t covered_bytes(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Total bytes across all intervals.
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_; }
+
+  /// The sub-ranges of [lo, hi) that are NOT covered, in order.
+  [[nodiscard]] std::vector<Interval> gaps(std::uint64_t lo, std::uint64_t hi) const;
+
+  [[nodiscard]] std::size_t interval_count() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] std::vector<Interval> to_vector() const;
+
+  void clear();
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> map_;  // lo -> hi
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pio

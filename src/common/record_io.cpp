@@ -1,0 +1,125 @@
+#include "common/record_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pio {
+
+namespace {
+
+std::string escape_json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const FieldValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return escape_json_string(x);
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream out;
+          out.precision(17);
+          out << x;
+          return out.str();
+        } else {
+          return std::to_string(x);
+        }
+      },
+      v);
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Record::Record(std::initializer_list<std::pair<std::string, FieldValue>> fields) {
+  for (auto& [k, v] : fields) set(k, v);
+}
+
+Record& Record::set(std::string key, FieldValue value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const FieldValue& Record::at(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("Record::at: missing key '" + key + "'");
+}
+
+bool Record::contains(const std::string& key) const {
+  return std::any_of(fields_.begin(), fields_.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+}
+
+std::string Record::to_json_line() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ",";
+    first = false;
+    out += escape_json_string(k) + ":" + to_json(v);
+  }
+  out += "}";
+  return out;
+}
+
+void CsvWriter::write(const Record& record) {
+  if (header_.empty()) {
+    for (const auto& [k, v] : record.fields()) header_.push_back(k);
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      out_ << csv_escape(header_[i]) << (i + 1 == header_.size() ? "\n" : ",");
+    }
+  }
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    std::string cell;
+    if (record.contains(header_[i])) {
+      const auto& v = record.at(header_[i]);
+      if (const auto* s = std::get_if<std::string>(&v)) cell = *s;
+      else cell = to_json(v);
+    }
+    out_ << csv_escape(cell) << (i + 1 == header_.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace pio

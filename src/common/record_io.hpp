@@ -1,0 +1,68 @@
+// PIOEval common: tiny CSV and JSON-lines emitters.
+//
+// Bench harnesses write machine-readable series next to the human-readable
+// tables so that figures can be re-plotted without re-running the sweep.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pio {
+
+/// One JSON-compatible scalar.
+using FieldValue = std::variant<std::int64_t, std::uint64_t, double, bool, std::string>;
+
+/// Render a scalar as JSON (strings escaped, doubles round-trippable).
+[[nodiscard]] std::string to_json(const FieldValue& v);
+
+/// Escape a string for a CSV cell (RFC-4180 quoting when needed).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Ordered key/value record; insertion order is preserved for output.
+class Record {
+ public:
+  Record() = default;
+  Record(std::initializer_list<std::pair<std::string, FieldValue>> fields);
+
+  Record& set(std::string key, FieldValue value);
+
+  [[nodiscard]] const FieldValue& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, FieldValue>>& fields() const {
+    return fields_;
+  }
+
+  [[nodiscard]] std::string to_json_line() const;
+
+ private:
+  std::vector<std::pair<std::string, FieldValue>> fields_;
+};
+
+/// Streams records as CSV; the header is fixed by the first record written.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write(const Record& record);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> header_;
+};
+
+/// Streams records as JSON lines.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out) : out_(out) {}
+
+  void write(const Record& record) { out_ << record.to_json_line() << "\n"; }
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace pio

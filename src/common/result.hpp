@@ -1,0 +1,49 @@
+// PIOEval common: a tiny Expected-style result type for hot-path APIs where
+// exceptions would be the wrong tool (per-op I/O status is a normal outcome,
+// not an exceptional one).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pio {
+
+/// Error code + message.
+struct Error {
+  int code = 0;
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::runtime_error("Result::error on value");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace pio

@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pio {
+
+namespace {
+
+/// SplitMix64 finaliser: a high-quality 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : seed_(seed), stream_(stream) {}
+
+std::uint64_t Rng::next_u64() {
+  // Counter mode: output = mix(mix(seed) ^ mix(stream) ^ counter). Counter
+  // increments per draw; no hidden state beyond it.
+  const std::uint64_t key = mix64(seed_) ^ mix64(~stream_);
+  return mix64(key ^ mix64(counter_++));
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::domain_error("Rng::next_below(0)");
+  // Rejection sampling on the top of the range to kill modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::domain_error("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+  // span==0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next_u64() : next_below(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa → uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::domain_error("Rng::uniform: lo > hi");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::domain_error("Rng::exponential: mean <= 0");
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+std::uint64_t Rng::zipf(std::uint64_t n, double alpha) {
+  if (n == 0) throw std::domain_error("Rng::zipf: n == 0");
+  if (alpha <= 0.0) return next_below(n);
+  // Inverse-CDF via the approximate harmonic normaliser; exact enough for
+  // workload skew and O(1) per draw for alpha != 1.
+  const double x = uniform();
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    const double h = std::log(static_cast<double>(n) + 1.0);
+    const double r = std::exp(x * h) - 1.0;
+    const auto k = static_cast<std::uint64_t>(r);
+    return k >= n ? n - 1 : k;
+  }
+  const double a1 = 1.0 - alpha;
+  const double hn = (std::pow(static_cast<double>(n) + 1.0, a1) - 1.0) / a1;
+  const double r = std::pow(x * hn * a1 + 1.0, 1.0 / a1) - 1.0;
+  const auto k = static_cast<std::uint64_t>(r);
+  return k >= n ? n - 1 : k;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::substream(std::uint64_t k) const {
+  return Rng{seed_, mix64(stream_) ^ mix64(k + 0x517cc1b727220a95ULL)};
+}
+
+}  // namespace pio

@@ -1,0 +1,79 @@
+// PIOEval common: deterministic, stream-splittable random number generation.
+//
+// Everything stochastic in the toolkit (workload generators, disk service
+// jitter, ML initialisation) draws from `Rng` streams derived from a single
+// campaign seed. Streams are keyed by (seed, stream id), so components can be
+// added or reordered without perturbing each other's draws — a requirement
+// for the replay/extrapolation experiments, which compare two runs event by
+// event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pio {
+
+/// SplitMix64-based counter RNG. Stateless apart from a 64-bit counter, so a
+/// stream can be forked (`substream`) without sharing state with its parent.
+class Rng {
+ public:
+  /// Stream keyed by (seed, stream). Identical keys yield identical draws.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer on [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real on [0, 1).
+  double uniform();
+
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (two draws per call, no caching, so the
+  /// stream position stays deterministic under reordering).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal parameterised by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Zipf-distributed rank on [0, n): probability of rank k proportional to
+  /// 1/(k+1)^alpha. Used for skewed file-popularity models.
+  std::uint64_t zipf(std::uint64_t n, double alpha);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Deterministic child stream: fork `k` from this stream's key.
+  [[nodiscard]] Rng substream(std::uint64_t k) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t stream() const { return stream_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace pio

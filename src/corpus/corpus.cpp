@@ -1,0 +1,220 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+
+namespace pio::corpus {
+
+const char* to_string(VenueType type) {
+  switch (type) {
+    case VenueType::kJournal: return "journal";
+    case VenueType::kConference: return "conference";
+    case VenueType::kWorkshop: return "workshop";
+  }
+  return "?";
+}
+
+const char* to_string(Publisher publisher) {
+  switch (publisher) {
+    case Publisher::kIeee: return "IEEE";
+    case Publisher::kAcm: return "ACM";
+    case Publisher::kSpringer: return "Springer";
+    case Publisher::kUsenix: return "USENIX";
+    case Publisher::kElsevier: return "Elsevier";
+    case Publisher::kOther: return "Other";
+  }
+  return "?";
+}
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kMeasurement: return "measurement";
+    case Category::kModeling: return "modeling";
+    case Category::kSimulation: return "simulation";
+    case Category::kEmerging: return "emerging";
+  }
+  return "?";
+}
+
+const std::vector<Article>& surveyed_articles() {
+  using VT = VenueType;
+  using P = Publisher;
+  using C = Category;
+  // Reconstructed from the paper's reference list (see header comment).
+  // Duplicate works dropped to reach the stated 51: [13] (CUG'17 re-issue
+  // of [12]), [19] (TOS journal version of [18]), [65] (motivation only).
+  static const std::vector<Article> articles{
+      {10, "Messer", "MiniApps derived from production HPC applications", 2018,
+       "IJHPCA", VT::kJournal, P::kOther, {C::kMeasurement}},
+      {11, "Herbein", "Performance characterization of irregular I/O", 2016,
+       "Parallel Computing", VT::kJournal, P::kElsevier, {C::kMeasurement, C::kModeling}},
+      {12, "Dickson", "Replicating HPC I/O workloads with proxy applications", 2016,
+       "PDSW-DISCS", VT::kWorkshop, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {14, "Logan", "Extending Skel for next generation I/O systems", 2017,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement}},
+      {15, "Hao", "Automatic generation of benchmarks for I/O-intensive applications", 2019,
+       "JPDC", VT::kJournal, P::kElsevier, {C::kMeasurement, C::kModeling}},
+      {16, "Luo", "HPC I/O trace extrapolation", 2015,
+       "ESPT", VT::kWorkshop, P::kAcm, {C::kMeasurement, C::kModeling, C::kSimulation}},
+      {17, "Luo", "ScalaIOExtrap: elastic I/O tracing and extrapolation", 2017,
+       "IPDPS", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling, C::kSimulation}},
+      {18, "Haghdoost", "Accuracy and scalability of intensive I/O workload replay", 2017,
+       "FAST", VT::kConference, P::kUsenix, {C::kMeasurement, C::kModeling}},
+      {20, "Snyder", "Techniques for modeling large-scale HPC I/O workloads", 2015,
+       "PMBS", VT::kWorkshop, P::kAcm, {C::kModeling, C::kSimulation}},
+      {21, "Carothers", "Durango: scalable synthetic workload generation", 2017,
+       "SIGSIM-PADS", VT::kConference, P::kAcm, {C::kModeling, C::kSimulation}},
+      {23, "Xu", "DXT: Darshan eXtended Tracing", 2017,
+       "CUG", VT::kConference, P::kOther, {C::kMeasurement}},
+      {24, "Chien", "tf-Darshan: fine-grained I/O in ML workloads", 2020,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement, C::kEmerging}},
+      {26, "Wang", "Recorder 2.0: efficient parallel I/O tracing", 2020,
+       "IPDPSW", VT::kWorkshop, P::kIeee, {C::kMeasurement}},
+      {27, "Paul", "Toward scalable monitoring on large-scale storage", 2017,
+       "PDSW-DISCS", VT::kWorkshop, P::kAcm, {C::kMeasurement}},
+      {28, "Paul", "FSMonitor: scalable file system monitoring", 2019,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement}},
+      {29, "Paul", "I/O load balancing for big data HPC applications", 2017,
+       "Big Data", VT::kConference, P::kIeee, {C::kMeasurement, C::kEmerging}},
+      {30, "Luu", "A multiplatform study of I/O behavior on petascale supercomputers", 2015,
+       "HPDC", VT::kConference, P::kAcm, {C::kMeasurement, C::kModeling}},
+      {31, "Snyder", "Modular HPC I/O characterization with Darshan", 2016,
+       "ESPT", VT::kWorkshop, P::kIeee, {C::kMeasurement}},
+      {32, "Rodrigo", "Towards understanding HPC users and systems (NERSC)", 2017,
+       "JPDC", VT::kJournal, P::kElsevier, {C::kMeasurement}},
+      {33, "Khetawat", "Evaluating burst buffer placement in HPC systems", 2019,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement, C::kSimulation}},
+      {34, "Saif", "IOscope: flexible I/O tracer", 2018,
+       "ISC Workshops", VT::kWorkshop, P::kSpringer, {C::kMeasurement}},
+      {35, "He", "PIONEER: parallel I/O workload characterization and generation", 2015,
+       "CCGrid", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {36, "Sangaiah", "SynchroTrace: synchronization-aware traces", 2018,
+       "ACM TACO", VT::kJournal, P::kAcm, {C::kMeasurement, C::kSimulation}},
+      {37, "Azevedo", "Improving fairness in a large scale HTC system", 2019,
+       "Euro-Par", VT::kConference, P::kSpringer, {C::kModeling, C::kSimulation}},
+      {38, "Kunkel", "Tools for analyzing parallel I/O", 2018,
+       "ISC HPC", VT::kConference, P::kSpringer, {C::kMeasurement}},
+      {39, "Vazhkudai", "GUIDE: scalable information directory service", 2017,
+       "SC", VT::kConference, P::kAcm, {C::kMeasurement, C::kModeling}},
+      {40, "Yildiz", "Root causes of cross-application I/O interference", 2016,
+       "IPDPS", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {41, "Di", "LOGAIDER: mining potential correlations of HPC log events", 2017,
+       "CCGRID", VT::kConference, P::kIeee, {C::kMeasurement}},
+      {42, "Lockwood", "TOKIO on ClusterStor: holistic I/O performance analysis", 2018,
+       "CUG", VT::kConference, P::kOther, {C::kMeasurement}},
+      {43, "Park", "Big data meets HPC log analytics", 2017,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement, C::kEmerging}},
+      {44, "Lockwood", "UMAMI: meaningful metrics through holistic analysis", 2017,
+       "PDSW-DISCS", VT::kWorkshop, P::kAcm, {C::kMeasurement}},
+      {45, "Yang", "End-to-end I/O monitoring on a leading supercomputer", 2019,
+       "NSDI", VT::kConference, P::kUsenix, {C::kMeasurement}},
+      {46, "Wadhwa", "iez: resource contention aware load balancing", 2019,
+       "IPDPS", VT::kConference, P::kIeee, {C::kMeasurement}},
+      {47, "Lockwood", "A year in the life of a parallel file system", 2018,
+       "SC", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {48, "Luettgau", "Toward understanding I/O behavior in HPC workflows", 2018,
+       "PDSW-DISCS", VT::kWorkshop, P::kIeee, {C::kMeasurement, C::kEmerging}},
+      {49, "Wang", "IOMiner: large-scale analytics framework for I/O logs", 2018,
+       "CLUSTER", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {50, "Xie", "Predicting output performance of a petascale supercomputer", 2017,
+       "HPDC", VT::kConference, P::kAcm, {C::kModeling}},
+      {51, "Obaida", "Parallel application performance prediction (PyPassT)", 2018,
+       "SIGSIM-PADS", VT::kConference, P::kAcm, {C::kModeling, C::kSimulation}},
+      {52, "Gunasekaran", "Comparative I/O workload characterization of two clusters", 2015,
+       "PDSW", VT::kWorkshop, P::kAcm, {C::kMeasurement}},
+      {53, "Patel", "Revisiting I/O behavior in large-scale storage systems", 2019,
+       "SC", VT::kConference, P::kAcm, {C::kMeasurement, C::kModeling, C::kEmerging}},
+      {54, "Paul", "Understanding HPC application I/O behavior using system stats", 2020,
+       "HiPC", VT::kConference, P::kIeee, {C::kMeasurement, C::kModeling}},
+      {55, "Dorier", "Omnisc'IO: formal grammars to predict I/O behavior", 2016,
+       "IEEE TPDS", VT::kJournal, P::kIeee, {C::kModeling}},
+      {56, "Schmid", "Predicting I/O performance using artificial neural networks", 2016,
+       "Supercomput. Front. Innov.", VT::kJournal, P::kOther, {C::kModeling}},
+      {57, "Sun", "Automated performance modeling of HPC applications using ML", 2020,
+       "IEEE TC", VT::kJournal, P::kIeee, {C::kModeling}},
+      {58, "Chowdhury", "Emulating I/O behavior in scientific workflows", 2020,
+       "PDSW", VT::kWorkshop, P::kIeee, {C::kModeling, C::kSimulation, C::kEmerging}},
+      {61, "Liu", "Performance evaluation and modeling of HPC I/O on NVM", 2017,
+       "NAS", VT::kConference, P::kIeee, {C::kModeling, C::kSimulation}},
+      {66, "Xuan", "Accelerating big data analytics with two-level storage", 2017,
+       "Parallel Computing", VT::kJournal, P::kElsevier, {C::kEmerging}},
+      {71, "Chowdhury", "I/O characterization of BeeGFS for deep learning", 2019,
+       "ICPP", VT::kConference, P::kAcm, {C::kMeasurement, C::kEmerging}},
+      {72, "Daley", "Workflow characterization for optimal burst buffer use", 2020,
+       "FGCS", VT::kJournal, P::kElsevier, {C::kMeasurement, C::kEmerging}},
+      {73, "Ferreira da Silva", "Characterization of workflow management systems", 2017,
+       "FGCS", VT::kJournal, P::kElsevier, {C::kEmerging}},
+      {79, "Bae", "I/O performance evaluation of large-scale deep learning", 2019,
+       "HPCS", VT::kConference, P::kIeee, {C::kMeasurement, C::kEmerging}},
+  };
+  return articles;
+}
+
+namespace {
+
+template <typename Key, typename Label>
+std::vector<Share> to_shares(const std::map<Key, std::size_t>& counts, std::size_t total,
+                             Label label) {
+  std::vector<Share> shares;
+  for (const auto& [key, count] : counts) {
+    Share share;
+    share.label = label(key);
+    share.count = count;
+    share.percent = total == 0 ? 0.0
+                               : 100.0 * static_cast<double>(count) /
+                                     static_cast<double>(total);
+    shares.push_back(std::move(share));
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const Share& a, const Share& b) { return a.count > b.count; });
+  return shares;
+}
+
+}  // namespace
+
+Distribution compute_distribution(const std::vector<Article>& articles) {
+  Distribution dist;
+  dist.total = articles.size();
+  std::map<VenueType, std::size_t> types;
+  std::map<Publisher, std::size_t> publishers;
+  std::map<int, std::size_t> years;
+  std::map<Category, std::size_t> categories;
+  std::size_t category_total = 0;
+  for (const auto& a : articles) {
+    ++types[a.type];
+    ++publishers[a.publisher];
+    ++years[a.year];
+    for (const auto c : a.categories) {
+      ++categories[c];
+      ++category_total;
+    }
+  }
+  dist.by_type = to_shares(types, dist.total, [](VenueType t) { return to_string(t); });
+  dist.by_publisher =
+      to_shares(publishers, dist.total, [](Publisher p) { return to_string(p); });
+  dist.by_year = to_shares(years, dist.total, [](int y) { return std::to_string(y); });
+  dist.by_category =
+      to_shares(categories, category_total, [](Category c) { return to_string(c); });
+  return dist;
+}
+
+Distribution compute_distribution() { return compute_distribution(surveyed_articles()); }
+
+std::vector<Article> filter_by_category(Category category) {
+  std::vector<Article> out;
+  for (const auto& a : surveyed_articles()) {
+    if (std::find(a.categories.begin(), a.categories.end(), category) != a.categories.end()) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<Article> filter_by_year(int from, int to) {
+  std::vector<Article> out;
+  for (const auto& a : surveyed_articles()) {
+    if (a.year >= from && a.year <= to) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace pio::corpus

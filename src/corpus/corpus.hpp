@@ -1,0 +1,74 @@
+// PIOEval corpus: the surveyed-literature dataset behind §III and Fig. 3.
+//
+// The paper "identified 51 research articles to be included in this
+// overview" (2015-2020) and reports their percentage distribution by paper
+// type and publisher (Fig. 3). The published figure is an image without a
+// data table, so this module reconstructs the corpus from the paper's own
+// reference list: every 2015-2020 research article cited by the survey
+// sections, with venue metadata taken from the citations, trimmed to
+// exactly 51 entries by dropping journal/venue duplicates of the same work
+// (documented per entry). The aggregation API regenerates the Fig. 3
+// distribution from this data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pio::corpus {
+
+enum class VenueType : std::uint8_t { kJournal, kConference, kWorkshop };
+enum class Publisher : std::uint8_t { kIeee, kAcm, kSpringer, kUsenix, kElsevier, kOther };
+
+/// Taxonomy phases of Fig. 4 (plus the emerging-workload discussion of §V)
+/// an article contributes to.
+enum class Category : std::uint8_t {
+  kMeasurement,   ///< §IV.A workloads / monitoring / collection
+  kModeling,      ///< §IV.B statistics / prediction / replay / generation
+  kSimulation,    ///< §IV.C simulation types and techniques
+  kEmerging,      ///< §V emerging HPC workloads
+};
+
+[[nodiscard]] const char* to_string(VenueType type);
+[[nodiscard]] const char* to_string(Publisher publisher);
+[[nodiscard]] const char* to_string(Category category);
+
+struct Article {
+  int reference = 0;               ///< bracket number in the paper
+  std::string first_author;
+  std::string short_title;
+  int year = 0;
+  std::string venue;
+  VenueType type = VenueType::kConference;
+  Publisher publisher = Publisher::kIeee;
+  std::vector<Category> categories;
+};
+
+/// The reconstructed 51-article corpus (static data, validated by tests).
+[[nodiscard]] const std::vector<Article>& surveyed_articles();
+
+/// Aggregated shares for one attribute.
+struct Share {
+  std::string label;
+  std::size_t count = 0;
+  double percent = 0.0;
+};
+
+struct Distribution {
+  std::vector<Share> by_type;       ///< Fig. 3 left: paper types
+  std::vector<Share> by_publisher;  ///< Fig. 3 right: publishers
+  std::vector<Share> by_year;
+  std::vector<Share> by_category;   ///< taxonomy coverage (articles may count multiply)
+  std::size_t total = 0;
+};
+
+[[nodiscard]] Distribution compute_distribution(const std::vector<Article>& articles);
+[[nodiscard]] Distribution compute_distribution();  ///< over the full corpus
+
+/// Articles matching a category.
+[[nodiscard]] std::vector<Article> filter_by_category(Category category);
+/// Articles within [from, to] inclusive.
+[[nodiscard]] std::vector<Article> filter_by_year(int from, int to);
+
+}  // namespace pio::corpus

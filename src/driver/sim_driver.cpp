@@ -1,0 +1,222 @@
+#include "driver/sim_driver.hpp"
+
+#include <stdexcept>
+
+namespace pio::driver {
+
+namespace {
+
+trace::OpKind to_trace_op(workload::OpKind kind) {
+  using W = workload::OpKind;
+  using T = trace::OpKind;
+  switch (kind) {
+    case W::kCreate:
+    case W::kOpen: return T::kOpen;
+    case W::kClose: return T::kClose;
+    case W::kRead: return T::kRead;
+    case W::kWrite: return T::kWrite;
+    case W::kStat: return T::kStat;
+    case W::kMkdir: return T::kMkdir;
+    case W::kUnlink: return T::kUnlink;
+    case W::kReaddir: return T::kReaddir;
+    case W::kFsync: return T::kFsync;
+    case W::kCompute: return T::kOther;
+    case W::kBarrier: return T::kSync;
+  }
+  return T::kOther;
+}
+
+}  // namespace
+
+ExecutionDrivenSimulator::ExecutionDrivenSimulator(sim::Engine& engine, pfs::PfsModel& model,
+                                                   SimRunConfig config)
+    : engine_(engine), model_(model), config_(config) {}
+
+pfs::ClientId ExecutionDrivenSimulator::client_of(std::int32_t rank) const {
+  return static_cast<pfs::ClientId>(rank) % model_.config().clients;
+}
+
+const pfs::StripeLayout& ExecutionDrivenSimulator::layout_of(const std::string& path) const {
+  const auto it = layouts_.find(path);
+  return it == layouts_.end() ? config_.layout : it->second;
+}
+
+SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
+                                           trace::Sink* sink) {
+  sink_ = sink;
+  result_ = SimRunResult{};
+  layouts_.clear();
+  barrier_waiting_ = 0;
+  const auto n = static_cast<std::size_t>(workload.ranks());
+  if (n == 0) throw std::invalid_argument("ExecutionDrivenSimulator: zero-rank workload");
+  ranks_.clear();
+  ranks_.resize(n);
+  result_.rank_finish.assign(n, SimTime::zero());
+  active_ranks_ = n;
+  const SimTime start_time = engine_.now();
+  for (std::size_t r = 0; r < n; ++r) {
+    ranks_[r].stream = workload.stream(static_cast<std::int32_t>(r));
+    // Stagger nothing: all ranks start together, like an MPI job after
+    // MPI_Init.
+    engine_.schedule_after(SimTime::zero(),
+                           [this, r] { advance(static_cast<std::int32_t>(r)); });
+  }
+  engine_.run(start_time + config_.time_limit);
+  if (active_ranks_ != 0) {
+    throw std::runtime_error(
+        "ExecutionDrivenSimulator: run stalled (mismatched barriers or time limit); "
+        "active ranks: " + std::to_string(active_ranks_));
+  }
+  SimTime last = start_time;
+  for (std::size_t r = 0; r < n; ++r) last = std::max(last, ranks_[r].finish);
+  result_.makespan = last - start_time;
+  for (std::size_t r = 0; r < n; ++r) {
+    result_.rank_finish[r] = ranks_[r].finish - start_time;
+  }
+  return result_;
+}
+
+void ExecutionDrivenSimulator::advance(std::int32_t rank) {
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  auto op = state.stream->next();
+  if (!op) {
+    state.done = true;
+    state.finish = engine_.now();
+    --active_ranks_;
+    // A shrinking-communicator barrier: ranks that exited no longer
+    // participate, so symmetric workloads with early-exiting ranks cannot
+    // deadlock the rest.
+    if (barrier_waiting_ > 0 && barrier_waiting_ == active_ranks_) release_barrier();
+    return;
+  }
+  issue(rank, std::move(*op));
+}
+
+void ExecutionDrivenSimulator::issue(std::int32_t rank, workload::Op op) {
+  using K = workload::OpKind;
+  const SimTime start = engine_.now();
+  const pfs::ClientId client = client_of(rank);
+  switch (op.kind) {
+    case K::kCompute: {
+      engine_.schedule_after(op.think_time, [this, rank, op, start] {
+        complete_op(rank, op, start, true);
+      });
+      return;
+    }
+    case K::kBarrier: {
+      ++barrier_waiting_;
+      auto& state = ranks_[static_cast<std::size_t>(rank)];
+      state.at_barrier = true;
+      state.barrier_arrival = start;
+      if (barrier_waiting_ == active_ranks_) release_barrier();
+      return;
+    }
+    case K::kRead:
+    case K::kWrite: {
+      const bool is_write = op.kind == K::kWrite;
+      model_.io(client, op.path, layout_of(op.path), op.offset, op.size, is_write,
+                [this, rank, op, start](pfs::IoResult result) {
+                  complete_op(rank, op, start, result.ok);
+                });
+      return;
+    }
+    case K::kCreate:
+    case K::kOpen:
+    case K::kStat:
+    case K::kMkdir:
+    case K::kUnlink:
+    case K::kReaddir:
+    case K::kClose:
+    case K::kFsync: {
+      pfs::MetaOp meta_op;
+      switch (op.kind) {
+        case K::kCreate: meta_op = pfs::MetaOp::kCreate; break;
+        case K::kOpen: meta_op = pfs::MetaOp::kOpen; break;
+        case K::kStat: meta_op = pfs::MetaOp::kStat; break;
+        case K::kMkdir: meta_op = pfs::MetaOp::kMkdir; break;
+        case K::kUnlink: meta_op = pfs::MetaOp::kUnlink; break;
+        case K::kReaddir: meta_op = pfs::MetaOp::kReaddir; break;
+        // fsync has no MDS meaning in this model; charge it as a close-cost
+        // round trip (the commit RPC).
+        case K::kFsync:
+        case K::kClose: meta_op = pfs::MetaOp::kClose; break;
+        default: meta_op = pfs::MetaOp::kStat; break;
+      }
+      const std::optional<pfs::StripeLayout> layout =
+          op.kind == K::kCreate ? std::optional<pfs::StripeLayout>(config_.layout)
+                                : std::nullopt;
+      model_.meta(client, meta_op, op.path,
+                  [this, rank, op, start](pfs::MetaResult result) {
+                    // Re-creating an existing file behaves like O_CREAT
+                    // without O_EXCL, and mkdir like mkdir -p: success.
+                    // (The measured path applies the same tolerance.)
+                    const bool ok =
+                        result.ok() ||
+                        ((op.kind == K::kCreate || op.kind == K::kMkdir) &&
+                         result.status == pfs::MetaStatus::kExists);
+                    if (result.inode.has_value()) {
+                      layouts_[op.path] = result.inode->layout;
+                    }
+                    complete_op(rank, op, start, ok);
+                  },
+                  layout);
+      return;
+    }
+  }
+}
+
+void ExecutionDrivenSimulator::complete_op(std::int32_t rank, const workload::Op& op,
+                                           SimTime start, bool ok) {
+  const SimTime end = engine_.now();
+  ++result_.ops;
+  if (!ok) ++result_.failed_ops;
+  using K = workload::OpKind;
+  switch (op.kind) {
+    case K::kRead:
+      ++result_.data_ops;
+      result_.bytes_read += op.size;
+      result_.read_time += end - start;
+      break;
+    case K::kWrite:
+      ++result_.data_ops;
+      result_.bytes_written += op.size;
+      result_.write_time += end - start;
+      break;
+    case K::kCompute:
+    case K::kBarrier:
+      break;
+    default:
+      ++result_.meta_ops;
+      result_.meta_time += end - start;
+      break;
+  }
+  if (sink_ != nullptr && op.kind != K::kCompute) {
+    trace::TraceEvent e;
+    e.layer = trace::Layer::kPosix;
+    e.op = to_trace_op(op.kind);
+    e.rank = rank;
+    e.path = op.path;
+    e.offset = op.offset;
+    e.size = op.size.count();
+    e.start = start;
+    e.end = end;
+    e.ok = ok;
+    sink_->record(e);
+  }
+  advance(rank);
+}
+
+void ExecutionDrivenSimulator::release_barrier() {
+  barrier_waiting_ = 0;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (!ranks_[r].at_barrier) continue;
+    ranks_[r].at_barrier = false;
+    const SimTime arrival = ranks_[r].barrier_arrival;
+    const workload::Op barrier = workload::Op::barrier();
+    engine_.schedule_after(SimTime::zero(), [this, r, barrier, arrival] {
+      complete_op(static_cast<std::int32_t>(r), barrier, arrival, true);
+    });
+  }
+}
+
+}  // namespace pio::driver

@@ -1,0 +1,104 @@
+#include "eval/campaign.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/format.hpp"
+#include "replay/trace_workload.hpp"
+#include "trace/tracer.hpp"
+
+namespace pio::eval {
+
+double CampaignIteration::mean_abs_pct_error() const {
+  if (points.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& p : points) acc += p.abs_pct_error();
+  return acc / static_cast<double>(points.size());
+}
+
+bool CampaignResult::converged() const {
+  if (iterations.size() < 2) return true;
+  return iterations.back().mean_abs_pct_error() <= iterations.front().mean_abs_pct_error();
+}
+
+std::string CampaignResult::to_string() const {
+  std::ostringstream out;
+  out << "# evaluation campaign (Fig. 4 closed loop)\n";
+  TextTable table{{"iteration", "calibration", "mean |error|"}};
+  for (const auto& it : iterations) {
+    table.add_row({std::to_string(it.index), format_double(it.calibration_in_use, 4),
+                   format_percent(it.mean_abs_pct_error())});
+  }
+  out << table.to_string();
+  out << "final calibration factor: " << format_double(final_calibration, 4) << "\n";
+  return out.str();
+}
+
+driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
+                                      const workload::Workload& workload, std::uint64_t seed,
+                                      trace::Sink* sink) const {
+  sim::Engine engine{seed};
+  pfs::PfsModel model{engine, system};
+  driver::ExecutionDrivenSimulator sim{engine, model};
+  return sim.run(workload, sink);
+}
+
+CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep) {
+  if (sweep.empty()) throw std::invalid_argument("Campaign::run: empty sweep");
+  CampaignResult result;
+  double calibration = 1.0;
+
+  trace::Profiler final_profiler;
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    CampaignIteration iteration;
+    iteration.index = iter;
+    iteration.calibration_in_use = calibration;
+    double ratio_sum = 0.0;
+    std::size_t ratio_n = 0;
+    for (const auto* workload : sweep) {
+      // Phase 1: measure on the testbed. The trace is the collected
+      // statistic; the profiler only needs the final iteration's pass.
+      trace::Tracer tracer;
+      trace::MultiSink sinks;
+      sinks.add(tracer);
+      trace::Profiler* profiler =
+          iter + 1 == config_.iterations ? &final_profiler : nullptr;
+      if (profiler != nullptr) sinks.add(*profiler);
+      const auto measured =
+          run_on(config_.testbed, *workload, config_.seed + iter, &sinks);
+
+      // Phase 2: model — replay-based workload from the measured trace.
+      replay::TraceReplayConfig replay_config;
+      const auto replayable = replay::workload_from_trace(tracer.take(), replay_config);
+
+      // Phase 3: simulate the replay on the model system.
+      const auto simulated =
+          run_on(config_.model, *replayable, config_.seed + 1000 + iter, nullptr);
+
+      CampaignPoint point;
+      point.workload = workload->name();
+      point.measured = measured.makespan;
+      point.simulated_raw = simulated.makespan;
+      point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
+          static_cast<double>(simulated.makespan.ns()) * calibration));
+      iteration.points.push_back(point);
+      if (simulated.makespan > SimTime::zero()) {
+        ratio_sum += measured.makespan.sec() / simulated.makespan.sec();
+        ++ratio_n;
+      }
+    }
+    result.iterations.push_back(std::move(iteration));
+
+    // Feedback: move the calibration toward the observed mean ratio.
+    if (ratio_n > 0) {
+      const double observed = ratio_sum / static_cast<double>(ratio_n);
+      calibration += config_.calibration_gain * (observed - calibration);
+    }
+  }
+  result.final_calibration = calibration;
+  result.profile = final_profiler.snapshot();
+  return result;
+}
+
+}  // namespace pio::eval

@@ -1,0 +1,94 @@
+// PIOEval eval: the iterative evaluation loop of Fig. 4.
+//
+// "Traditionally, the process of understanding I/O behavior and performance
+// for given applications or storage systems is performed iteratively and
+// empirically in a closed loop fashion. The I/O evaluation cycle consists
+// of three main phases: (1) Measurements and Statistics Collection, (2)
+// Modeling and Prediction, and (3) Simulation" — with dashed feedback
+// arrows between them.
+//
+// The Campaign operationalizes one full loop:
+//   measure   — run every workload of the sweep on the *testbed* system
+//               (a reference PFS configuration standing in for the real
+//               machine), recording traces and profiles;
+//   model     — convert each trace into a replayable workload (replay-based
+//               modeling, §IV.B.3) and maintain a calibration factor for
+//               the simulator;
+//   simulate  — replay on the *model* system (a possibly mis-calibrated
+//               PFS configuration) and predict the testbed makespan;
+//   feedback  — compare prediction vs measurement, update the calibration,
+//               and iterate. Prediction error must shrink across
+//               iterations (experiment Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/sim_driver.hpp"
+#include "pfs/pfs.hpp"
+#include "trace/profiler.hpp"
+#include "workload/op.hpp"
+
+namespace pio::eval {
+
+struct CampaignConfig {
+  /// The reference system ("the machine we can measure").
+  pfs::PfsConfig testbed{};
+  /// The simulation model of it — typically coarser or mis-calibrated;
+  /// the loop's job is to drive its predictions toward the measurements.
+  pfs::PfsConfig model{};
+  std::uint32_t iterations = 4;
+  std::uint64_t seed = 1;
+  /// Calibration learning rate in (0, 1]: 1 jumps straight to the observed
+  /// ratio, smaller values smooth over noisy sweeps.
+  double calibration_gain = 0.7;
+};
+
+/// One sweep point in one iteration.
+struct CampaignPoint {
+  std::string workload;
+  SimTime measured = SimTime::zero();
+  SimTime simulated_raw = SimTime::zero();   ///< model output before calibration
+  SimTime predicted = SimTime::zero();       ///< calibrated prediction
+  [[nodiscard]] double abs_pct_error() const {
+    if (measured <= SimTime::zero()) return 0.0;
+    return std::abs(predicted.sec() - measured.sec()) / measured.sec();
+  }
+};
+
+struct CampaignIteration {
+  std::uint32_t index = 0;
+  double calibration_in_use = 1.0;
+  std::vector<CampaignPoint> points;
+  [[nodiscard]] double mean_abs_pct_error() const;
+};
+
+struct CampaignResult {
+  std::vector<CampaignIteration> iterations;
+  double final_calibration = 1.0;
+  /// Darshan-like profile of the final measurement pass.
+  trace::Profile profile;
+  [[nodiscard]] std::string to_string() const;
+  /// True when the error sequence is non-increasing from first to last.
+  [[nodiscard]] bool converged() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Run the full closed loop over a sweep of workloads. The workloads are
+  /// borrowed and must be re-streamable (every Workload in this library is).
+  CampaignResult run(const std::vector<const workload::Workload*>& sweep);
+
+ private:
+  /// One execution-driven run on a fresh engine + PFS instance.
+  driver::SimRunResult run_on(const pfs::PfsConfig& system, const workload::Workload& workload,
+                              std::uint64_t seed, trace::Sink* sink) const;
+
+  CampaignConfig config_;
+};
+
+}  // namespace pio::eval

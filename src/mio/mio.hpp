@@ -1,0 +1,136 @@
+// PIOEval MPI-IO-lite: the I/O middleware layer of the Fig. 2 stack.
+//
+// Implements the two optimizations that define ROMIO-class middleware and
+// whose effect on the POSIX-level access pattern experiment C8 reproduces:
+//
+//  - Two-phase collective buffering: ranks exchange their (many, small,
+//    strided) extents; a subset of ranks ("aggregators") each own a
+//    contiguous file domain, assemble incoming pieces, and issue few large
+//    contiguous POSIX operations.
+//  - Data sieving: a strided independent read whose holes are small is
+//    served by one large contiguous read plus in-memory extraction.
+//
+// Every user-facing call emits a Layer::kMpiIo trace event; the POSIX calls
+// underneath are whatever the supplied Backend emits (wrap it in a
+// TracingBackend for multi-level traces).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "par/comm.hpp"
+#include "trace/event.hpp"
+#include "vfs/backend.hpp"
+
+namespace pio::mio {
+
+/// ROMIO-style hints.
+struct Hints {
+  /// Number of aggregator ranks for collective buffering (clamped to comm
+  /// size). 0 disables collective buffering: write_at_all degrades to
+  /// independent writes.
+  std::uint32_t cb_nodes = 2;
+  /// Max bytes an aggregator assembles per collective round.
+  Bytes cb_buffer_size = Bytes::from_mib(16);
+  /// Data sieving: maximum hole fraction for which a strided read is
+  /// served by one big read (0 disables sieving).
+  double ds_max_hole_fraction = 0.5;
+};
+
+/// One piece of a strided request in file coordinates.
+struct Extent {
+  std::uint64_t offset = 0;
+  Bytes length = Bytes::zero();
+};
+
+/// A rank's handle on a (possibly shared) file. All collective methods must
+/// be called by every rank of the communicator, in the same order.
+class File {
+ public:
+  /// Collective open/create. Rank 0 creates the file (when `create`);
+  /// everyone else opens after a barrier.
+  static Result<std::unique_ptr<File>> open_all(par::Comm& comm, vfs::Backend& backend,
+                                                const std::string& path, bool create,
+                                                const Hints& hints = {},
+                                                trace::Sink* sink = nullptr,
+                                                const trace::Clock* clock = nullptr);
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // -- independent I/O -----------------------------------------------------
+
+  [[nodiscard]] Result<std::size_t> read_at(std::uint64_t offset, std::span<std::byte> out);
+  [[nodiscard]] Result<std::size_t> write_at(std::uint64_t offset,
+                                             std::span<const std::byte> data);
+
+  /// Strided independent read with optional data sieving. `extents` must be
+  /// sorted by offset and non-overlapping; `out` receives the pieces
+  /// back-to-back and must be exactly as large as their sum.
+  [[nodiscard]] Result<std::size_t> read_strided(std::span<const Extent> extents,
+                                                 std::span<std::byte> out);
+
+  // -- collective I/O ------------------------------------------------------
+
+  /// Two-phase collective write: this rank contributes `extents` with their
+  /// payloads packed back-to-back in `data`. Returns bytes this rank
+  /// contributed. Collective: every rank must call (possibly with no
+  /// extents).
+  [[nodiscard]] Result<std::size_t> write_at_all(std::span<const Extent> extents,
+                                                 std::span<const std::byte> data);
+
+  /// Two-phase collective read: mirror image of write_at_all.
+  [[nodiscard]] Result<std::size_t> read_at_all(std::span<const Extent> extents,
+                                                std::span<std::byte> out);
+
+  /// Collective close (fsync on rank 0, then everyone closes).
+  vfs::FsStatus close_all();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const Hints& hints() const { return hints_; }
+
+  /// Independent POSIX ops this file issued through its backend — the
+  /// counters C8 compares across modes.
+  struct PosixCounters {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    Bytes bytes_read = Bytes::zero();
+    Bytes bytes_written = Bytes::zero();
+  };
+  [[nodiscard]] const PosixCounters& posix_counters() const { return counters_; }
+
+ private:
+  File(par::Comm& comm, vfs::Backend& backend, std::string path, vfs::Fd fd, Hints hints,
+       trace::Sink* sink, const trace::Clock* clock);
+
+  void emit(trace::OpKind op, std::uint64_t offset, std::uint64_t size, SimTime start, bool ok);
+  [[nodiscard]] SimTime now() const;
+
+  /// Aggregator domain split for a global byte range.
+  struct Domain {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  // exclusive
+  };
+  [[nodiscard]] std::vector<Domain> split_domains(std::uint64_t lo, std::uint64_t hi,
+                                                  std::uint32_t aggregators) const;
+
+  par::Comm& comm_;
+  vfs::Backend& backend_;
+  std::string path_;
+  vfs::Fd fd_;
+  Hints hints_;
+  trace::Sink* sink_;
+  const trace::Clock* clock_;
+  PosixCounters counters_;
+};
+
+/// Total bytes across extents.
+[[nodiscard]] Bytes total_length(std::span<const Extent> extents);
+
+}  // namespace pio::mio

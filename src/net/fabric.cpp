@@ -1,0 +1,46 @@
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+
+namespace pio::net {
+
+Fabric::Fabric(sim::Engine& engine, const FabricConfig& config, std::uint32_t endpoints)
+    : engine_(engine), config_(config) {
+  if (endpoints == 0) throw std::invalid_argument("Fabric: zero endpoints");
+  if (config.core_links <= 0.0) throw std::invalid_argument("Fabric: core_links must be > 0");
+  inject_.reserve(endpoints);
+  eject_.reserve(endpoints);
+  for (std::uint32_t e = 0; e < endpoints; ++e) {
+    inject_.push_back(std::make_unique<sim::FairShareChannel>(
+        engine_, config.endpoint_bandwidth, config.endpoint_latency,
+        config.name + ".inject." + std::to_string(e)));
+    eject_.push_back(std::make_unique<sim::FairShareChannel>(
+        engine_, config.endpoint_bandwidth, config.endpoint_latency,
+        config.name + ".eject." + std::to_string(e)));
+  }
+  core_ = std::make_unique<sim::FairShareChannel>(
+      engine_, config.endpoint_bandwidth * config.core_links, config.core_latency,
+      config.name + ".core");
+}
+
+void Fabric::send(EndpointId src, EndpointId dst, Bytes size,
+                  std::function<void()> on_delivered) {
+  if (src >= inject_.size() || dst >= eject_.size()) {
+    throw std::out_of_range("Fabric::send: endpoint out of range");
+  }
+  ++stats_.messages;
+  stats_.bytes += size;
+  // Store-and-forward through the three stages. Each stage is itself a
+  // fair-shared fluid channel, so concurrent senders contend realistically.
+  inject_[src]->transfer(size, [this, dst, size, done = std::move(on_delivered)]() mutable {
+    core_->transfer(size, [this, dst, size, done = std::move(done)]() mutable {
+      eject_[dst]->transfer(size, std::move(done));
+    });
+  });
+}
+
+SimTime Fabric::base_latency() const {
+  return config_.endpoint_latency * 2 + config_.core_latency;
+}
+
+}  // namespace pio::net

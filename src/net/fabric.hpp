@@ -1,0 +1,74 @@
+// PIOEval network substrate: a CODES-lite fabric model.
+//
+// Fig. 1 of the paper has two fabrics: a fast compute interconnect
+// (InfiniBand-class) between clients and I/O nodes, and a slower storage
+// fabric (10GbE-class) between I/O nodes and the storage cluster. Both are
+// instances of this three-stage fluid model: per-endpoint injection link →
+// shared (possibly oversubscribed) core → per-endpoint ejection link. The
+// model reproduces the first-order phenomena the evaluation tools must see:
+// endpoint serialization, core saturation, and latency floors for small ops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace pio::net {
+
+using EndpointId = std::uint32_t;
+
+/// Static description of one fabric.
+struct FabricConfig {
+  Bandwidth endpoint_bandwidth = Bandwidth::from_gib_per_sec(10.0);  ///< NIC rate
+  SimTime endpoint_latency = SimTime::from_us(1.0);                  ///< per-hop
+  /// Core capacity as a multiple of one endpoint link. A fully provisioned
+  /// fat-tree has core_oversubscription == number of endpoints; smaller
+  /// values model tapered/oversubscribed networks.
+  double core_links = 8.0;
+  SimTime core_latency = SimTime::from_us(1.0);
+  std::string name = "fabric";
+};
+
+/// Per-fabric aggregate counters (one of the "client-side hardware
+/// statistics" sources in §IV.A.2).
+struct FabricStats {
+  std::uint64_t messages = 0;
+  Bytes bytes = Bytes::zero();
+};
+
+/// Three-stage fluid fabric between `endpoints` numbered [0, n).
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, const FabricConfig& config, std::uint32_t endpoints);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Deliver `size` bytes from `src` to `dst`; `on_delivered` fires when the
+  /// last byte leaves the destination's ejection link. Zero-size messages
+  /// model latency-only RPCs.
+  void send(EndpointId src, EndpointId dst, Bytes size, std::function<void()> on_delivered);
+
+  [[nodiscard]] std::uint32_t endpoints() const { return static_cast<std::uint32_t>(inject_.size()); }
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+  /// One-way zero-load latency (three hops); used by models for cost floors.
+  [[nodiscard]] SimTime base_latency() const;
+
+ private:
+  sim::Engine& engine_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<sim::FairShareChannel>> inject_;
+  std::vector<std::unique_ptr<sim::FairShareChannel>> eject_;
+  std::unique_ptr<sim::FairShareChannel> core_;
+  FabricStats stats_;
+};
+
+}  // namespace pio::net

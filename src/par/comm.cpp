@@ -1,0 +1,215 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace pio::par {
+
+int Comm::size() const { return runtime_.size(); }
+
+void Comm::send(Rank dst, Tag tag, Buffer data) {
+  if (tag < 0) throw std::invalid_argument("Comm::send: user tags must be >= 0");
+  runtime_.post(dst, rank_, tag, std::move(data));
+}
+
+Buffer Comm::recv(Rank src, Tag tag) {
+  if (tag < 0) throw std::invalid_argument("Comm::recv: user tags must be >= 0");
+  return runtime_.take(rank_, src, tag);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(n) rounds of pairwise token exchange.
+  const int n = size();
+  for (int round = 1; round < n; round <<= 1) {
+    const Rank peer_to = static_cast<Rank>((rank_ + round) % n);
+    const Rank peer_from = static_cast<Rank>((rank_ - round % n + n) % n);
+    runtime_.post(peer_to, rank_, detail::kBarrierTag, Buffer{});
+    (void)runtime_.take(rank_, peer_from, detail::kBarrierTag);
+  }
+}
+
+Buffer Comm::bcast(Rank root, Buffer data) {
+  // Binomial tree rooted at `root` (ranks renumbered relative to root).
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) mask <<= 1;
+  // Receive from parent (unless root).
+  if (vrank != 0) {
+    // Parent: clear the lowest set bit of vrank.
+    const int parent_v = vrank & (vrank - 1);
+    const Rank parent = static_cast<Rank>((parent_v + root) % n);
+    data = runtime_.take(rank_, parent, detail::kBcastTag);
+  }
+  // Send to children: vrank | bit for bits above the lowest set bit.
+  const int lowest = vrank == 0 ? mask : (vrank & -vrank);
+  for (int bit = lowest >> 1; bit >= 1; bit >>= 1) {
+    const int child_v = vrank | bit;
+    if (child_v < n && child_v != vrank) {
+      const Rank child = static_cast<Rank>((child_v + root) % n);
+      runtime_.post(child, rank_, detail::kBcastTag, data);
+    }
+  }
+  return data;
+}
+
+double Comm::reduce(Rank root, double value, ReduceOp op) {
+  // Linear gather at root; n is small in this runtime (tests use <= 64).
+  const int n = size();
+  if (rank_ != root) {
+    runtime_.post(root, rank_, detail::kReduceTag, encode(value));
+    return 0.0;
+  }
+  double acc = value;
+  for (Rank r = 0; r < n; ++r) {
+    if (r == root) continue;
+    const double v = decode<double>(runtime_.take(rank_, r, detail::kReduceTag));
+    switch (op) {
+      case ReduceOp::kSum: acc += v; break;
+      case ReduceOp::kMin: acc = std::min(acc, v); break;
+      case ReduceOp::kMax: acc = std::max(acc, v); break;
+    }
+  }
+  return acc;
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  const double reduced = reduce(0, value, op);
+  const Buffer out = bcast(0, rank_ == 0 ? encode(reduced) : Buffer{});
+  return decode<double>(out);
+}
+
+std::vector<Buffer> Comm::gather(Rank root, Buffer data) {
+  const int n = size();
+  if (rank_ != root) {
+    runtime_.post(root, rank_, detail::kGatherTag, std::move(data));
+    return {};
+  }
+  std::vector<Buffer> all(static_cast<std::size_t>(n));
+  all[static_cast<std::size_t>(root)] = std::move(data);
+  for (Rank r = 0; r < n; ++r) {
+    if (r == root) continue;
+    all[static_cast<std::size_t>(r)] = runtime_.take(rank_, r, detail::kGatherTag);
+  }
+  return all;
+}
+
+Buffer Comm::scatter(Rank root, std::vector<Buffer> data) {
+  const int n = size();
+  if (rank_ == root) {
+    if (data.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("Comm::scatter: root must provide size() buffers");
+    }
+    for (Rank r = 0; r < n; ++r) {
+      if (r == root) continue;
+      runtime_.post(r, rank_, detail::kScatterTag, std::move(data[static_cast<std::size_t>(r)]));
+    }
+    return std::move(data[static_cast<std::size_t>(root)]);
+  }
+  return runtime_.take(rank_, root, detail::kScatterTag);
+}
+
+std::vector<Buffer> Comm::alltoall(std::vector<Buffer> out) {
+  const int n = size();
+  if (out.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("Comm::alltoall: must provide size() buffers");
+  }
+  std::vector<Buffer> in(static_cast<std::size_t>(n));
+  in[static_cast<std::size_t>(rank_)] = std::move(out[static_cast<std::size_t>(rank_)]);
+  // Post everything first (sends never block), then collect.
+  for (Rank r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    runtime_.post(r, rank_, detail::kAlltoallTag, std::move(out[static_cast<std::size_t>(r)]));
+  }
+  for (Rank r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    in[static_cast<std::size_t>(r)] = runtime_.take(rank_, r, detail::kAlltoallTag);
+  }
+  return in;
+}
+
+Runtime::Runtime(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("Runtime: size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Runtime::run(const std::function<void(Comm&)>& body) {
+  if (!body) throw std::invalid_argument("Runtime::run: empty body");
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (Rank r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      Comm comm{*this, r};
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Any rank failure aborts the whole job so peers blocked in recv
+        // don't deadlock (MPI-abort semantics).
+        abort_job();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Clear mailboxes between runs so a failed run cannot poison the next.
+  for (auto& mb : mailboxes_) {
+    const std::scoped_lock lock(mb->mutex);
+    mb->slots.clear();
+  }
+  aborted_.store(false);
+  for (const auto& err : errors) {
+    // Report the first *root-cause* failure, not a secondary JobAborted.
+    if (!err) continue;
+    try {
+      std::rethrow_exception(err);
+    } catch (const JobAborted&) {
+      continue;
+    } catch (...) {
+      throw;
+    }
+  }
+}
+
+void Runtime::post(Rank dst, Rank src, Tag tag, Buffer data) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("Runtime::post: bad destination");
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    const std::scoped_lock lock(mb.mutex);
+    mb.slots[{src, tag}].push_back(std::move(data));
+  }
+  mb.cv.notify_all();
+}
+
+void Runtime::abort_job() {
+  aborted_.store(true);
+  for (auto& mb : mailboxes_) {
+    const std::scoped_lock lock(mb->mutex);
+    mb->cv.notify_all();
+  }
+}
+
+Buffer Runtime::take(Rank dst, Rank src, Tag tag) {
+  if (src < 0 || src >= size_) throw std::out_of_range("Runtime::take: bad source");
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(mb.mutex);
+  const auto key = std::make_pair(src, tag);
+  mb.cv.wait(lock, [&] {
+    if (aborted_.load()) return true;
+    const auto it = mb.slots.find(key);
+    return it != mb.slots.end() && !it->second.empty();
+  });
+  if (aborted_.load()) {
+    // Drain-then-abort is unnecessary: the job result is already a failure.
+    throw JobAborted{};
+  }
+  const auto it = mb.slots.find(key);
+  Buffer data = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) mb.slots.erase(it);
+  return data;
+}
+
+}  // namespace pio::par

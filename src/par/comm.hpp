@@ -1,0 +1,173 @@
+// PIOEval parallel substrate: a minimal MPI-shaped runtime.
+//
+// Ranks are std::threads sharing a mailbox array; the API is the subset of
+// MPI the measurement-path benchmarks need: matched point-to-point
+// send/recv, barrier, and the collectives (bcast/reduce/allreduce/gather/
+// scatter/alltoall). All parallelism is message passing — ranks share no
+// mutable state (Core Guidelines CP.2/CP.3: avoid data races, minimize
+// explicit sharing).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pio::par {
+
+using Rank = int;
+using Tag = int;
+
+/// Raw message payload.
+using Buffer = std::vector<std::byte>;
+
+/// Encode a trivially copyable value into a Buffer.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+Buffer encode(const T& value) {
+  Buffer buf(sizeof(T));
+  std::memcpy(buf.data(), &value, sizeof(T));
+  return buf;
+}
+
+/// Encode a contiguous range of trivially copyable values.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+Buffer encode_range(std::span<const T> values) {
+  Buffer buf(values.size_bytes());
+  if (!values.empty()) std::memcpy(buf.data(), values.data(), values.size_bytes());
+  return buf;
+}
+
+/// Decode a trivially copyable value; throws on size mismatch.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T decode(const Buffer& buf) {
+  if (buf.size() != sizeof(T)) throw std::invalid_argument("par::decode: size mismatch");
+  T value;
+  std::memcpy(&value, buf.data(), sizeof(T));
+  return value;
+}
+
+/// Decode a whole buffer as a vector<T>; throws if not a multiple of T.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> decode_range(const Buffer& buf) {
+  if (buf.size() % sizeof(T) != 0) throw std::invalid_argument("par::decode_range: size mismatch");
+  std::vector<T> values(buf.size() / sizeof(T));
+  if (!values.empty()) std::memcpy(values.data(), buf.data(), buf.size());
+  return values;
+}
+
+/// Binary reduction over doubles.
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+class Runtime;
+
+/// Per-rank communicator handle. Each rank thread owns exactly one Comm;
+/// Comm methods may be called only from that thread.
+class Comm {
+ public:
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Blocking matched send/recv. Sends never block (unbounded mailboxes);
+  /// recv blocks until a message with the exact (src, tag) arrives.
+  void send(Rank dst, Tag tag, Buffer data);
+  [[nodiscard]] Buffer recv(Rank src, Tag tag);
+
+  /// Typed conveniences.
+  template <typename T>
+  void send_value(Rank dst, Tag tag, const T& value) {
+    send(dst, tag, encode(value));
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(Rank src, Tag tag) {
+    return decode<T>(recv(src, tag));
+  }
+
+  /// Collectives (all ranks must call, in the same order).
+  void barrier();
+  [[nodiscard]] Buffer bcast(Rank root, Buffer data);
+  [[nodiscard]] double reduce(Rank root, double value, ReduceOp op);
+  [[nodiscard]] double allreduce(double value, ReduceOp op);
+  /// Root receives size() buffers in rank order; others get {}.
+  [[nodiscard]] std::vector<Buffer> gather(Rank root, Buffer data);
+  /// Root provides size() buffers; each rank gets its slot.
+  [[nodiscard]] Buffer scatter(Rank root, std::vector<Buffer> data);
+  /// Pairwise exchange: `out[i]` goes to rank i; returns what each rank sent
+  /// to this one, in rank order.
+  [[nodiscard]] std::vector<Buffer> alltoall(std::vector<Buffer> out);
+
+ private:
+  friend class Runtime;
+  Comm(Runtime& runtime, Rank rank) : runtime_(runtime), rank_(rank) {}
+
+  Runtime& runtime_;
+  Rank rank_;
+};
+
+/// Owns the rank threads and mailboxes. `run` is synchronous: it spawns
+/// size() threads, executes `body` on each with its Comm, and joins. Any
+/// exception escaping a rank is rethrown on the caller's thread (first rank
+/// order wins).
+class Runtime {
+ public:
+  explicit Runtime(int size);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  void run(const std::function<void(Comm&)>& body);
+
+  [[nodiscard]] int size() const { return size_; }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // (src, tag) -> FIFO of payloads. Exact matching keeps semantics simple
+    // and deterministic.
+    std::map<std::pair<Rank, Tag>, std::deque<Buffer>> slots;
+  };
+
+  void post(Rank dst, Rank src, Tag tag, Buffer data);
+  [[nodiscard]] Buffer take(Rank dst, Rank src, Tag tag);
+  /// Wake every blocked receiver; their takes throw JobAborted. Called when
+  /// any rank exits by exception so the whole job terminates (like an MPI
+  /// abort) instead of deadlocking.
+  void abort_job();
+
+  int size_;
+  std::atomic<bool> aborted_{false};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+/// Thrown out of blocking operations when another rank failed.
+class JobAborted : public std::runtime_error {
+ public:
+  JobAborted() : std::runtime_error("par: job aborted because another rank failed") {}
+};
+
+/// Internal tags used by the collectives; user tags must be >= 0.
+namespace detail {
+inline constexpr Tag kBarrierTag = -1;
+inline constexpr Tag kBcastTag = -2;
+inline constexpr Tag kReduceTag = -3;
+inline constexpr Tag kGatherTag = -4;
+inline constexpr Tag kScatterTag = -5;
+inline constexpr Tag kAlltoallTag = -6;
+}  // namespace detail
+
+}  // namespace pio::par

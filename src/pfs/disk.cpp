@@ -1,0 +1,48 @@
+#include "pfs/disk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pio::pfs {
+
+HddModel::HddModel(const HddConfig& config, Rng rng) : config_(config), rng_(rng) {}
+
+SimTime HddModel::service_time(const DiskRequest& req) {
+  SimTime positioning = SimTime::zero();
+  const std::uint64_t distance =
+      req.offset >= head_position_ ? req.offset - head_position_ : head_position_ - req.offset;
+  if (distance > config_.sequential_window.count()) {
+    // Positioning cost scales mildly with distance (short seeks cheaper).
+    const double distance_factor =
+        0.5 + 0.5 * std::min(1.0, static_cast<double>(distance) / (64.0 * 1024.0 * 1024.0));
+    const double jitter = 1.0 + config_.jitter_fraction * (2.0 * rng_.uniform() - 1.0);
+    const double pos_ns = (static_cast<double>(config_.avg_seek.ns()) * distance_factor +
+                           static_cast<double>(config_.rotational_latency.ns())) *
+                          jitter;
+    positioning = SimTime::from_ns(static_cast<std::int64_t>(pos_ns));
+    ++seeks_;
+  } else {
+    ++sequential_hits_;
+  }
+  head_position_ = req.offset + req.size.count();
+  return positioning + config_.stream_bandwidth.transfer_time(req.size);
+}
+
+SsdModel::SsdModel(const SsdConfig& config) : config_(config) {}
+
+SimTime SsdModel::service_time(const DiskRequest& req) {
+  if (req.is_write) {
+    return config_.write_latency + config_.write_bandwidth.transfer_time(req.size);
+  }
+  return config_.read_latency + config_.read_bandwidth.transfer_time(req.size);
+}
+
+std::unique_ptr<DiskModel> make_hdd(const HddConfig& config, Rng rng) {
+  return std::make_unique<HddModel>(config, rng);
+}
+
+std::unique_ptr<DiskModel> make_ssd(const SsdConfig& config) {
+  return std::make_unique<SsdModel>(config);
+}
+
+}  // namespace pio::pfs

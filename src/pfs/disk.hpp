@@ -1,0 +1,93 @@
+// PIOEval storage substrate: device service-time models.
+//
+// The contrast between these two models carries several of the paper's
+// claims: a seek-dominated HDD makes random small reads (deep-learning
+// minibatch input, §V.B) catastrophically slower than streaming writes,
+// while an SSD (burst-buffer tier, Fig. 1) has a flat latency profile.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pio::pfs {
+
+/// One I/O request as seen by a device.
+struct DiskRequest {
+  std::uint64_t offset = 0;  ///< device byte address
+  Bytes size = Bytes::zero();
+  bool is_write = false;
+};
+
+/// Device model: stateful (sequentiality depends on head position), returns
+/// the full service time for a request and advances internal state.
+class DiskModel {
+ public:
+  virtual ~DiskModel() = default;
+
+  /// Service time for `req`, assuming the device is dedicated to it (the
+  /// OST's queue serializes requests).
+  virtual SimTime service_time(const DiskRequest& req) = 0;
+
+  /// Model name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Rotational disk: seek + rotational latency on discontiguous access, then
+/// streaming transfer. Small jitter keeps queueing realistic without
+/// breaking determinism (jitter draws from a dedicated Rng substream).
+struct HddConfig {
+  SimTime avg_seek = SimTime::from_ms(4.0);
+  SimTime rotational_latency = SimTime::from_ms(2.0);
+  Bandwidth stream_bandwidth = Bandwidth::from_mib_per_sec(180.0);
+  /// Accesses within this distance of the previous end are "sequential"
+  /// (track buffer / readahead) and skip the positioning cost.
+  Bytes sequential_window = Bytes::from_mib(1);
+  double jitter_fraction = 0.05;  ///< +/- uniform jitter on positioning
+};
+
+class HddModel final : public DiskModel {
+ public:
+  HddModel(const HddConfig& config, Rng rng);
+
+  SimTime service_time(const DiskRequest& req) override;
+  [[nodiscard]] std::string name() const override { return "hdd"; }
+
+  [[nodiscard]] std::uint64_t seeks() const { return seeks_; }
+  [[nodiscard]] std::uint64_t sequential_hits() const { return sequential_hits_; }
+
+ private:
+  HddConfig config_;
+  Rng rng_;
+  std::uint64_t head_position_ = 0;  ///< byte address after last request
+  std::uint64_t seeks_ = 0;
+  std::uint64_t sequential_hits_ = 0;
+};
+
+/// Flash device: per-op latency (asymmetric read/write) + transfer.
+struct SsdConfig {
+  SimTime read_latency = SimTime::from_us(80.0);
+  SimTime write_latency = SimTime::from_us(30.0);
+  Bandwidth read_bandwidth = Bandwidth::from_gib_per_sec(3.0);
+  Bandwidth write_bandwidth = Bandwidth::from_gib_per_sec(2.0);
+};
+
+class SsdModel final : public DiskModel {
+ public:
+  explicit SsdModel(const SsdConfig& config);
+
+  SimTime service_time(const DiskRequest& req) override;
+  [[nodiscard]] std::string name() const override { return "ssd"; }
+
+ private:
+  SsdConfig config_;
+};
+
+/// Factory helpers.
+std::unique_ptr<DiskModel> make_hdd(const HddConfig& config, Rng rng);
+std::unique_ptr<DiskModel> make_ssd(const SsdConfig& config);
+
+}  // namespace pio::pfs

@@ -1,0 +1,203 @@
+#include "pfs/mds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pio::pfs {
+
+const char* to_string(MetaOp op) {
+  switch (op) {
+    case MetaOp::kCreate: return "create";
+    case MetaOp::kOpen: return "open";
+    case MetaOp::kStat: return "stat";
+    case MetaOp::kUnlink: return "unlink";
+    case MetaOp::kMkdir: return "mkdir";
+    case MetaOp::kReaddir: return "readdir";
+    case MetaOp::kClose: return "close";
+    case MetaOp::kRename: return "rename";
+  }
+  return "?";
+}
+
+MetadataServer::MetadataServer(sim::Engine& engine, const MdsConfig& config)
+    : engine_(engine), config_(config), threads_(engine, config.service_threads, "mds") {
+  // Root directory always exists.
+  Inode root;
+  root.is_dir = true;
+  namespace_.emplace("/", root);
+}
+
+void MetadataServer::request(MetaOp op, const std::string& path,
+                             std::function<void(MetaResult)> on_done,
+                             std::optional<StripeLayout> layout) {
+  if (path.empty() || path.front() != '/') {
+    throw std::invalid_argument("MetadataServer::request: path must be absolute");
+  }
+  const SimTime enqueued = engine_.now();
+  threads_.acquire(1, [this, op, path, layout, enqueued, done = std::move(on_done)]() mutable {
+    const SimTime cost = cost_of(op, path);
+    engine_.schedule_after(cost, [this, op, path, layout, enqueued, cost,
+                                  done = std::move(done)]() mutable {
+      MetaResult result = apply(op, path, layout);
+      ++stats_.ops_total;
+      ++stats_.ops_by_type[op];
+      stats_.busy_time += cost;
+      if (!result.ok()) ++stats_.errors;
+      if (observer_) {
+        observer_(MdsOpRecord{op, enqueued, engine_.now(), result.status, path});
+      }
+      threads_.release(1);
+      if (done) done(std::move(result));
+    });
+  });
+}
+
+Inode* MetadataServer::find_inode(const std::string& path) {
+  const auto it = namespace_.find(path);
+  return it == namespace_.end() ? nullptr : &it->second;
+}
+
+const Inode* MetadataServer::find_inode(const std::string& path) const {
+  const auto it = namespace_.find(path);
+  return it == namespace_.end() ? nullptr : &it->second;
+}
+
+void MetadataServer::grow_file(const std::string& path, Bytes new_size, SimTime mtime) {
+  if (Inode* inode = find_inode(path); inode != nullptr && !inode->is_dir) {
+    inode->size = std::max(inode->size, new_size);
+    inode->mtime = mtime;
+  }
+}
+
+SimTime MetadataServer::cost_of(MetaOp op, const std::string& path) const {
+  switch (op) {
+    case MetaOp::kCreate: return config_.create_cost;
+    case MetaOp::kOpen: return config_.open_cost;
+    case MetaOp::kStat: return config_.stat_cost;
+    case MetaOp::kUnlink: return config_.unlink_cost;
+    case MetaOp::kMkdir: return config_.mkdir_cost;
+    case MetaOp::kClose: return config_.close_cost;
+    case MetaOp::kRename: return config_.rename_cost;
+    case MetaOp::kReaddir: {
+      // Per-entry cost is charged for the directory's current child count.
+      std::uint64_t children = 0;
+      const std::string prefix = path == "/" ? "/" : path + "/";
+      for (auto it = namespace_.lower_bound(prefix);
+           it != namespace_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+        ++children;
+      }
+      return config_.readdir_base_cost +
+             config_.readdir_per_entry_cost * static_cast<std::int64_t>(children);
+    }
+  }
+  return SimTime::zero();
+}
+
+std::string MetadataServer::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+MetaResult MetadataServer::apply(MetaOp op, const std::string& path,
+                                 const std::optional<StripeLayout>& layout) {
+  MetaResult result;
+  switch (op) {
+    case MetaOp::kCreate: {
+      if (namespace_.contains(path)) {
+        result.status = MetaStatus::kExists;
+        break;
+      }
+      const Inode* parent = find_inode(parent_of(path));
+      if (parent == nullptr || !parent->is_dir) {
+        result.status = MetaStatus::kNotFound;
+        break;
+      }
+      Inode inode;
+      inode.is_dir = false;
+      inode.layout = layout.value_or(config_.default_layout);
+      inode.ctime = inode.mtime = engine_.now();
+      namespace_.emplace(path, inode);
+      result.inode = inode;
+      break;
+    }
+    case MetaOp::kOpen:
+    case MetaOp::kStat: {
+      const Inode* inode = find_inode(path);
+      if (inode == nullptr) {
+        result.status = MetaStatus::kNotFound;
+        break;
+      }
+      result.inode = *inode;
+      break;
+    }
+    case MetaOp::kUnlink: {
+      const auto it = namespace_.find(path);
+      if (it == namespace_.end()) {
+        result.status = MetaStatus::kNotFound;
+        break;
+      }
+      if (it->second.is_dir) {
+        // Directories must be empty.
+        const std::string prefix = path + "/";
+        const auto child = namespace_.lower_bound(prefix);
+        if (child != namespace_.end() &&
+            child->first.compare(0, prefix.size(), prefix) == 0) {
+          result.status = MetaStatus::kNotEmpty;
+          break;
+        }
+      }
+      namespace_.erase(it);
+      break;
+    }
+    case MetaOp::kMkdir: {
+      if (namespace_.contains(path)) {
+        result.status = MetaStatus::kExists;
+        break;
+      }
+      const Inode* parent = find_inode(parent_of(path));
+      if (parent == nullptr || !parent->is_dir) {
+        result.status = MetaStatus::kNotFound;
+        break;
+      }
+      Inode inode;
+      inode.is_dir = true;
+      inode.ctime = inode.mtime = engine_.now();
+      namespace_.emplace(path, inode);
+      result.inode = inode;
+      break;
+    }
+    case MetaOp::kReaddir: {
+      const Inode* dir = find_inode(path);
+      if (dir == nullptr) {
+        result.status = MetaStatus::kNotFound;
+        break;
+      }
+      if (!dir->is_dir) {
+        result.status = MetaStatus::kNotDir;
+        break;
+      }
+      const std::string prefix = path == "/" ? "/" : path + "/";
+      for (auto it = namespace_.lower_bound(prefix);
+           it != namespace_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+        // Direct children only: no further '/' after the prefix.
+        const std::string rest = it->first.substr(prefix.size());
+        if (!rest.empty() && rest.find('/') == std::string::npos) {
+          result.entries.push_back(it->first);
+        }
+      }
+      break;
+    }
+    case MetaOp::kClose:
+      // Close only charges time; the namespace is untouched.
+      break;
+    case MetaOp::kRename:
+      // Rename is modelled as a cost-only op in this release (the bench
+      // suite does not exercise cross-directory moves).
+      if (!namespace_.contains(path)) result.status = MetaStatus::kNotFound;
+      break;
+  }
+  return result;
+}
+
+}  // namespace pio::pfs

@@ -1,0 +1,130 @@
+// PIOEval storage substrate: metadata server (MDS).
+//
+// The paper repeatedly flags metadata as a first-class bottleneck (mdtest in
+// §IV.A.1; "metadata-intensive, small-transaction" workflows in §V.C). The
+// MDS model owns the simulated namespace and charges a per-operation cost
+// from a bounded thread pool, so metadata storms queue and saturate exactly
+// like they do on a production MDS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pfs/stripe.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace pio::pfs {
+
+enum class MetaOp : std::uint8_t {
+  kCreate,
+  kOpen,
+  kStat,
+  kUnlink,
+  kMkdir,
+  kReaddir,
+  kClose,
+  kRename,
+};
+
+[[nodiscard]] const char* to_string(MetaOp op);
+
+enum class MetaStatus : std::uint8_t { kOk, kNotFound, kExists, kNotDir, kNotEmpty };
+
+/// Inode as stored by the MDS.
+struct Inode {
+  bool is_dir = false;
+  Bytes size = Bytes::zero();
+  StripeLayout layout{};
+  SimTime ctime = SimTime::zero();
+  SimTime mtime = SimTime::zero();
+};
+
+/// Result delivered to the client callback.
+struct MetaResult {
+  MetaStatus status = MetaStatus::kOk;
+  std::optional<Inode> inode;              ///< for Open/Stat/Create
+  std::vector<std::string> entries;        ///< for Readdir
+  [[nodiscard]] bool ok() const { return status == MetaStatus::kOk; }
+};
+
+/// Per-op service costs. Readdir additionally pays per returned entry.
+struct MdsConfig {
+  SimTime create_cost = SimTime::from_us(250.0);
+  SimTime open_cost = SimTime::from_us(60.0);
+  SimTime stat_cost = SimTime::from_us(40.0);
+  SimTime unlink_cost = SimTime::from_us(200.0);
+  SimTime mkdir_cost = SimTime::from_us(220.0);
+  SimTime readdir_base_cost = SimTime::from_us(80.0);
+  SimTime readdir_per_entry_cost = SimTime::from_us(2.0);
+  SimTime close_cost = SimTime::from_us(20.0);
+  SimTime rename_cost = SimTime::from_us(260.0);
+  std::uint64_t service_threads = 4;
+  StripeLayout default_layout{};
+};
+
+/// Completion record (server-side monitoring unit, like OstOpRecord).
+struct MdsOpRecord {
+  MetaOp op = MetaOp::kStat;
+  SimTime enqueued = SimTime::zero();
+  SimTime completed = SimTime::zero();
+  MetaStatus status = MetaStatus::kOk;
+  std::string path;
+};
+
+/// Aggregate MDS counters.
+struct MdsStats {
+  std::uint64_t ops_total = 0;
+  std::map<MetaOp, std::uint64_t> ops_by_type;
+  std::uint64_t errors = 0;
+  SimTime busy_time = SimTime::zero();
+};
+
+class MetadataServer {
+ public:
+  MetadataServer(sim::Engine& engine, const MdsConfig& config);
+
+  MetadataServer(const MetadataServer&) = delete;
+  MetadataServer& operator=(const MetadataServer&) = delete;
+
+  /// Issue a metadata op. The namespace mutation and the callback both occur
+  /// at service completion. `layout` is honoured only for kCreate.
+  void request(MetaOp op, const std::string& path, std::function<void(MetaResult)> on_done,
+               std::optional<StripeLayout> layout = std::nullopt);
+
+  /// Synchronous (zero-cost) inode access for internal bookkeeping, e.g.
+  /// size updates on write completion (clients cache sizes in real systems).
+  [[nodiscard]] Inode* find_inode(const std::string& path);
+  [[nodiscard]] const Inode* find_inode(const std::string& path) const;
+  void grow_file(const std::string& path, Bytes new_size, SimTime mtime);
+
+  void set_op_observer(std::function<void(const MdsOpRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const MdsStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t namespace_size() const { return namespace_.size(); }
+  [[nodiscard]] std::uint64_t queued_requests() const { return threads_.waiters(); }
+  [[nodiscard]] const MdsConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] SimTime cost_of(MetaOp op, const std::string& path) const;
+  [[nodiscard]] MetaResult apply(MetaOp op, const std::string& path,
+                                 const std::optional<StripeLayout>& layout);
+  [[nodiscard]] static std::string parent_of(const std::string& path);
+
+  sim::Engine& engine_;
+  MdsConfig config_;
+  sim::TokenPool threads_;
+  // Sorted map so Readdir can range-scan children of a directory prefix.
+  std::map<std::string, Inode> namespace_;
+  MdsStats stats_;
+  std::function<void(const MdsOpRecord&)> observer_;
+};
+
+}  // namespace pio::pfs

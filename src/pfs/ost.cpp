@@ -1,0 +1,40 @@
+#include "pfs/ost.hpp"
+
+namespace pio::pfs {
+
+OstServer::OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<DiskModel> disk)
+    : engine_(engine),
+      index_(index),
+      disk_(std::move(disk)),
+      queue_(engine, "ost" + std::to_string(index)) {
+  if (!disk_) throw std::invalid_argument("OstServer: null disk model");
+}
+
+void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
+                       std::function<void()> on_done) {
+  // The device model is consulted at enqueue time in queue order, which is
+  // also service order for a FIFO queue, so head-position state stays
+  // consistent with the order requests actually hit the platter.
+  const SimTime service = disk_->service_time(DiskRequest{object_offset, size, is_write});
+  OstOpRecord record;
+  record.ost = index_;
+  record.enqueued = engine_.now();
+  record.offset = object_offset;
+  record.size = size;
+  record.is_write = is_write;
+  record.queue_depth_at_enqueue = queue_.queue_depth();
+  if (is_write) {
+    ++stats_.write_ops;
+    stats_.bytes_written += size;
+  } else {
+    ++stats_.read_ops;
+    stats_.bytes_read += size;
+  }
+  queue_.submit(service, [this, record, done = std::move(on_done)]() mutable {
+    record.completed = engine_.now();
+    if (observer_) observer_(record);
+    if (done) done();
+  });
+}
+
+}  // namespace pio::pfs

@@ -1,0 +1,71 @@
+// PIOEval storage substrate: object storage target (OST) server.
+//
+// An OST is a FIFO service queue in front of one device model. Per-op
+// completion records feed the server-side monitoring path of §IV.A.2
+// ("server-side statistics ... load on the servers and storage devices").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "pfs/disk.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace pio::pfs {
+
+/// Completion record for one OST operation (server-side monitoring unit).
+struct OstOpRecord {
+  std::uint32_t ost = 0;
+  SimTime enqueued = SimTime::zero();
+  SimTime completed = SimTime::zero();
+  std::uint64_t offset = 0;
+  Bytes size = Bytes::zero();
+  bool is_write = false;
+  std::uint64_t queue_depth_at_enqueue = 0;
+};
+
+/// Aggregate OST counters.
+struct OstStats {
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+};
+
+class OstServer {
+ public:
+  /// `index` is the OST's position in the pool (used in records).
+  OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<DiskModel> disk);
+
+  OstServer(const OstServer&) = delete;
+  OstServer& operator=(const OstServer&) = delete;
+
+  /// Enqueue a device op; `on_done` fires when the device completes it.
+  void submit(std::uint64_t object_offset, Bytes size, bool is_write,
+              std::function<void()> on_done);
+
+  /// Subscribe to per-op completion records (server-side monitor hook).
+  void set_op_observer(std::function<void(const OstOpRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const OstStats& stats() const { return stats_; }
+  [[nodiscard]] const sim::ServerStats& queue_stats() const { return queue_.stats(); }
+  [[nodiscard]] std::uint64_t queue_depth() const { return queue_.queue_depth(); }
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] const DiskModel& disk() const { return *disk_; }
+
+ private:
+  sim::Engine& engine_;
+  std::uint32_t index_;
+  std::unique_ptr<DiskModel> disk_;
+  sim::FifoServer queue_;
+  OstStats stats_;
+  std::function<void(const OstOpRecord&)> observer_;
+};
+
+}  // namespace pio::pfs

@@ -1,0 +1,229 @@
+#include "pfs/pfs.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pio::pfs {
+
+namespace {
+
+std::unique_ptr<DiskModel> make_disk(const PfsConfig& config, sim::Engine& engine,
+                                     std::uint32_t index) {
+  if (config.disk_kind == DiskKind::kHdd) {
+    // Each disk gets its own jitter stream so device behaviour is
+    // independent of OST count and submission interleaving.
+    return make_hdd(config.hdd, engine.rng_stream(0xD15C0000ULL + index));
+  }
+  return make_ssd(config.ssd);
+}
+
+}  // namespace
+
+PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
+    : engine_(engine), config_(config) {
+  if (config.clients == 0 || config.io_nodes == 0 || config.osts == 0) {
+    throw std::invalid_argument("PfsModel: clients, io_nodes, osts must all be > 0");
+  }
+  compute_fabric_ = std::make_unique<net::Fabric>(engine, config.compute_fabric,
+                                                  config.clients + config.io_nodes);
+  storage_fabric_ = std::make_unique<net::Fabric>(engine, config.storage_fabric,
+                                                  config.io_nodes + config.osts + 1);
+  mds_ = std::make_unique<MetadataServer>(engine, config.mds);
+  osts_.reserve(config.osts);
+  for (std::uint32_t i = 0; i < config.osts; ++i) {
+    osts_.push_back(std::make_unique<OstServer>(engine, i, make_disk(config, engine, i)));
+  }
+  const std::uint32_t buffer_count = config.bb_placement == BbPlacement::kNone ? 0
+                                     : config.bb_placement == BbPlacement::kShared
+                                         ? 1
+                                         : config.io_nodes;
+  for (std::uint32_t b = 0; b < buffer_count; ++b) {
+    // Drains re-enter the normal backend path from the owning I/O node, so
+    // they contend with foreground traffic on the storage fabric.
+    const std::uint32_t drain_ion = config.bb_placement == BbPlacement::kShared ? 0 : b;
+    buffers_.push_back(std::make_unique<BurstBuffer>(
+        engine, config.bb,
+        [this, drain_ion](std::uint64_t file, std::uint64_t offset, Bytes size,
+                          std::function<void()> on_done) {
+          const auto it = token_info_.find(file);
+          if (it == token_info_.end()) throw std::logic_error("BB drain: unknown file token");
+          backend_io(drain_ion, it->second.second, offset, size, /*is_write=*/true,
+                     std::move(on_done));
+        },
+        "bb" + std::to_string(b)));
+  }
+}
+
+net::EndpointId PfsModel::ion_of(ClientId client) const {
+  return client % config_.io_nodes;
+}
+
+net::EndpointId PfsModel::compute_ep_of_ion(std::uint32_t ion) const {
+  return config_.clients + ion;
+}
+
+net::EndpointId PfsModel::storage_ep_of_ost(OstIndex ost) const {
+  return config_.io_nodes + ost;
+}
+
+net::EndpointId PfsModel::storage_ep_of_mds() const {
+  return config_.io_nodes + config_.osts;
+}
+
+BurstBuffer* PfsModel::buffer_for_ion(std::uint32_t ion) {
+  if (buffers_.empty()) return nullptr;
+  if (config_.bb_placement == BbPlacement::kShared) return buffers_[0].get();
+  return buffers_.at(ion).get();
+}
+
+std::uint64_t PfsModel::file_token(const std::string& path) {
+  const auto it = file_tokens_.find(path);
+  if (it != file_tokens_.end()) return it->second;
+  const std::uint64_t token = next_file_token_++;
+  file_tokens_.emplace(path, token);
+  return token;
+}
+
+void PfsModel::meta(ClientId client, MetaOp op, const std::string& path,
+                    std::function<void(MetaResult)> on_done,
+                    std::optional<StripeLayout> layout) {
+  if (client >= config_.clients) throw std::out_of_range("PfsModel::meta: bad client");
+  const std::uint32_t ion = ion_of(client);
+  // Request header: client -> ION (compute fabric) -> MDS (storage fabric).
+  compute_fabric_->send(client, compute_ep_of_ion(ion), kHeader, [this, client, ion, op, path,
+                                                                  layout,
+                                                                  done = std::move(on_done)]() mutable {
+    storage_fabric_->send(ion, storage_ep_of_mds(), kHeader, [this, client, ion, op, path, layout,
+                                                              done = std::move(done)]() mutable {
+      mds_->request(
+          op, path,
+          [this, client, ion, done = std::move(done)](MetaResult result) mutable {
+            // Response header back down the same path.
+            storage_fabric_->send(storage_ep_of_mds(), ion, kHeader,
+                                  [this, client, ion, result = std::move(result),
+                                   done = std::move(done)]() mutable {
+                                    compute_fabric_->send(
+                                        compute_ep_of_ion(ion), client, kHeader,
+                                        [result = std::move(result),
+                                         done = std::move(done)]() mutable {
+                                          if (done) done(std::move(result));
+                                        });
+                                  });
+          },
+          layout);
+    });
+  });
+}
+
+void PfsModel::backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
+                          Bytes size, bool is_write, std::function<void()> on_done) {
+  const auto chunks = decompose(layout, config_.osts, offset, size);
+  if (chunks.empty()) {
+    engine_.schedule_after(SimTime::zero(), std::move(on_done));
+    return;
+  }
+  // Fan out all chunks; complete when the last response arrives.
+  auto remaining = std::make_shared<std::size_t>(chunks.size());
+  auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  for (const auto& chunk : chunks) {
+    const net::EndpointId ost_ep = storage_ep_of_ost(chunk.ost);
+    auto finish_one = [remaining, done] {
+      if (--*remaining == 0 && *done) (*done)();
+    };
+    if (is_write) {
+      // Ship data to the OST, write it, then a small ack returns.
+      storage_fabric_->send(ion, ost_ep, chunk.length, [this, chunk, ion, ost_ep,
+                                                        finish_one]() mutable {
+        osts_[chunk.ost]->submit(chunk.object_offset, chunk.length, true,
+                                 [this, ion, ost_ep, finish_one]() mutable {
+                                   storage_fabric_->send(ost_ep, ion, kHeader,
+                                                         std::move(finish_one));
+                                 });
+      });
+    } else {
+      // Small request travels to the OST; data travels back.
+      storage_fabric_->send(ion, ost_ep, kHeader, [this, chunk, ion, ost_ep,
+                                                   finish_one]() mutable {
+        osts_[chunk.ost]->submit(chunk.object_offset, chunk.length, false,
+                                 [this, chunk, ion, ost_ep, finish_one]() mutable {
+                                   storage_fabric_->send(ost_ep, ion, chunk.length,
+                                                         std::move(finish_one));
+                                 });
+      });
+    }
+  }
+}
+
+void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& layout,
+                  std::uint64_t offset, Bytes size, bool is_write,
+                  std::function<void(IoResult)> on_done) {
+  if (client >= config_.clients) throw std::out_of_range("PfsModel::io: bad client");
+  const SimTime issued = engine_.now();
+  const std::uint32_t ion = ion_of(client);
+  const std::uint64_t token = file_token(path);
+  token_info_[token] = {path, layout};
+
+  auto complete = [this, issued, size, path, offset, is_write,
+                   done = std::move(on_done)]() mutable {
+    if (is_write) {
+      mds_->grow_file(path, Bytes{offset} + size, engine_.now());
+    }
+    if (done) done(IoResult{true, issued, engine_.now(), size});
+  };
+
+  if (is_write) {
+    // Data travels client -> ION over the compute fabric.
+    compute_fabric_->send(client, compute_ep_of_ion(ion), size,
+                          [this, client, ion, token, layout, offset, size,
+                           complete = std::move(complete)]() mutable {
+      auto ack_client = [this, client, ion, complete = std::move(complete)]() mutable {
+        compute_fabric_->send(compute_ep_of_ion(ion), client, kHeader, std::move(complete));
+      };
+      BurstBuffer* bb = buffer_for_ion(ion);
+      if (bb != nullptr && bb->can_absorb(size)) {
+        bb->write(token, offset, size, std::move(ack_client));
+        return;  // absorbed; drain happens in the background
+      }
+      // No buffer (or full): write through to the OSTs.
+      if (bb != nullptr) bb->note_bypass(size);
+      backend_io(ion, layout, offset, size, true, std::move(ack_client));
+    });
+  } else {
+    // Small read request to the ION; data returns over the compute fabric.
+    compute_fabric_->send(client, compute_ep_of_ion(ion), kHeader,
+                          [this, client, ion, token, layout, offset, size,
+                           complete = std::move(complete)]() mutable {
+      auto data_to_client = [this, client, ion, size,
+                             complete = std::move(complete)]() mutable {
+        compute_fabric_->send(compute_ep_of_ion(ion), client, size, std::move(complete));
+      };
+      BurstBuffer* bb = buffer_for_ion(ion);
+      if (bb != nullptr && bb->resident(token, offset, size)) {
+        bb->read(token, offset, size, std::move(data_to_client));
+        return;  // served from the staging tier
+      }
+      if (bb != nullptr) bb->note_miss(size);
+      backend_io(ion, layout, offset, size, false, std::move(data_to_client));
+    });
+  }
+}
+
+bool PfsModel::buffers_quiescent() const {
+  for (const auto& buffer : buffers_) {
+    if (!buffer->quiescent()) return false;
+  }
+  return true;
+}
+
+void PfsModel::set_ost_observer(std::function<void(const OstOpRecord&)> observer) {
+  // Each OST shares the same observer; the record carries the OST index.
+  for (auto& ost : osts_) {
+    ost->set_op_observer(observer);
+  }
+}
+
+void PfsModel::set_mds_observer(std::function<void(const MdsOpRecord&)> observer) {
+  mds_->set_op_observer(std::move(observer));
+}
+
+}  // namespace pio::pfs

@@ -1,0 +1,152 @@
+// PIOEval storage substrate: the end-to-end parallel file system model.
+//
+// This facade assembles the Fig. 1 system: compute nodes (clients) on a fast
+// compute fabric, I/O nodes (optionally with a burst-buffer SSD tier), a
+// slower storage fabric, and a storage cluster of one metadata server plus N
+// object storage targets with striped file layouts. Every client operation
+// traverses the full path, so the delivered performance exhibits the
+// contention, queueing, and tiering effects the paper's evaluation
+// techniques are built to observe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/fabric.hpp"
+#include "pfs/burst_buffer.hpp"
+#include "pfs/disk.hpp"
+#include "pfs/mds.hpp"
+#include "pfs/ost.hpp"
+#include "pfs/stripe.hpp"
+#include "sim/engine.hpp"
+
+namespace pio::pfs {
+
+using ClientId = std::uint32_t;
+
+enum class DiskKind : std::uint8_t { kHdd, kSsd };
+
+/// Burst-buffer deployment (experiment C9).
+enum class BbPlacement : std::uint8_t {
+  kNone,       ///< no burst buffer; clients write through to the PFS
+  kPerIoNode,  ///< one buffer per I/O node (node-local style)
+  kShared,     ///< a single buffer shared by all I/O nodes
+};
+
+struct PfsConfig {
+  std::uint32_t clients = 8;
+  std::uint32_t io_nodes = 2;
+  std::uint32_t osts = 8;
+  net::FabricConfig compute_fabric{
+      .endpoint_bandwidth = Bandwidth::from_gib_per_sec(10.0),
+      .endpoint_latency = SimTime::from_us(1.0),
+      .core_links = 16.0,
+      .core_latency = SimTime::from_us(1.0),
+      .name = "compute",
+  };
+  net::FabricConfig storage_fabric{
+      .endpoint_bandwidth = Bandwidth::from_gib_per_sec(1.25),  // ~10GbE
+      .endpoint_latency = SimTime::from_us(10.0),
+      .core_links = 8.0,
+      .core_latency = SimTime::from_us(10.0),
+      .name = "storage",
+  };
+  MdsConfig mds{};
+  DiskKind disk_kind = DiskKind::kHdd;
+  HddConfig hdd{};
+  SsdConfig ssd{};
+  BbPlacement bb_placement = BbPlacement::kNone;
+  BurstBufferConfig bb{};
+};
+
+/// Result of a data-path operation.
+struct IoResult {
+  bool ok = false;
+  SimTime issued = SimTime::zero();
+  SimTime completed = SimTime::zero();
+  Bytes size = Bytes::zero();
+  [[nodiscard]] SimTime latency() const { return completed - issued; }
+};
+
+/// The assembled system model.
+class PfsModel {
+ public:
+  PfsModel(sim::Engine& engine, const PfsConfig& config);
+
+  PfsModel(const PfsModel&) = delete;
+  PfsModel& operator=(const PfsModel&) = delete;
+
+  // -- metadata path -------------------------------------------------------
+
+  /// Issue a metadata op from `client`; traverses compute fabric -> I/O node
+  /// -> storage fabric -> MDS and back.
+  void meta(ClientId client, MetaOp op, const std::string& path,
+            std::function<void(MetaResult)> on_done,
+            std::optional<StripeLayout> layout = std::nullopt);
+
+  // -- data path -----------------------------------------------------------
+
+  /// Read or write `size` bytes at `offset` of `path` using `layout` (as
+  /// returned by a create/open). The file must exist at the MDS.
+  void io(ClientId client, const std::string& path, const StripeLayout& layout,
+          std::uint64_t offset, Bytes size, bool is_write,
+          std::function<void(IoResult)> on_done);
+
+  // -- inspection ----------------------------------------------------------
+
+  [[nodiscard]] MetadataServer& mds() { return *mds_; }
+  [[nodiscard]] const MetadataServer& mds() const { return *mds_; }
+  [[nodiscard]] OstServer& ost(std::uint32_t i) { return *osts_.at(i); }
+  [[nodiscard]] std::uint32_t ost_count() const { return static_cast<std::uint32_t>(osts_.size()); }
+  [[nodiscard]] net::Fabric& compute_fabric() { return *compute_fabric_; }
+  [[nodiscard]] net::Fabric& storage_fabric() { return *storage_fabric_; }
+  [[nodiscard]] const PfsConfig& config() const { return config_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  /// Burst buffers in deployment order (empty when placement is kNone).
+  [[nodiscard]] const std::vector<std::unique_ptr<BurstBuffer>>& burst_buffers() const {
+    return buffers_;
+  }
+  /// True when every burst buffer has fully drained.
+  [[nodiscard]] bool buffers_quiescent() const;
+
+  /// Subscribe to every OST + MDS op record (server-side monitoring).
+  void set_ost_observer(std::function<void(const OstOpRecord&)> observer);
+  void set_mds_observer(std::function<void(const MdsOpRecord&)> observer);
+
+ private:
+  // Endpoint numbering. Compute fabric: [0, clients) are clients,
+  // [clients, clients+io_nodes) are I/O nodes. Storage fabric: [0, io_nodes)
+  // are I/O nodes, [io_nodes, io_nodes+osts) are OSTs, last is the MDS.
+  [[nodiscard]] net::EndpointId ion_of(ClientId client) const;
+  [[nodiscard]] net::EndpointId compute_ep_of_ion(std::uint32_t ion) const;
+  [[nodiscard]] net::EndpointId storage_ep_of_ost(OstIndex ost) const;
+  [[nodiscard]] net::EndpointId storage_ep_of_mds() const;
+  [[nodiscard]] BurstBuffer* buffer_for_ion(std::uint32_t ion);
+
+  /// The stripe-and-ship path from an I/O node to the OSTs (used both by
+  /// foreground I/O and burst-buffer drains).
+  void backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
+                  Bytes size, bool is_write, std::function<void()> on_done);
+
+  /// Small fixed header size used for request/ack messages.
+  static constexpr Bytes kHeader = Bytes{256};
+
+  sim::Engine& engine_;
+  PfsConfig config_;
+  std::unique_ptr<net::Fabric> compute_fabric_;
+  std::unique_ptr<net::Fabric> storage_fabric_;
+  std::unique_ptr<MetadataServer> mds_;
+  std::vector<std::unique_ptr<OstServer>> osts_;
+  std::vector<std::unique_ptr<BurstBuffer>> buffers_;
+  std::uint64_t next_file_token_ = 1;
+  std::unordered_map<std::string, std::uint64_t> file_tokens_;  // path -> BB file id
+  std::uint64_t file_token(const std::string& path);
+  std::unordered_map<std::uint64_t, std::pair<std::string, StripeLayout>> token_info_;
+};
+
+}  // namespace pio::pfs

@@ -1,0 +1,96 @@
+#include "predict/evaluate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace pio::predict {
+
+SplitData train_test_split(const std::vector<std::vector<double>>& rows,
+                           std::span<const double> targets, double test_fraction,
+                           std::uint64_t seed) {
+  if (rows.size() != targets.size()) {
+    throw std::invalid_argument("train_test_split: size mismatch");
+  }
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  Rng rng{seed, 0x5B117};
+  rng.shuffle(order);
+  const auto test_n = static_cast<std::size_t>(test_fraction * static_cast<double>(rows.size()));
+  SplitData split;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (k < test_n) {
+      split.test_x.push_back(rows[i]);
+      split.test_y.push_back(targets[i]);
+    } else {
+      split.train_x.push_back(rows[i]);
+      split.train_y.push_back(targets[i]);
+    }
+  }
+  return split;
+}
+
+std::vector<stats::ErrorMetrics> k_fold(const std::vector<std::vector<double>>& rows,
+                                        std::span<const double> targets, std::size_t folds,
+                                        std::uint64_t seed, const ModelRunner& runner) {
+  if (folds < 2 || folds > rows.size()) throw std::invalid_argument("k_fold: bad fold count");
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  Rng rng{seed, 0xF01D};
+  rng.shuffle(order);
+  std::vector<stats::ErrorMetrics> out;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::vector<double>> train_x;
+    std::vector<double> train_y;
+    std::vector<std::vector<double>> test_x;
+    std::vector<double> test_y;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t i = order[k];
+      if (k % folds == f) {
+        test_x.push_back(rows[i]);
+        test_y.push_back(targets[i]);
+      } else {
+        train_x.push_back(rows[i]);
+        train_y.push_back(targets[i]);
+      }
+    }
+    const auto predictions = runner(train_x, train_y, test_x);
+    out.push_back(stats::compute_errors(predictions, test_y));
+  }
+  return out;
+}
+
+stats::ErrorMetrics mean_metrics(std::span<const stats::ErrorMetrics> metrics) {
+  stats::ErrorMetrics m;
+  if (metrics.empty()) return m;
+  for (const auto& each : metrics) {
+    m.mae += each.mae;
+    m.rmse += each.rmse;
+    m.mape += each.mape;
+  }
+  const auto n = static_cast<double>(metrics.size());
+  m.mae /= n;
+  m.rmse /= n;
+  m.mape /= n;
+  return m;
+}
+
+std::vector<double> file_record_features(const trace::FileRecord& record) {
+  return {
+      std::log2(record.bytes_read.as_double() + 1.0),
+      std::log2(record.bytes_written.as_double() + 1.0),
+      static_cast<double>(record.reads),
+      static_cast<double>(record.writes),
+      static_cast<double>(record.metadata_ops),
+      record.read_seq_fraction(),
+      record.write_seq_fraction(),
+      std::log2(static_cast<double>(record.max_offset) + 1.0),
+  };
+}
+
+}  // namespace pio::predict

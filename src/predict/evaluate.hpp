@@ -1,0 +1,46 @@
+// PIOEval predict: model evaluation utilities — deterministic train/test
+// splits, k-fold cross-validation, and feature extraction from profiles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/regression.hpp"
+#include "trace/profiler.hpp"
+
+namespace pio::predict {
+
+struct SplitData {
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+  std::vector<std::vector<double>> test_x;
+  std::vector<double> test_y;
+};
+
+/// Deterministic shuffled split; `test_fraction` in (0, 1).
+[[nodiscard]] SplitData train_test_split(const std::vector<std::vector<double>>& rows,
+                                         std::span<const double> targets, double test_fraction,
+                                         std::uint64_t seed);
+
+/// A model adaptor: fit on (x, y), return predictions for test rows.
+using ModelRunner = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>& train_x, std::span<const double> train_y,
+    const std::vector<std::vector<double>>& test_x)>;
+
+/// K-fold cross validation; returns the per-fold test metrics.
+[[nodiscard]] std::vector<stats::ErrorMetrics> k_fold(
+    const std::vector<std::vector<double>>& rows, std::span<const double> targets,
+    std::size_t folds, std::uint64_t seed, const ModelRunner& runner);
+
+/// Mean of per-fold metrics.
+[[nodiscard]] stats::ErrorMetrics mean_metrics(std::span<const stats::ErrorMetrics> metrics);
+
+/// Feature vector for one profiler file record, for models that predict
+/// per-file I/O time from characterization counters:
+/// [log2(bytes_read+1), log2(bytes_written+1), reads, writes, metadata_ops,
+///  read_seq_fraction, write_seq_fraction, log2(max_offset+1)].
+[[nodiscard]] std::vector<double> file_record_features(const trace::FileRecord& record);
+
+}  // namespace pio::predict

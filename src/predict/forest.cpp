@@ -1,0 +1,206 @@
+#include "predict/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace pio::predict {
+
+namespace {
+
+struct Split {
+  std::size_t feature = SIZE_MAX;
+  double threshold = 0.0;
+  double score = 0.0;  // variance reduction; <= 0 means no usable split
+};
+
+double mean_of(const std::vector<std::vector<double>>& rows, std::span<const double> y,
+               const std::vector<std::size_t>& idx) {
+  (void)rows;
+  double m = 0.0;
+  for (const auto i : idx) m += y[i];
+  return idx.empty() ? 0.0 : m / static_cast<double>(idx.size());
+}
+
+double sse_of(std::span<const double> y, const std::vector<std::size_t>& idx, double m) {
+  double acc = 0.0;
+  for (const auto i : idx) acc += (y[i] - m) * (y[i] - m);
+  return acc;
+}
+
+}  // namespace
+
+double RandomForest::Tree::predict(std::span<const double> features) const {
+  std::int32_t at = 0;
+  for (;;) {
+    const Node& node = nodes[static_cast<std::size_t>(at)];
+    if (node.feature == SIZE_MAX) return node.value;
+    at = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+RandomForest RandomForest::fit(const std::vector<std::vector<double>>& rows,
+                               std::span<const double> targets, const ForestConfig& config) {
+  if (rows.size() != targets.size() || rows.empty()) {
+    throw std::invalid_argument("RandomForest::fit: bad data shape");
+  }
+  const std::size_t width = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != width) throw std::invalid_argument("RandomForest::fit: ragged rows");
+  }
+  const std::size_t mtry =
+      config.features_per_split != 0
+          ? std::min(config.features_per_split, width)
+          : std::max<std::size_t>(1, static_cast<std::size_t>(
+                                         std::ceil(std::sqrt(static_cast<double>(width)))));
+
+  RandomForest forest;
+  forest.input_width_ = width;
+  const std::size_t n = rows.size();
+
+  // Out-of-bag accumulators.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<std::size_t> oob_count(n, 0);
+
+  for (std::size_t t = 0; t < config.trees; ++t) {
+    Rng rng{config.seed, 0xF0E57ULL + t};
+    // Bootstrap sample.
+    std::vector<std::size_t> sample(n);
+    std::vector<bool> in_bag(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      sample[i] = static_cast<std::size_t>(rng.next_below(n));
+      in_bag[sample[i]] = true;
+    }
+    Tree tree;
+
+    // Iterative tree construction (explicit stack of node -> index set).
+    struct Work {
+      std::int32_t node;
+      std::vector<std::size_t> idx;
+      std::size_t depth;
+    };
+    tree.nodes.push_back(Node{});
+    std::vector<Work> stack;
+    stack.push_back(Work{0, sample, 0});
+    while (!stack.empty()) {
+      Work work = std::move(stack.back());
+      stack.pop_back();
+      Node& node = tree.nodes[static_cast<std::size_t>(work.node)];
+      const double node_mean = mean_of(rows, targets, work.idx);
+      node.value = node_mean;
+      if (work.depth >= config.max_depth ||
+          work.idx.size() < 2 * config.min_samples_leaf) {
+        continue;  // leaf
+      }
+      const double node_sse = sse_of(targets, work.idx, node_mean);
+      if (node_sse < 1e-12) continue;  // pure leaf
+
+      // Candidate features for this split.
+      std::vector<std::size_t> features(width);
+      for (std::size_t j = 0; j < width; ++j) features[j] = j;
+      rng.shuffle(features);
+      features.resize(mtry);
+
+      Split best;
+      for (const auto feature : features) {
+        // Sort indices by this feature and scan split points.
+        std::vector<std::size_t> sorted = work.idx;
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+          return rows[a][feature] < rows[b][feature];
+        });
+        // Prefix sums for O(n) scan.
+        double left_sum = 0.0;
+        double left_sq = 0.0;
+        double total_sum = 0.0;
+        double total_sq = 0.0;
+        for (const auto i : sorted) {
+          total_sum += targets[i];
+          total_sq += targets[i] * targets[i];
+        }
+        const auto m = sorted.size();
+        for (std::size_t k = 0; k + 1 < m; ++k) {
+          const double yk = targets[sorted[k]];
+          left_sum += yk;
+          left_sq += yk * yk;
+          // No split between equal feature values.
+          if (rows[sorted[k]][feature] == rows[sorted[k + 1]][feature]) continue;
+          const std::size_t nl = k + 1;
+          const std::size_t nr = m - nl;
+          if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+          const double right_sum = total_sum - left_sum;
+          const double right_sq = total_sq - left_sq;
+          const double sse_l = left_sq - left_sum * left_sum / static_cast<double>(nl);
+          const double sse_r = right_sq - right_sum * right_sum / static_cast<double>(nr);
+          const double gain = node_sse - (sse_l + sse_r);
+          if (gain > best.score) {
+            best.score = gain;
+            best.feature = feature;
+            best.threshold =
+                (rows[sorted[k]][feature] + rows[sorted[k + 1]][feature]) / 2.0;
+          }
+        }
+      }
+      if (best.feature == SIZE_MAX) continue;  // no usable split: leaf
+
+      std::vector<std::size_t> left_idx;
+      std::vector<std::size_t> right_idx;
+      for (const auto i : work.idx) {
+        (rows[i][best.feature] <= best.threshold ? left_idx : right_idx).push_back(i);
+      }
+      const auto left_id = static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      const auto right_id = static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      // Re-take the reference: the vector may have reallocated.
+      Node& parent = tree.nodes[static_cast<std::size_t>(work.node)];
+      parent.feature = best.feature;
+      parent.threshold = best.threshold;
+      parent.left = left_id;
+      parent.right = right_id;
+      stack.push_back(Work{left_id, std::move(left_idx), work.depth + 1});
+      stack.push_back(Work{right_id, std::move(right_idx), work.depth + 1});
+    }
+
+    // Out-of-bag predictions.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_bag[i]) {
+        oob_sum[i] += tree.predict(rows[i]);
+        ++oob_count[i];
+      }
+    }
+    forest.trees_.push_back(std::move(tree));
+  }
+
+  double oob_err = 0.0;
+  std::size_t oob_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oob_count[i] > 0) {
+      const double pred = oob_sum[i] / static_cast<double>(oob_count[i]);
+      oob_err += (pred - targets[i]) * (pred - targets[i]);
+      ++oob_n;
+    }
+  }
+  forest.oob_mse_ = oob_n == 0 ? 0.0 : oob_err / static_cast<double>(oob_n);
+  return forest;
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  if (features.size() != input_width_) {
+    throw std::invalid_argument("RandomForest::predict: feature width mismatch");
+  }
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(features);
+  return trees_.empty() ? 0.0 : acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace pio::predict

@@ -1,0 +1,58 @@
+// PIOEval predict: random-forest regressor (§IV.B.2).
+//
+// Sun et al. [57] "use a random forest machine learning approach to build
+// an empirical performance model, which is able to predict the execution
+// and I/O time of the program for new input parameters" — without domain
+// knowledge. CART regression trees (variance-reduction splits), bootstrap
+// bagging, per-split feature subsampling; prediction is the forest mean.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pio::predict {
+
+struct ForestConfig {
+  std::size_t trees = 50;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = ceil(sqrt(width)).
+  std::size_t features_per_split = 0;
+  std::uint64_t seed = 23;
+};
+
+class RandomForest {
+ public:
+  static RandomForest fit(const std::vector<std::vector<double>>& rows,
+                          std::span<const double> targets, const ForestConfig& config = {});
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Mean-squared error on the out-of-bag samples (generalization proxy).
+  [[nodiscard]] double oob_mse() const { return oob_mse_; }
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    // Leaf when feature == SIZE_MAX.
+    std::size_t feature = SIZE_MAX;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    [[nodiscard]] double predict(std::span<const double> features) const;
+  };
+
+  std::vector<Tree> trees_;
+  std::size_t input_width_ = 0;
+  double oob_mse_ = 0.0;
+};
+
+}  // namespace pio::predict

@@ -1,0 +1,214 @@
+#include "predict/nn.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pio::predict {
+
+namespace {
+
+double tanh_deriv_from_value(double y) { return 1.0 - y * y; }
+
+}  // namespace
+
+NeuralNet NeuralNet::fit(const std::vector<std::vector<double>>& rows,
+                         std::span<const double> targets, const NnConfig& config) {
+  if (rows.size() != targets.size() || rows.empty()) {
+    throw std::invalid_argument("NeuralNet::fit: bad data shape");
+  }
+  const std::size_t width = rows.front().size();
+  if (width == 0) throw std::invalid_argument("NeuralNet::fit: zero-width features");
+  for (const auto& row : rows) {
+    if (row.size() != width) throw std::invalid_argument("NeuralNet::fit: ragged rows");
+  }
+
+  NeuralNet net;
+  net.input_width_ = width;
+  const std::size_t n = rows.size();
+
+  // Standardize features and target.
+  net.feature_mean_.assign(width, 0.0);
+  net.feature_std_.assign(width, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) net.feature_mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < width; ++j) net.feature_mean_[j] /= static_cast<double>(n);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = row[j] - net.feature_mean_[j];
+      net.feature_std_[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    net.feature_std_[j] = std::sqrt(net.feature_std_[j] / static_cast<double>(n));
+    if (net.feature_std_[j] < 1e-12) net.feature_std_[j] = 1.0;
+  }
+  net.target_mean_ = std::accumulate(targets.begin(), targets.end(), 0.0) /
+                     static_cast<double>(n);
+  double tvar = 0.0;
+  for (const double t : targets) tvar += (t - net.target_mean_) * (t - net.target_mean_);
+  net.target_std_ = std::sqrt(tvar / static_cast<double>(n));
+  if (net.target_std_ < 1e-12) net.target_std_ = 1.0;
+
+  std::vector<std::vector<double>> x(n, std::vector<double>(width));
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      x[i][j] = (rows[i][j] - net.feature_mean_[j]) / net.feature_std_[j];
+    }
+    y[i] = (targets[i] - net.target_mean_) / net.target_std_;
+  }
+
+  // Build layers: width -> hidden... -> 1.
+  Rng rng{config.seed, 0x99EU};
+  std::vector<std::size_t> sizes{width};
+  sizes.insert(sizes.end(), config.hidden_layers.begin(), config.hidden_layers.end());
+  sizes.push_back(1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in + layer.out));
+    layer.weights.resize(layer.in * layer.out);
+    for (auto& w : layer.weights) w = rng.normal(0.0, scale);
+    layer.biases.assign(layer.out, 0.0);
+    net.layers_.push_back(std::move(layer));
+  }
+
+  // Adam state.
+  struct Adam {
+    std::vector<double> mw, vw, mb, vb;
+  };
+  std::vector<Adam> adam(net.layers_.size());
+  for (std::size_t l = 0; l < net.layers_.size(); ++l) {
+    adam[l].mw.assign(net.layers_[l].weights.size(), 0.0);
+    adam[l].vw.assign(net.layers_[l].weights.size(), 0.0);
+    adam[l].mb.assign(net.layers_[l].biases.size(), 0.0);
+    adam[l].vb.assign(net.layers_[l].biases.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  std::uint64_t step = 0;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  double prev_loss = std::numeric_limits<double>::max();
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      // Accumulate gradients over the batch.
+      std::vector<std::vector<double>> grad_w(net.layers_.size());
+      std::vector<std::vector<double>> grad_b(net.layers_.size());
+      for (std::size_t l = 0; l < net.layers_.size(); ++l) {
+        grad_w[l].assign(net.layers_[l].weights.size(), 0.0);
+        grad_b[l].assign(net.layers_[l].biases.size(), 0.0);
+      }
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = order[k];
+        std::vector<std::vector<double>> acts;
+        const double out = net.forward(x[i], &acts);
+        const double err = out - y[i];
+        epoch_loss += err * err;
+        // Backprop. delta for the linear output layer:
+        std::vector<double> delta{err};
+        for (std::size_t l = net.layers_.size(); l-- > 0;) {
+          const Layer& layer = net.layers_[l];
+          const auto& input = acts[l];  // activations feeding layer l
+          // Gradients.
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            grad_b[l][o] += delta[o];
+            for (std::size_t in = 0; in < layer.in; ++in) {
+              grad_w[l][o * layer.in + in] += delta[o] * input[in];
+            }
+          }
+          if (l == 0) break;
+          // Propagate delta to the previous layer (through tanh).
+          std::vector<double> prev(layer.in, 0.0);
+          for (std::size_t in = 0; in < layer.in; ++in) {
+            double acc = 0.0;
+            for (std::size_t o = 0; o < layer.out; ++o) {
+              acc += layer.weights[o * layer.in + in] * delta[o];
+            }
+            prev[in] = acc * tanh_deriv_from_value(input[in]);
+          }
+          delta = std::move(prev);
+        }
+      }
+      // Adam update with batch-mean gradients.
+      ++step;
+      const double batch = static_cast<double>(end - start);
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (std::size_t l = 0; l < net.layers_.size(); ++l) {
+        auto update = [&](std::vector<double>& param, std::vector<double>& grad,
+                          std::vector<double>& m, std::vector<double>& v) {
+          for (std::size_t p = 0; p < param.size(); ++p) {
+            const double g = grad[p] / batch;
+            m[p] = kBeta1 * m[p] + (1.0 - kBeta1) * g;
+            v[p] = kBeta2 * v[p] + (1.0 - kBeta2) * g * g;
+            param[p] -= config.learning_rate * (m[p] / bc1) / (std::sqrt(v[p] / bc2) + kEps);
+          }
+        };
+        update(net.layers_[l].weights, grad_w[l], adam[l].mw, adam[l].vw);
+        update(net.layers_[l].biases, grad_b[l], adam[l].mb, adam[l].vb);
+      }
+    }
+    epoch_loss /= static_cast<double>(n);
+    net.training_loss_ = epoch_loss;
+    if (config.min_improvement > 0.0 && prev_loss - epoch_loss < config.min_improvement) {
+      break;
+    }
+    prev_loss = epoch_loss;
+  }
+  return net;
+}
+
+double NeuralNet::forward(std::span<const double> x,
+                          std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current{x.begin(), x.end()};
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(current);
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out);
+    const bool is_output = l + 1 == layers_.size();
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.biases[o];
+      for (std::size_t in = 0; in < layer.in; ++in) {
+        acc += layer.weights[o * layer.in + in] * current[in];
+      }
+      next[o] = is_output ? acc : std::tanh(acc);
+    }
+    current = std::move(next);
+    if (activations != nullptr && !is_output) activations->push_back(current);
+  }
+  return current[0];
+}
+
+double NeuralNet::predict(std::span<const double> features) const {
+  if (features.size() != input_width_) {
+    throw std::invalid_argument("NeuralNet::predict: feature width mismatch");
+  }
+  std::vector<double> x(features.size());
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    x[j] = (features[j] - feature_mean_[j]) / feature_std_[j];
+  }
+  const double standardized = forward(x, nullptr);
+  return standardized * target_std_ + target_mean_;
+}
+
+std::vector<double> NeuralNet::predict_all(const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace pio::predict

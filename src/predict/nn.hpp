@@ -1,0 +1,73 @@
+// PIOEval predict: feed-forward neural network regressor (§IV.B.2).
+//
+// Schmid & Kunkel [56] "use neural networks to analyze and predict file
+// access times of a Lustre file system from the client's perspective, and
+// show that the average prediction error can be significantly improved in
+// comparison to linear models." Experiment C4 reproduces that ordering with
+// this network against stats::LinearModel.
+//
+// Fully-connected MLP, tanh hidden activations, linear output, MSE loss,
+// Adam optimizer, deterministic initialization from a seeded Rng. Inputs
+// and the target are standardized internally so callers can feed raw
+// features.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pio::predict {
+
+struct NnConfig {
+  std::vector<std::size_t> hidden_layers{32, 16};
+  std::size_t epochs = 200;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 17;
+  /// Early-stop when training MSE improves less than this between epochs
+  /// (0 = never stop early).
+  double min_improvement = 0.0;
+};
+
+class NeuralNet {
+ public:
+  /// Train on rows[i] (all same width) -> targets[i].
+  static NeuralNet fit(const std::vector<std::vector<double>>& rows,
+                       std::span<const double> targets, const NnConfig& config = {});
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Final training MSE (standardized units), for convergence checks.
+  [[nodiscard]] double training_loss() const { return training_loss_; }
+  [[nodiscard]] std::size_t input_width() const { return input_width_; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> biases;   // out
+  };
+
+  NeuralNet() = default;
+
+  /// Forward pass on standardized input; returns standardized output and
+  /// fills per-layer activations when `activations` is non-null.
+  [[nodiscard]] double forward(std::span<const double> x,
+                               std::vector<std::vector<double>>* activations) const;
+
+  std::vector<Layer> layers_;
+  std::size_t input_width_ = 0;
+  // Standardization parameters.
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+  double training_loss_ = 0.0;
+};
+
+}  // namespace pio::predict

@@ -1,0 +1,71 @@
+// PIOEval replay: trace extrapolation (experiment C6).
+//
+// Luo et al.'s ScalaIOExtrap [16, 17] "can be used to gather I/O traces on
+// a small system, to analyze the traces and extrapolate them, and then
+// finally enable I/O replay to verify the correctness of the projected
+// extrapolation of the I/O behavior."
+//
+// The extrapolator detects rank-parametric structure in a small-scale
+// workload: all ranks must execute the same op-kind sequence, and at every
+// position each varying quantity must be an exact affine function of the
+// rank —
+//   paths:   decimal substrings that equal the rank (e.g. "f.3" on rank 3)
+//   offsets: offset(r) = a + b*r
+//   sizes / think times: rank-invariant
+// When the pattern holds, a workload for any rank count can be generated.
+// When it does not, extrapolation *reports* the first mismatching position
+// instead of silently guessing — exactly the validation step the paper
+// calls out as essential.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "workload/op.hpp"
+
+namespace pio::replay {
+
+struct ExtrapolationError {
+  std::size_t position = 0;   ///< op index where the pattern broke
+  std::string reason;
+};
+
+class ExtrapolationModel {
+ public:
+  /// Learn the rank-parametric pattern from a captured workload (>= 2
+  /// ranks). Returns nullopt + error details when the workload is not
+  /// rank-affine.
+  static std::optional<ExtrapolationModel> fit(const workload::Workload& captured,
+                                               ExtrapolationError* error = nullptr);
+
+  /// Generate the projected workload at a new scale.
+  [[nodiscard]] std::unique_ptr<workload::Workload> generate(std::int32_t ranks) const;
+
+  [[nodiscard]] std::size_t ops_per_rank() const { return pattern_.size(); }
+  [[nodiscard]] std::int32_t captured_ranks() const { return captured_ranks_; }
+
+ private:
+  /// One op position: everything constant except the affine parts.
+  struct PathTemplate {
+    // Literal fragments interleaved with rank substitutions:
+    // fragments.size() == rank_slots + 1.
+    std::vector<std::string> fragments;
+    std::size_t rank_slots = 0;
+    [[nodiscard]] std::string instantiate(std::int32_t rank) const;
+  };
+  struct OpPattern {
+    workload::OpKind kind{};
+    PathTemplate path;
+    std::int64_t offset_base = 0;   ///< a in offset = a + b*rank
+    std::int64_t offset_slope = 0;  ///< b
+    std::uint64_t size = 0;
+    std::int64_t think_ns = 0;
+  };
+
+  std::vector<OpPattern> pattern_;
+  std::int32_t captured_ranks_ = 0;
+  std::string name_;
+};
+
+}  // namespace pio::replay

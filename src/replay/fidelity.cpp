@@ -1,0 +1,54 @@
+#include "replay/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace pio::replay {
+
+namespace {
+
+double ratio(double replay, double original) {
+  if (original == 0.0) return replay == 0.0 ? 1.0 : 0.0;
+  return replay / original;
+}
+
+}  // namespace
+
+double FidelityReport::worst_deviation() const {
+  double worst = 0.0;
+  for (const double r : {op_count_ratio, bytes_read_ratio, bytes_written_ratio, makespan_ratio,
+                         bandwidth_ratio}) {
+    worst = std::max(worst, std::abs(r - 1.0));
+  }
+  return worst;
+}
+
+std::string FidelityReport::to_string() const {
+  std::ostringstream out;
+  out << "ops " << format_double(op_count_ratio) << "x, bytes r/w "
+      << format_double(bytes_read_ratio) << "x/" << format_double(bytes_written_ratio)
+      << "x, makespan " << format_double(makespan_ratio) << "x, bandwidth "
+      << format_double(bandwidth_ratio) << "x (worst dev "
+      << format_percent(worst_deviation()) << ")";
+  return out.str();
+}
+
+FidelityReport compare_runs(const driver::SimRunResult& original,
+                            const driver::SimRunResult& replayed) {
+  FidelityReport report;
+  report.op_count_ratio =
+      ratio(static_cast<double>(replayed.ops), static_cast<double>(original.ops));
+  report.bytes_read_ratio =
+      ratio(replayed.bytes_read.as_double(), original.bytes_read.as_double());
+  report.bytes_written_ratio =
+      ratio(replayed.bytes_written.as_double(), original.bytes_written.as_double());
+  report.makespan_ratio = ratio(replayed.makespan.sec(), original.makespan.sec());
+  report.bandwidth_ratio = ratio(replayed.aggregate_bandwidth().bytes_per_sec(),
+                                 original.aggregate_bandwidth().bytes_per_sec());
+  return report;
+}
+
+}  // namespace pio::replay

@@ -1,0 +1,35 @@
+// PIOEval replay: replay-fidelity scoring.
+//
+// Record-and-replay is only useful if the replayed run actually reproduces
+// the original behaviour; ScalaIOExtrap's final stage "enable[s] I/O replay
+// to verify the correctness of the projected extrapolation". This report
+// quantifies agreement between an original and a replayed run: op counts,
+// byte volumes, makespan, and bandwidth ratios.
+#pragma once
+
+#include <string>
+
+#include "driver/sim_driver.hpp"
+
+namespace pio::replay {
+
+struct FidelityReport {
+  double op_count_ratio = 0.0;      ///< replay / original
+  double bytes_read_ratio = 0.0;
+  double bytes_written_ratio = 0.0;
+  double makespan_ratio = 0.0;
+  double bandwidth_ratio = 0.0;
+
+  /// Max relative deviation from 1.0 across all ratios that have data.
+  [[nodiscard]] double worst_deviation() const;
+  /// True when every populated ratio is within `tolerance` of 1.0.
+  [[nodiscard]] bool faithful(double tolerance = 0.1) const {
+    return worst_deviation() <= tolerance;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] FidelityReport compare_runs(const driver::SimRunResult& original,
+                                          const driver::SimRunResult& replayed);
+
+}  // namespace pio::replay

@@ -1,0 +1,73 @@
+#include "replay/trace_workload.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pio::replay {
+
+namespace {
+
+using workload::Op;
+using workload::OpKind;
+
+}  // namespace
+
+std::unique_ptr<workload::Workload> workload_from_trace(const trace::Trace& trace,
+                                                        const TraceReplayConfig& config) {
+  // Keep only the chosen layer, in time order.
+  trace::Trace layer_trace = trace.layer(config.layer);
+  layer_trace.sort_by_time();
+
+  // Which path is first opened by whom (global order): that open becomes a
+  // create; every later open stays an open.
+  std::set<std::string> created;
+
+  // Dense rank numbering.
+  const auto ranks = layer_trace.ranks();
+  std::map<std::int32_t, std::size_t> rank_slot;
+  for (std::size_t i = 0; i < ranks.size(); ++i) rank_slot[ranks[i]] = i;
+  std::vector<std::vector<Op>> per_rank(std::max<std::size_t>(ranks.size(), 1));
+  std::vector<SimTime> last_end(per_rank.size(), SimTime::zero());
+  std::vector<bool> saw_op(per_rank.size(), false);
+
+  for (const auto& e : layer_trace.events()) {
+    const std::size_t slot = rank_slot.at(e.rank);
+    auto& ops = per_rank[slot];
+    if (config.preserve_think_time && saw_op[slot]) {
+      const SimTime gap = e.start - last_end[slot];
+      if (gap >= config.min_think_time) ops.push_back(Op::compute(gap));
+    }
+    saw_op[slot] = true;
+    last_end[slot] = std::max(last_end[slot], e.end);
+    switch (e.op) {
+      case trace::OpKind::kOpen: {
+        if (created.insert(e.path).second) {
+          ops.push_back(Op::create(e.path));
+        } else {
+          ops.push_back(Op::open(e.path));
+        }
+        break;
+      }
+      case trace::OpKind::kClose: ops.push_back(Op::close(e.path)); break;
+      case trace::OpKind::kRead: ops.push_back(Op::read(e.path, e.offset, Bytes{e.size})); break;
+      case trace::OpKind::kWrite: {
+        // A write to a never-opened path (e.g. from a filtered trace) still
+        // needs the file to exist at replay time.
+        if (created.insert(e.path).second) ops.push_back(Op::create(e.path));
+        ops.push_back(Op::write(e.path, e.offset, Bytes{e.size}));
+        break;
+      }
+      case trace::OpKind::kStat: ops.push_back(Op::stat(e.path)); break;
+      case trace::OpKind::kMkdir: ops.push_back(Op::mkdir(e.path)); break;
+      case trace::OpKind::kUnlink: ops.push_back(Op::unlink(e.path)); break;
+      case trace::OpKind::kReaddir: ops.push_back(Op::readdir(e.path)); break;
+      case trace::OpKind::kFsync: ops.push_back(Op::fsync(e.path)); break;
+      case trace::OpKind::kSync: ops.push_back(Op::barrier()); break;
+      case trace::OpKind::kOther: break;  // untranslatable
+    }
+  }
+  return std::make_unique<workload::VectorWorkload>("replay", std::move(per_rank));
+}
+
+}  // namespace pio::replay

@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace pio::sim {
+
+Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Engine::schedule_at: time is in the past");
+  if (!fn) throw std::invalid_argument("Engine::schedule_at: empty handler");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  ++pending_;
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (delay < SimTime::zero()) {
+    throw std::logic_error("Engine::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --pending_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    // Move the handler out before invoking: the handler may schedule or
+    // cancel other events, mutating handlers_.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --pending_;
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled entries to find the true next time.
+    const Entry top = queue_.top();
+    if (handlers_.find(top.id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace pio::sim

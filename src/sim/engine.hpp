@@ -1,0 +1,92 @@
+// PIOEval simulation substrate: a deterministic discrete-event engine.
+//
+// This is the ROSS/CODES-shaped foundation of the paper's §IV.C: every
+// storage-system simulation (trace-based, execution-driven, synthetic) runs
+// on this engine. The engine is deliberately single-threaded and strictly
+// deterministic: events at equal timestamps fire in insertion order, and all
+// randomness flows through per-purpose `Rng` substreams of one campaign seed,
+// so two runs with equal inputs produce byte-identical outputs. Determinism
+// is load-bearing for the replay-fidelity and extrapolation experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pio::sim {
+
+/// Event handle used to cancel a scheduled event. Cancellation is lazy: the
+/// slot is marked dead and skipped when popped.
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event scheduler.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing across `step`.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Throws on scheduling into
+  /// the past — a model bug that must fail loudly, not warp time.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after a non-negative delay from now.
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled. O(1); the dead slot is dropped when it reaches the top.
+  bool cancel(EventId id);
+
+  /// Execute the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Run until the queue drains or simulated time would exceed `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending (non-cancelled) events.
+  [[nodiscard]] std::uint64_t events_pending() const { return pending_; }
+
+  /// Deterministic named random stream; same (seed, id) -> same draws
+  /// regardless of when in the run the stream is first requested.
+  [[nodiscard]] Rng rng_stream(std::uint64_t id) const { return Rng{seed_, id}; }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: insertion order at equal time
+    EventId id;
+    // Ordering for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t seed_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // id -> callback; erased on fire/cancel. Separate from the heap so cancel
+  // is O(1) without heap surgery.
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace pio::sim

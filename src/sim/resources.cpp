@@ -1,0 +1,149 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pio::sim {
+
+// ---------------------------------------------------------------- FifoServer
+
+FifoServer::FifoServer(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+void FifoServer::submit(SimTime service_time, std::function<void()> on_done) {
+  if (service_time < SimTime::zero()) {
+    throw std::invalid_argument("FifoServer::submit: negative service time");
+  }
+  queue_.push_back(Job{service_time, engine_.now(), std::move(on_done)});
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+  if (!busy_) start_next();
+}
+
+void FifoServer::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.total_wait += engine_.now() - job.enqueued;
+  stats_.busy_time += job.service;
+  engine_.schedule_after(job.service, [this, done = std::move(job.on_done)]() mutable {
+    ++stats_.jobs_completed;
+    if (done) done();
+    start_next();
+  });
+}
+
+// --------------------------------------------------------- FairShareChannel
+
+FairShareChannel::FairShareChannel(Engine& engine, Bandwidth capacity, SimTime latency,
+                                   std::string name)
+    : engine_(engine), capacity_(capacity), latency_(latency), name_(std::move(name)) {
+  if (capacity.bytes_per_sec() <= 0.0) {
+    throw std::invalid_argument("FairShareChannel: capacity must be positive");
+  }
+  if (latency < SimTime::zero()) {
+    throw std::invalid_argument("FairShareChannel: negative latency");
+  }
+}
+
+void FairShareChannel::transfer(Bytes size, std::function<void()> on_done) {
+  if (size == Bytes::zero()) {
+    // Latency-only message (e.g. a metadata RPC header).
+    engine_.schedule_after(latency_, std::move(on_done));
+    return;
+  }
+  engine_.schedule_after(latency_, [this, size, done = std::move(on_done)]() mutable {
+    admit(size, std::move(done));
+  });
+}
+
+void FairShareChannel::admit(Bytes size, std::function<void()> on_done) {
+  advance_progress();
+  flows_.push_back(Flow{size.as_double(), size, std::move(on_done)});
+  reschedule_completion();
+}
+
+void FairShareChannel::advance_progress() {
+  const SimTime now = engine_.now();
+  if (!flows_.empty() && now > last_progress_) {
+    const double rate = capacity_.bytes_per_sec() / static_cast<double>(flows_.size());
+    const double progressed = rate * (now - last_progress_).sec();
+    for (auto& flow : flows_) flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - progressed);
+  }
+  last_progress_ = now;
+}
+
+void FairShareChannel::reschedule_completion() {
+  if (pending_completion_ != 0) {
+    engine_.cancel(pending_completion_);
+    pending_completion_ = 0;
+  }
+  if (flows_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& flow : flows_) min_remaining = std::min(min_remaining, flow.remaining_bytes);
+  const double rate = capacity_.bytes_per_sec() / static_cast<double>(flows_.size());
+  // Round up to the next nanosecond so remaining bytes are always fully
+  // drained by the time the completion fires.
+  const double secs = min_remaining / rate;
+  const auto delay = SimTime::from_ns(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
+  pending_completion_ = engine_.schedule_after(delay, [this] {
+    pending_completion_ = 0;
+    complete_earliest();
+  });
+}
+
+void FairShareChannel::complete_earliest() {
+  advance_progress();
+  // Complete every flow that has drained (ties complete together, in
+  // admission order for determinism).
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining_bytes <= 0.5) {  // < 1 byte left: drained
+      bytes_moved_ += it->size;
+      done.push_back(std::move(it->on_done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule_completion();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+// ------------------------------------------------------------------ TokenPool
+
+TokenPool::TokenPool(Engine& engine, std::uint64_t tokens, std::string name)
+    : engine_(engine), capacity_(tokens), available_(tokens), name_(std::move(name)) {
+  if (tokens == 0) throw std::invalid_argument("TokenPool: zero capacity");
+}
+
+void TokenPool::acquire(std::uint64_t n, std::function<void()> on_grant) {
+  if (n == 0 || n > capacity_) throw std::invalid_argument("TokenPool::acquire: bad count");
+  waiters_.push_back(Waiter{n, std::move(on_grant)});
+  drain();
+}
+
+void TokenPool::release(std::uint64_t n) {
+  available_ += n;
+  if (available_ > capacity_) throw std::logic_error("TokenPool::release: over-release");
+  drain();
+}
+
+void TokenPool::drain() {
+  // FIFO: strictly grant in arrival order; a large request at the head
+  // blocks later small ones (no starvation).
+  while (!waiters_.empty() && waiters_.front().n <= available_) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    available_ -= w.n;
+    if (w.on_grant) w.on_grant();
+  }
+}
+
+}  // namespace pio::sim

@@ -1,0 +1,137 @@
+// PIOEval simulation substrate: queueing building blocks.
+//
+// Three primitives cover every server in the storage/network models:
+//  - FifoServer: a single server with explicit service times (disks, MDS ops)
+//  - FairShareChannel: a fluid processor-sharing link (network fabrics)
+//  - TokenPool: counting semaphore in simulated time (server thread limits)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <list>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace pio::sim {
+
+/// Aggregate occupancy statistics shared by the queueing primitives.
+struct ServerStats {
+  std::uint64_t jobs_completed = 0;
+  SimTime busy_time = SimTime::zero();   ///< time with >= 1 job in service
+  SimTime total_wait = SimTime::zero();  ///< queueing delay, excludes service
+  std::uint64_t max_queue_depth = 0;
+
+  [[nodiscard]] SimTime mean_wait() const {
+    return jobs_completed == 0 ? SimTime::zero()
+                               : total_wait / static_cast<std::int64_t>(jobs_completed);
+  }
+  [[nodiscard]] double utilization(SimTime horizon) const {
+    return horizon <= SimTime::zero() ? 0.0 : busy_time.sec() / horizon.sec();
+  }
+};
+
+/// Single-server FIFO queue. Service time is supplied per job so callers can
+/// model state-dependent costs (e.g. disk seek depends on previous offset).
+class FifoServer {
+ public:
+  explicit FifoServer(Engine& engine, std::string name = "fifo");
+
+  /// Enqueue a job; `on_done` fires when its service completes.
+  void submit(SimTime service_time, std::function<void()> on_done);
+
+  [[nodiscard]] std::uint64_t queue_depth() const { return queue_.size() + (busy_ ? 1u : 0u); }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    SimTime service;
+    SimTime enqueued;
+    std::function<void()> on_done;
+  };
+
+  void start_next();
+
+  Engine& engine_;
+  std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  ServerStats stats_;
+};
+
+/// Fluid-model fair-sharing channel: `n` concurrent flows each progress at
+/// capacity/n. On every membership change the remaining volumes are advanced
+/// and the next completion re-scheduled. Propagation latency is applied once
+/// at flow admission. This is the standard processor-sharing approximation
+/// used by CODES-class network models.
+class FairShareChannel {
+ public:
+  FairShareChannel(Engine& engine, Bandwidth capacity, SimTime latency,
+                   std::string name = "link");
+
+  /// Start a transfer of `size`; `on_done` fires when the last byte drains.
+  void transfer(Bytes size, std::function<void()> on_done);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] Bytes bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Bandwidth capacity() const { return capacity_; }
+
+ private:
+  struct Flow {
+    double remaining_bytes;
+    Bytes size;
+    std::function<void()> on_done;
+  };
+
+  void admit(Bytes size, std::function<void()> on_done);
+  void advance_progress();
+  void reschedule_completion();
+  void complete_earliest();
+
+  Engine& engine_;
+  Bandwidth capacity_;
+  SimTime latency_;
+  std::string name_;
+  std::list<Flow> flows_;
+  SimTime last_progress_ = SimTime::zero();
+  EventId pending_completion_ = 0;
+  Bytes bytes_moved_ = Bytes::zero();
+};
+
+/// Counting semaphore over simulated time: models bounded server concurrency
+/// (e.g. an MDS with k service threads). FIFO grant order.
+class TokenPool {
+ public:
+  TokenPool(Engine& engine, std::uint64_t tokens, std::string name = "tokens");
+
+  /// Request `n` tokens (n <= pool size); `on_grant` fires when granted —
+  /// immediately (same event) if available.
+  void acquire(std::uint64_t n, std::function<void()> on_grant);
+
+  /// Return `n` tokens, possibly granting queued waiters.
+  void release(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t available() const { return available_; }
+  [[nodiscard]] std::uint64_t waiters() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::uint64_t n;
+    std::function<void()> on_grant;
+  };
+
+  void drain();
+
+  Engine& engine_;
+  std::uint64_t capacity_;
+  std::uint64_t available_;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace pio::sim

@@ -1,0 +1,125 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pio::stats {
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: bench series can mix magnitudes wildly.
+  double s = 0.0;
+  double c = 0.0;
+  for (const double x : xs) {
+    const double y = x - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  return m == 0.0 ? 0.0 : stddev(xs) / m;
+}
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0 || q > 1.0) throw std::domain_error("quantile: q out of [0, 1]");
+  std::vector<double> sorted{xs.begin(), xs.end()};
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Average ranks (1-based), ties share the mean rank.
+std::vector<double> ranks_of(std::span<const double> xs) {
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("spearman: size mismatch");
+  const auto rx = ranks_of(xs);
+  const auto ry = ranks_of(ys);
+  return pearson(rx, ry);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+}  // namespace pio::stats

@@ -1,0 +1,47 @@
+// PIOEval stats: descriptive statistics (§IV.B.1).
+//
+// "Some of the statistics techniques are arithmetic mean, standard
+// deviation, linear regression, Markov models, hypothesis testing,
+// probability density and cumulative density functions, coefficient of
+// variance, and coefficient of correlation." — this module implements the
+// scalar ones; regression, Markov chains, and tests live in sibling files.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pio::stats {
+
+[[nodiscard]] double sum(std::span<const double> xs);
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Sample variance (n-1 denominator); 0 for fewer than 2 points.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Coefficient of variation: stddev / mean (0 when mean == 0).
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Pearson product-moment correlation; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Empirical CDF: fraction of samples <= x.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace pio::stats

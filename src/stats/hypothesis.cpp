@@ -1,0 +1,142 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace pio::stats {
+
+namespace {
+
+/// Lanczos log-gamma.
+double log_gamma(double x) {
+  static const double coef[6] = {76.18009172947146,  -86.50532032941677, 24.01409824083091,
+                                 -1.231739572450155, 0.1208650973866179e-2,
+                                 -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (const double c : coef) ser += c / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+/// Continued fraction for the incomplete beta function (Numerical Recipes
+/// betacf structure).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x < 0.0 || x > 1.0) throw std::domain_error("incomplete_beta: x out of [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front =
+      log_gamma(a + b) - log_gamma(a) - log_gamma(b) + a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: need at least 2 samples per side");
+  }
+  const double ma = mean(a);
+  const double mb = mean(b);
+  const double va = variance(a);
+  const double vb = variance(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  TTestResult r;
+  if (se2 == 0.0) {
+    r.t_statistic = ma == mb ? 0.0 : std::numeric_limits<double>::infinity();
+    r.degrees_of_freedom = na + nb - 2.0;
+    r.p_value = ma == mb ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = (ma - mb) / std::sqrt(se2);
+  // Welch-Satterthwaite.
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0);
+  r.degrees_of_freedom = num / den;
+  // Two-sided p from the t CDF: P(|T| > t) = I_{df/(df+t^2)}(df/2, 1/2).
+  const double t2 = r.t_statistic * r.t_statistic;
+  const double df = r.degrees_of_freedom;
+  r.p_value = incomplete_beta(df / 2.0, 0.5, df / (df + t2));
+  return r;
+}
+
+KsTestResult ks_test(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_test: empty sample");
+  std::vector<double> sa{a.begin(), a.end()};
+  std::vector<double> sb{b.begin(), b.end()};
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  KsTestResult r;
+  r.statistic = d;
+  // Asymptotic Kolmogorov distribution.
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = sign * std::exp(-2.0 * lambda * lambda * k * k);
+    p += term;
+    sign = -sign;
+    if (std::abs(term) < 1e-12) break;
+  }
+  r.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return r;
+}
+
+}  // namespace pio::stats

@@ -1,0 +1,37 @@
+// PIOEval stats: hypothesis tests (§IV.B.1).
+//
+// Welch's two-sample t-test and the two-sample Kolmogorov-Smirnov test —
+// the workhorses for "did this optimization change the latency
+// distribution?" questions in the analysis layer.
+#pragma once
+
+#include <span>
+
+namespace pio::stats {
+
+/// Welch's t-test result.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value (computed from the t CDF via the incomplete beta
+  /// function).
+  double p_value = 1.0;
+  [[nodiscard]] bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+[[nodiscard]] TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Two-sample Kolmogorov-Smirnov test.
+struct KsTestResult {
+  double statistic = 0.0;  ///< max |CDF_a - CDF_b|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov distribution
+  [[nodiscard]] bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+[[nodiscard]] KsTestResult ks_test(std::span<const double> a, std::span<const double> b);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction),
+/// exposed because the t-distribution CDF is built on it and tests pin it.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+}  // namespace pio::stats

@@ -1,0 +1,103 @@
+#include "stats/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pio::stats {
+
+MarkovChain MarkovChain::fit(std::span<const std::uint32_t> sequence, std::uint32_t states,
+                             double alpha) {
+  if (states == 0) throw std::invalid_argument("MarkovChain::fit: zero states");
+  std::vector<std::vector<double>> counts(states, std::vector<double>(states, alpha));
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    if (sequence[i] >= states || sequence[i + 1] >= states) {
+      throw std::invalid_argument("MarkovChain::fit: state out of range");
+    }
+    counts[sequence[i]][sequence[i + 1]] += 1.0;
+  }
+  for (auto& row : counts) {
+    double total = 0.0;
+    for (const double c : row) total += c;
+    if (total == 0.0) {
+      // Unvisited state: uniform row.
+      for (double& c : row) c = 1.0 / static_cast<double>(states);
+    } else {
+      for (double& c : row) c /= total;
+    }
+  }
+  return MarkovChain{std::move(counts)};
+}
+
+MarkovChain::MarkovChain(std::vector<std::vector<double>> transition)
+    : transition_(std::move(transition)) {
+  const std::size_t n = transition_.size();
+  if (n == 0) throw std::invalid_argument("MarkovChain: empty matrix");
+  for (const auto& row : transition_) {
+    if (row.size() != n) throw std::invalid_argument("MarkovChain: non-square matrix");
+    double total = 0.0;
+    for (const double p : row) {
+      if (p < 0.0) throw std::invalid_argument("MarkovChain: negative probability");
+      total += p;
+    }
+    if (std::abs(total - 1.0) > 1e-6) {
+      throw std::invalid_argument("MarkovChain: row does not sum to 1");
+    }
+  }
+}
+
+double MarkovChain::probability(std::uint32_t from, std::uint32_t to) const {
+  return transition_.at(from).at(to);
+}
+
+std::vector<double> MarkovChain::stationary(std::size_t iterations) const {
+  const std::size_t n = transition_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t j = 0; j < n; ++j) next[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) next[j] += pi[i] * transition_[i][j];
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      delta += std::abs(next[j] - pi[j]);
+      pi[j] = next[j];
+    }
+    if (delta < 1e-12) break;
+  }
+  return pi;
+}
+
+std::vector<std::uint32_t> MarkovChain::generate(std::uint32_t initial, std::size_t length,
+                                                 Rng& rng) const {
+  if (initial >= states()) throw std::invalid_argument("MarkovChain::generate: bad initial");
+  std::vector<std::uint32_t> out;
+  out.reserve(length);
+  std::uint32_t state = initial;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(state);
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::uint32_t next = states() - 1;
+    for (std::uint32_t j = 0; j < states(); ++j) {
+      acc += transition_[state][j];
+      if (u < acc) {
+        next = j;
+        break;
+      }
+    }
+    state = next;
+  }
+  return out;
+}
+
+double MarkovChain::log_likelihood(std::span<const std::uint32_t> sequence) const {
+  double ll = 0.0;
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    const double p = probability(sequence[i], sequence[i + 1]);
+    ll += p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+  }
+  return ll;
+}
+
+}  // namespace pio::stats

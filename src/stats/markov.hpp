@@ -1,0 +1,48 @@
+// PIOEval stats: discrete Markov chains (§IV.B.1).
+//
+// Used for access-pattern modeling: I/O phases (read/write/metadata/idle)
+// form a state sequence; a fitted chain both summarizes behaviour (e.g.
+// "after a write burst, another write burst follows with p=0.92") and
+// generates synthetic phase sequences for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pio::stats {
+
+class MarkovChain {
+ public:
+  /// Fit a first-order chain with `states` states from an observed state
+  /// sequence (values must be < states). Rows with no observations get a
+  /// uniform distribution. Laplace smoothing `alpha` avoids zero rows.
+  static MarkovChain fit(std::span<const std::uint32_t> sequence, std::uint32_t states,
+                         double alpha = 0.0);
+
+  explicit MarkovChain(std::vector<std::vector<double>> transition);
+
+  [[nodiscard]] std::uint32_t states() const {
+    return static_cast<std::uint32_t>(transition_.size());
+  }
+  [[nodiscard]] double probability(std::uint32_t from, std::uint32_t to) const;
+  [[nodiscard]] const std::vector<std::vector<double>>& matrix() const { return transition_; }
+
+  /// Stationary distribution via power iteration.
+  [[nodiscard]] std::vector<double> stationary(std::size_t iterations = 1000) const;
+
+  /// Generate a sequence starting from `initial`.
+  [[nodiscard]] std::vector<std::uint32_t> generate(std::uint32_t initial, std::size_t length,
+                                                    Rng& rng) const;
+
+  /// Log-likelihood of a sequence under this chain (transitions with zero
+  /// probability contribute -inf; callers fitting with smoothing avoid it).
+  [[nodiscard]] double log_likelihood(std::span<const std::uint32_t> sequence) const;
+
+ private:
+  std::vector<std::vector<double>> transition_;
+};
+
+}  // namespace pio::stats

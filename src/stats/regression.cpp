@@ -1,0 +1,136 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace pio::stats {
+
+SimpleFit fit_simple(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("fit_simple: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("fit_simple: need at least 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  SimpleFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (sxx == 0.0 || syy == 0.0) ? 0.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+namespace {
+
+/// Solve A x = b in place with Gaussian elimination + partial pivoting.
+std::vector<double> solve(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw std::runtime_error("LinearModel::fit: singular design matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinearModel LinearModel::fit(const std::vector<std::vector<double>>& rows,
+                             std::span<const double> ys) {
+  if (rows.size() != ys.size()) throw std::invalid_argument("LinearModel::fit: size mismatch");
+  if (rows.empty()) throw std::invalid_argument("LinearModel::fit: empty data");
+  const std::size_t k = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != k) throw std::invalid_argument("LinearModel::fit: ragged rows");
+  }
+  const std::size_t p = k + 1;  // + intercept
+  // Normal equations: (X^T X) beta = X^T y, with X's first column all ones.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<double> xi(p);
+    xi[0] = 1.0;
+    for (std::size_t j = 0; j < k; ++j) xi[j + 1] = rows[i][j];
+    for (std::size_t a = 0; a < p; ++a) {
+      xty[a] += xi[a] * ys[i];
+      for (std::size_t b = 0; b < p; ++b) xtx[a][b] += xi[a] * xi[b];
+    }
+  }
+  LinearModel model;
+  model.beta_ = solve(std::move(xtx), std::move(xty));
+  // R^2 on the training data.
+  const double my = mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double yhat = model.predict(rows[i]);
+    ss_res += (ys[i] - yhat) * (ys[i] - yhat);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  model.r_squared_ = ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+  return model;
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  if (features.size() + 1 != beta_.size()) {
+    throw std::invalid_argument("LinearModel::predict: feature count mismatch");
+  }
+  double y = beta_[0];
+  for (std::size_t j = 0; j < features.size(); ++j) y += beta_[j + 1] * features[j];
+  return y;
+}
+
+ErrorMetrics compute_errors(std::span<const double> predicted, std::span<const double> actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("compute_errors: size mismatch");
+  }
+  ErrorMetrics m;
+  if (predicted.empty()) return m;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double pct_sum = 0.0;
+  std::size_t pct_n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double err = predicted[i] - actual[i];
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    if (actual[i] != 0.0) {
+      pct_sum += std::abs(err / actual[i]);
+      ++pct_n;
+    }
+  }
+  const auto n = static_cast<double>(predicted.size());
+  m.mae = abs_sum / n;
+  m.rmse = std::sqrt(sq_sum / n);
+  m.mape = pct_n == 0 ? 0.0 : pct_sum / static_cast<double>(pct_n);
+  return m;
+}
+
+}  // namespace pio::stats

@@ -1,0 +1,51 @@
+// PIOEval stats: linear regression — the "linear models" baseline that
+// experiment C4 pits against the neural-network predictor (Schmid & Kunkel
+// [56] report NN average prediction error significantly better than linear
+// models; our reproduction must show the same ordering).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pio::stats {
+
+/// Simple y = a + b*x least squares.
+struct SimpleFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+[[nodiscard]] SimpleFit fit_simple(std::span<const double> xs, std::span<const double> ys);
+
+/// Multivariate ordinary least squares with intercept:
+/// y ~ b0 + b1*x1 + ... + bk*xk, solved by normal equations with partial
+/// pivoting. Throws on singular designs.
+class LinearModel {
+ public:
+  /// `rows[i]` is the feature vector of sample i (all the same length).
+  static LinearModel fit(const std::vector<std::vector<double>>& rows,
+                         std::span<const double> ys);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] const std::vector<double>& coefficients() const { return beta_; }
+  [[nodiscard]] double r_squared() const { return r_squared_; }
+
+ private:
+  std::vector<double> beta_;  // [intercept, b1, ..., bk]
+  double r_squared_ = 0.0;
+};
+
+/// Prediction-error metrics shared by all model evaluations.
+struct ErrorMetrics {
+  double mae = 0.0;    ///< mean absolute error
+  double rmse = 0.0;   ///< root mean squared error
+  double mape = 0.0;   ///< mean absolute percentage error (targets of 0 skipped)
+};
+
+[[nodiscard]] ErrorMetrics compute_errors(std::span<const double> predicted,
+                                          std::span<const double> actual);
+
+}  // namespace pio::stats

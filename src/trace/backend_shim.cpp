@@ -1,0 +1,89 @@
+#include "trace/backend_shim.hpp"
+
+namespace pio::trace {
+
+void TracingBackend::emit(OpKind op, const std::string& path, std::uint64_t offset,
+                          std::uint64_t size, SimTime start, bool ok) {
+  TraceEvent e;
+  e.layer = Layer::kPosix;
+  e.op = op;
+  e.rank = rank_;
+  e.path = path;
+  e.offset = offset;
+  e.size = size;
+  e.start = start;
+  e.end = clock_.now();
+  e.ok = ok;
+  sink_.record(e);
+}
+
+Result<vfs::Fd> TracingBackend::open(const std::string& path, const vfs::OpenOptions& options) {
+  const SimTime start = clock_.now();
+  auto result = inner_.open(path, options);
+  emit(OpKind::kOpen, path, 0, 0, start, result.ok());
+  return result;
+}
+
+Result<std::size_t> TracingBackend::pread(vfs::Fd fd, std::span<std::byte> out,
+                                          std::uint64_t offset) {
+  const SimTime start = clock_.now();
+  const std::string path = inner_.path_of(fd);
+  auto result = inner_.pread(fd, out, offset);
+  emit(OpKind::kRead, path, offset, result.ok() ? result.value() : 0, start, result.ok());
+  return result;
+}
+
+Result<std::size_t> TracingBackend::pwrite(vfs::Fd fd, std::span<const std::byte> data,
+                                           std::uint64_t offset) {
+  const SimTime start = clock_.now();
+  const std::string path = inner_.path_of(fd);
+  auto result = inner_.pwrite(fd, data, offset);
+  emit(OpKind::kWrite, path, offset, result.ok() ? result.value() : 0, start, result.ok());
+  return result;
+}
+
+vfs::FsStatus TracingBackend::close(vfs::Fd fd) {
+  const SimTime start = clock_.now();
+  const std::string path = inner_.path_of(fd);
+  const auto status = inner_.close(fd);
+  emit(OpKind::kClose, path, 0, 0, start, status == vfs::FsStatus::kOk);
+  return status;
+}
+
+vfs::FsStatus TracingBackend::fsync(vfs::Fd fd) {
+  const SimTime start = clock_.now();
+  const std::string path = inner_.path_of(fd);
+  const auto status = inner_.fsync(fd);
+  emit(OpKind::kFsync, path, 0, 0, start, status == vfs::FsStatus::kOk);
+  return status;
+}
+
+vfs::FsStatus TracingBackend::mkdir(const std::string& path) {
+  const SimTime start = clock_.now();
+  const auto status = inner_.mkdir(path);
+  emit(OpKind::kMkdir, path, 0, 0, start, status == vfs::FsStatus::kOk);
+  return status;
+}
+
+vfs::FsStatus TracingBackend::remove(const std::string& path) {
+  const SimTime start = clock_.now();
+  const auto status = inner_.remove(path);
+  emit(OpKind::kUnlink, path, 0, 0, start, status == vfs::FsStatus::kOk);
+  return status;
+}
+
+Result<vfs::FileInfo> TracingBackend::stat(const std::string& path) {
+  const SimTime start = clock_.now();
+  auto result = inner_.stat(path);
+  emit(OpKind::kStat, path, 0, 0, start, result.ok());
+  return result;
+}
+
+Result<std::vector<std::string>> TracingBackend::readdir(const std::string& path) {
+  const SimTime start = clock_.now();
+  auto result = inner_.readdir(path);
+  emit(OpKind::kReaddir, path, 0, 0, start, result.ok());
+  return result;
+}
+
+}  // namespace pio::trace

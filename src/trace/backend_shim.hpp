@@ -1,0 +1,47 @@
+// PIOEval trace: POSIX-layer interposition shim.
+//
+// TracingBackend decorates any vfs::Backend and emits a POSIX-layer
+// TraceEvent per call — the library-preload interposition trick Darshan and
+// Recorder use, expressed as a decorator. One shim per rank keeps rank
+// attribution lock-free; the wrapped backend and the sink handle their own
+// synchronization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/event.hpp"
+#include "vfs/backend.hpp"
+
+namespace pio::trace {
+
+class TracingBackend final : public vfs::Backend {
+ public:
+  TracingBackend(vfs::Backend& inner, Sink& sink, const Clock& clock, std::int32_t rank)
+      : inner_(inner), sink_(sink), clock_(clock), rank_(rank) {}
+
+  [[nodiscard]] Result<vfs::Fd> open(const std::string& path,
+                                     const vfs::OpenOptions& options) override;
+  [[nodiscard]] Result<std::size_t> pread(vfs::Fd fd, std::span<std::byte> out,
+                                          std::uint64_t offset) override;
+  [[nodiscard]] Result<std::size_t> pwrite(vfs::Fd fd, std::span<const std::byte> data,
+                                           std::uint64_t offset) override;
+  vfs::FsStatus close(vfs::Fd fd) override;
+  vfs::FsStatus fsync(vfs::Fd fd) override;
+  vfs::FsStatus mkdir(const std::string& path) override;
+  vfs::FsStatus remove(const std::string& path) override;
+  [[nodiscard]] Result<vfs::FileInfo> stat(const std::string& path) override;
+  [[nodiscard]] Result<std::vector<std::string>> readdir(const std::string& path) override;
+  [[nodiscard]] std::string path_of(vfs::Fd fd) const override { return inner_.path_of(fd); }
+
+ private:
+  void emit(OpKind op, const std::string& path, std::uint64_t offset, std::uint64_t size,
+            SimTime start, bool ok);
+
+  vfs::Backend& inner_;
+  Sink& sink_;
+  const Clock& clock_;
+  std::int32_t rank_;
+};
+
+}  // namespace pio::trace

@@ -1,0 +1,63 @@
+#include "trace/event.hpp"
+
+#include <chrono>
+
+namespace pio::trace {
+
+const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kApp: return "app";
+    case Layer::kHdf5: return "hdf5";
+    case Layer::kMpiIo: return "mpiio";
+    case Layer::kPosix: return "posix";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kOpen: return "open";
+    case OpKind::kClose: return "close";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kStat: return "stat";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kReaddir: return "readdir";
+    case OpKind::kFsync: return "fsync";
+    case OpKind::kSync: return "sync";
+    case OpKind::kOther: return "other";
+  }
+  return "?";
+}
+
+bool is_data_op(OpKind op) { return op == OpKind::kRead || op == OpKind::kWrite; }
+
+bool is_metadata_op(OpKind op) {
+  switch (op) {
+    case OpKind::kOpen:
+    case OpKind::kClose:
+    case OpKind::kStat:
+    case OpKind::kMkdir:
+    case OpKind::kUnlink:
+    case OpKind::kReaddir:
+    case OpKind::kFsync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+WallClock::WallClock()
+    : epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+SimTime WallClock::now() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return SimTime::from_ns(ns - epoch_ns_);
+}
+
+}  // namespace pio::trace

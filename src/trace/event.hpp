@@ -1,0 +1,104 @@
+// PIOEval trace: the common event vocabulary of the measurement phase.
+//
+// §IV.A.2 distinguishes *traces* (lossless timestamped records) from
+// *profiles* (statistics). Both consume the same stream of TraceEvents,
+// emitted at every layer of the Fig. 2 stack (application, HDF5-lite,
+// MPI-IO-lite, POSIX) — the Recorder-style multi-level design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pio::trace {
+
+/// Which layer of the I/O stack observed the operation (Fig. 2).
+enum class Layer : std::uint8_t { kApp, kHdf5, kMpiIo, kPosix };
+
+[[nodiscard]] const char* to_string(Layer layer);
+
+/// Operation kind, shared across layers.
+enum class OpKind : std::uint8_t {
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kStat,
+  kMkdir,
+  kUnlink,
+  kReaddir,
+  kFsync,
+  kSync,      ///< collective sync / barrier-ish operations
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(OpKind op);
+[[nodiscard]] bool is_data_op(OpKind op);
+[[nodiscard]] bool is_metadata_op(OpKind op);
+
+/// One observed operation.
+struct TraceEvent {
+  Layer layer = Layer::kPosix;
+  OpKind op = OpKind::kOther;
+  std::int32_t rank = 0;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;      ///< bytes transferred (0 for metadata ops)
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  bool ok = true;
+
+  [[nodiscard]] SimTime duration() const { return end - start; }
+};
+
+/// Consumer of trace events. Implementations must be thread-safe: rank
+/// threads on the measurement path record concurrently.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Fan-out sink: one run can feed a profiler and a tracer simultaneously.
+class MultiSink final : public Sink {
+ public:
+  void add(Sink& sink) { sinks_.push_back(&sink); }
+  void record(const TraceEvent& event) override {
+    for (Sink* sink : sinks_) sink->record(event);
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+/// Time source for event stamping: wall clock on the measurement path,
+/// virtual time on the simulated path.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Monotonic wall clock, zeroed at construction.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+  [[nodiscard]] SimTime now() const override;
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+/// Externally driven clock (simulation drivers advance it).
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void set(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_ = SimTime::zero();
+};
+
+}  // namespace pio::trace

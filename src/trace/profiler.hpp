@@ -1,0 +1,138 @@
+// PIOEval trace: Darshan-style I/O characterization profiler.
+//
+// §IV.A.2: "Profiles store I/O characterization information, i.e.,
+// statistics, including: number of function invocations, average execution
+// time of a function, file access patterns..." The profiler keeps bounded
+// per-(rank, file) counters regardless of how many operations flow through,
+// which is what lets real Darshan run 24/7 at petascale. The resulting
+// profile is the input to characterization-based workload generation
+// (IOWA-style, experiment C7) and to the predictive-analytics features.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "trace/event.hpp"
+
+namespace pio::trace {
+
+/// Counters for one (rank, file) pair — the Darshan "file record".
+struct FileRecord {
+  std::int32_t rank = 0;
+  std::string path;
+
+  std::uint64_t opens = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t metadata_ops = 0;
+  std::uint64_t errors = 0;
+
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+
+  SimTime read_time = SimTime::zero();
+  SimTime write_time = SimTime::zero();
+  SimTime meta_time = SimTime::zero();
+
+  SimTime first_op = SimTime::max();
+  SimTime last_op = SimTime::zero();
+
+  /// Access-size distributions (log2 buckets, like Darshan's
+  /// POSIX_SIZE_READ_* counters).
+  Log2Histogram read_sizes;
+  Log2Histogram write_sizes;
+
+  /// Sequentiality: next offset > previous end ("sequential") and
+  /// next offset == previous end ("consecutive"), Darshan definitions.
+  std::uint64_t sequential_reads = 0;
+  std::uint64_t consecutive_reads = 0;
+  std::uint64_t sequential_writes = 0;
+  std::uint64_t consecutive_writes = 0;
+
+  std::uint64_t max_offset = 0;  ///< highest byte touched + 1
+
+  // Internal cursor state for sequentiality detection.
+  std::uint64_t last_read_end = 0;
+  bool saw_read = false;
+  std::uint64_t last_write_end = 0;
+  bool saw_write = false;
+
+  void merge(const FileRecord& other);
+
+  [[nodiscard]] double read_seq_fraction() const {
+    return reads == 0 ? 0.0 : static_cast<double>(sequential_reads) / static_cast<double>(reads);
+  }
+  [[nodiscard]] double write_seq_fraction() const {
+    return writes == 0 ? 0.0
+                       : static_cast<double>(sequential_writes) / static_cast<double>(writes);
+  }
+};
+
+/// Whole-job aggregate (the Darshan "job summary").
+struct JobSummary {
+  std::uint64_t total_ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t metadata_ops = 0;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  SimTime read_time = SimTime::zero();
+  SimTime write_time = SimTime::zero();
+  SimTime meta_time = SimTime::zero();
+  SimTime span = SimTime::zero();
+  std::uint64_t files = 0;
+  std::uint64_t ranks = 0;
+  Log2Histogram read_sizes;
+  Log2Histogram write_sizes;
+
+  [[nodiscard]] double read_fraction_bytes() const {
+    const double total = bytes_read.as_double() + bytes_written.as_double();
+    return total == 0.0 ? 0.0 : bytes_read.as_double() / total;
+  }
+  [[nodiscard]] double metadata_fraction_ops() const {
+    return total_ops == 0 ? 0.0
+                          : static_cast<double>(metadata_ops) / static_cast<double>(total_ops);
+  }
+};
+
+/// Immutable profile produced by the Profiler.
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(std::vector<FileRecord> records);
+
+  [[nodiscard]] const std::vector<FileRecord>& records() const { return records_; }
+  [[nodiscard]] JobSummary summarize() const;
+  /// Records collapsed across ranks (per-file view).
+  [[nodiscard]] std::vector<FileRecord> by_file() const;
+  /// Human-readable report (the "darshan-parser" style dump).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::vector<FileRecord> records_;
+};
+
+/// Thread-safe profiling sink. Only POSIX-layer events are counted by
+/// default (matching Darshan's POSIX module); other layers can be enabled
+/// for layered analysis.
+class Profiler final : public Sink {
+ public:
+  explicit Profiler(Layer layer = Layer::kPosix) : layer_(layer) {}
+
+  void record(const TraceEvent& event) override;
+
+  [[nodiscard]] Profile snapshot() const;
+
+ private:
+  Layer layer_;
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::int32_t, std::string>, FileRecord> records_;
+};
+
+}  // namespace pio::trace

@@ -1,0 +1,74 @@
+// PIOEval trace: storage-system-level monitoring (GUIDE/FSMonitor-style).
+//
+// §IV.A.2: "storage and system administrators can collect additional
+// server-side statistics of the file system, e.g., load on the servers and
+// storage devices." This collector subscribes to the PFS model's OST and
+// MDS op records and bins them into fixed time windows per server,
+// producing the time series the system-level analysis (§IV.B.1 type (2),
+// Patel et al. [53]) consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pfs/mds.hpp"
+#include "pfs/ost.hpp"
+#include "pfs/pfs.hpp"
+
+namespace pio::trace {
+
+/// One time-window sample for one server.
+struct ServerSample {
+  std::uint64_t window = 0;  ///< window index (time / window_size)
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t meta_ops = 0;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  SimTime total_latency = SimTime::zero();
+  std::uint64_t max_queue_depth = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const { return read_ops + write_ops + meta_ops; }
+};
+
+/// Per-server time series, keyed by window index.
+using ServerSeries = std::map<std::uint64_t, ServerSample>;
+
+class ServerStatsCollector {
+ public:
+  explicit ServerStatsCollector(SimTime window = SimTime::from_ms(100.0));
+
+  /// Wire the collector into a PFS model (replaces existing observers).
+  void attach(pfs::PfsModel& model);
+
+  /// Manual feeds (for tests or custom wiring).
+  void on_ost_record(const pfs::OstOpRecord& record);
+  void on_mds_record(const pfs::MdsOpRecord& record);
+
+  [[nodiscard]] const std::map<std::uint32_t, ServerSeries>& ost_series() const {
+    return ost_series_;
+  }
+  [[nodiscard]] const ServerSeries& mds_series() const { return mds_series_; }
+  [[nodiscard]] SimTime window() const { return window_; }
+
+  /// Cluster-wide aggregate per window (sums across OSTs).
+  [[nodiscard]] ServerSeries aggregate_osts() const;
+
+  /// Imbalance across OSTs in a window: max/mean of per-OST bytes moved
+  /// (1.0 = perfectly balanced). Windows with no traffic are skipped.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> ost_imbalance() const;
+
+ private:
+  [[nodiscard]] std::uint64_t window_of(SimTime t) const {
+    return static_cast<std::uint64_t>(t.ns() / window_.ns());
+  }
+
+  SimTime window_;
+  std::map<std::uint32_t, ServerSeries> ost_series_;
+  ServerSeries mds_series_;
+};
+
+}  // namespace pio::trace

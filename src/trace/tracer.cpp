@@ -1,0 +1,348 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/record_io.hpp"
+
+namespace pio::trace {
+
+void Trace::sort_by_time() {
+  std::stable_sort(events_.begin(), events_.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.end < b.end;
+  });
+}
+
+Trace Trace::filtered(const std::function<bool(const TraceEvent&)>& keep) const {
+  Trace out;
+  for (const auto& e : events_) {
+    if (keep(e)) out.append(e);
+  }
+  return out;
+}
+
+Trace Trace::layer(Layer layer) const {
+  return filtered([layer](const TraceEvent& e) { return e.layer == layer; });
+}
+
+Trace Trace::rank(std::int32_t rank) const {
+  return filtered([rank](const TraceEvent& e) { return e.rank == rank; });
+}
+
+std::vector<std::int32_t> Trace::ranks() const {
+  std::set<std::int32_t> set;
+  for (const auto& e : events_) set.insert(e.rank);
+  return {set.begin(), set.end()};
+}
+
+std::vector<std::string> Trace::paths() const {
+  std::set<std::string> set;
+  for (const auto& e : events_) {
+    if (!e.path.empty()) set.insert(e.path);
+  }
+  return {set.begin(), set.end()};
+}
+
+SimTime Trace::span() const {
+  if (events_.empty()) return SimTime::zero();
+  SimTime first = SimTime::max();
+  SimTime last = SimTime::zero();
+  for (const auto& e : events_) {
+    first = std::min(first, e.start);
+    last = std::max(last, e.end);
+  }
+  return last - first;
+}
+
+Bytes Trace::bytes_read() const {
+  Bytes total = Bytes::zero();
+  for (const auto& e : events_) {
+    if (e.op == OpKind::kRead) total += Bytes{e.size};
+  }
+  return total;
+}
+
+Bytes Trace::bytes_written() const {
+  Bytes total = Bytes::zero();
+  for (const auto& e : events_) {
+    if (e.op == OpKind::kWrite) total += Bytes{e.size};
+  }
+  return total;
+}
+
+Trace Trace::merge(const Trace& a, const Trace& b) {
+  Trace out;
+  std::vector<TraceEvent> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.events_.begin(), a.events_.end());
+  merged.insert(merged.end(), b.events_.begin(), b.events_.end());
+  out = Trace{std::move(merged)};
+  out.sort_by_time();
+  return out;
+}
+
+// ------------------------------------------------------------------- JSONL
+
+void Trace::write_jsonl(std::ostream& out) const {
+  for (const auto& e : events_) {
+    Record r{{"layer", std::string(to_string(e.layer))},
+             {"op", std::string(to_string(e.op))},
+             {"rank", static_cast<std::int64_t>(e.rank)},
+             {"path", e.path},
+             {"offset", e.offset},
+             {"size", e.size},
+             {"start_ns", e.start.ns()},
+             {"end_ns", e.end.ns()},
+             {"ok", e.ok}};
+    out << r.to_json_line() << "\n";
+  }
+}
+
+namespace {
+
+Layer layer_from(const std::string& s) {
+  if (s == "app") return Layer::kApp;
+  if (s == "hdf5") return Layer::kHdf5;
+  if (s == "mpiio") return Layer::kMpiIo;
+  if (s == "posix") return Layer::kPosix;
+  throw std::invalid_argument("unknown layer: " + s);
+}
+
+OpKind op_from(const std::string& s) {
+  static const std::map<std::string, OpKind> table{
+      {"open", OpKind::kOpen},       {"close", OpKind::kClose},
+      {"read", OpKind::kRead},       {"write", OpKind::kWrite},
+      {"stat", OpKind::kStat},       {"mkdir", OpKind::kMkdir},
+      {"unlink", OpKind::kUnlink},   {"readdir", OpKind::kReaddir},
+      {"fsync", OpKind::kFsync},     {"sync", OpKind::kSync},
+      {"other", OpKind::kOther},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) throw std::invalid_argument("unknown op: " + s);
+  return it->second;
+}
+
+// Minimal JSON value scanner sufficient for the flat objects we emit.
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&]() -> std::string {
+    std::string s;
+    ++i;  // opening quote
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u':
+            // \uXXXX: we only emit control characters this way; decode the
+            // low byte.
+            if (i + 4 < line.size()) {
+              s += static_cast<char>(std::stoi(line.substr(i + 1, 4), nullptr, 16));
+              i += 4;
+            }
+            break;
+          default: s += line[i];
+        }
+      } else {
+        s += line[i];
+      }
+      ++i;
+    }
+    ++i;  // closing quote
+    return s;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') throw std::invalid_argument("bad json line");
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    if (i >= line.size() || line[i] != '"') throw std::invalid_argument("bad json key");
+    const std::string key = parse_string();
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') throw std::invalid_argument("bad json separator");
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      value = parse_string();
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') value += line[i++];
+    }
+    out[key] = value;
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace Trace::read_jsonl(std::istream& in) {
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto obj = parse_flat_json(line);
+    TraceEvent e;
+    e.layer = layer_from(obj.at("layer"));
+    e.op = op_from(obj.at("op"));
+    e.rank = static_cast<std::int32_t>(std::stol(obj.at("rank")));
+    e.path = obj.at("path");
+    e.offset = std::stoull(obj.at("offset"));
+    e.size = std::stoull(obj.at("size"));
+    e.start = SimTime::from_ns(std::stoll(obj.at("start_ns")));
+    e.end = SimTime::from_ns(std::stoll(obj.at("end_ns")));
+    e.ok = obj.at("ok") == "true";
+    trace.append(std::move(e));
+  }
+  return trace;
+}
+
+// ------------------------------------------------------------------ binary
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'O', 'T', 'R', 'C', '0', '1'};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("Trace::read_binary: truncated stream");
+  return v;
+}
+
+struct BinaryRecord {
+  std::uint8_t layer;
+  std::uint8_t op;
+  std::uint8_t ok;
+  std::uint8_t pad = 0;
+  std::int32_t rank;
+  std::uint32_t path_id;
+  std::uint32_t pad2 = 0;
+  std::uint64_t offset;
+  std::uint64_t size;
+  std::int64_t start_ns;
+  std::int64_t end_ns;
+};
+static_assert(sizeof(BinaryRecord) == 48);
+
+}  // namespace
+
+void Trace::write_binary(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  // Path table.
+  std::map<std::string, std::uint32_t> path_ids;
+  std::vector<const std::string*> paths_in_order;
+  for (const auto& e : events_) {
+    if (path_ids.emplace(e.path, static_cast<std::uint32_t>(path_ids.size())).second) {
+      paths_in_order.push_back(&e.path);
+    }
+  }
+  // The map assigns ids in insertion order; recover that order.
+  std::vector<const std::string*> table(path_ids.size());
+  for (const auto& [path, id] : path_ids) table[id] = &path;
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(table.size()));
+  for (const auto* path : table) {
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(path->size()));
+    out.write(path->data(), static_cast<std::streamsize>(path->size()));
+  }
+  put<std::uint64_t>(out, events_.size());
+  for (const auto& e : events_) {
+    BinaryRecord r{};
+    r.layer = static_cast<std::uint8_t>(e.layer);
+    r.op = static_cast<std::uint8_t>(e.op);
+    r.ok = e.ok ? 1 : 0;
+    r.rank = e.rank;
+    r.path_id = path_ids.at(e.path);
+    r.offset = e.offset;
+    r.size = e.size;
+    r.start_ns = e.start.ns();
+    r.end_ns = e.end.ns();
+    put(out, r);
+  }
+}
+
+Trace Trace::read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("Trace::read_binary: bad magic");
+  }
+  const auto path_count = get<std::uint32_t>(in);
+  std::vector<std::string> paths(path_count);
+  for (auto& path : paths) {
+    const auto len = get<std::uint32_t>(in);
+    path.resize(len);
+    in.read(path.data(), len);
+    if (!in) throw std::runtime_error("Trace::read_binary: truncated path table");
+  }
+  const auto count = get<std::uint64_t>(in);
+  Trace trace;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto r = get<BinaryRecord>(in);
+    TraceEvent e;
+    e.layer = static_cast<Layer>(r.layer);
+    e.op = static_cast<OpKind>(r.op);
+    e.ok = r.ok != 0;
+    e.rank = r.rank;
+    e.path = paths.at(r.path_id);
+    e.offset = r.offset;
+    e.size = r.size;
+    e.start = SimTime::from_ns(r.start_ns);
+    e.end = SimTime::from_ns(r.end_ns);
+    trace.append(std::move(e));
+  }
+  return trace;
+}
+
+// ------------------------------------------------------------------ Tracer
+
+void Tracer::record(const TraceEvent& event) {
+  const std::scoped_lock lock(mutex_);
+  trace_.append(event);
+}
+
+Trace Tracer::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return trace_;
+}
+
+Trace Tracer::take() {
+  const std::scoped_lock lock(mutex_);
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  const std::scoped_lock lock(mutex_);
+  return trace_.size();
+}
+
+}  // namespace pio::trace

@@ -1,0 +1,99 @@
+#include "vfs/backend.hpp"
+
+#include <mutex>
+
+namespace pio::vfs {
+
+namespace {
+
+Error bad_fd(Fd fd) {
+  return Error{-1, "bad file descriptor: " + std::to_string(fd)};
+}
+
+Error bad_mode(const char* op) {
+  return Error{-2, std::string("descriptor not open for ") + op};
+}
+
+}  // namespace
+
+LocalBackend::LocalBackend(FileSystem& fs) : fs_(fs) {}
+
+Result<Fd> LocalBackend::open(const std::string& path, const OpenOptions& options) {
+  const std::scoped_lock lock(mutex_);
+  if (!fs_.exists(path)) {
+    if (!options.create) return Error{-3, "open: no such file: " + path};
+    const FsStatus status = fs_.create(path);
+    if (status != FsStatus::kOk) {
+      return Error{static_cast<int>(status), std::string("open: ") + to_string(status)};
+    }
+  } else if (options.truncate && options.mode != OpenMode::kRead) {
+    fs_.truncate(path, Bytes::zero());
+  }
+  const auto info = fs_.stat(path);
+  if (info.ok() && info.value().is_dir) return Error{-4, "open: is a directory: " + path};
+  const Fd fd = next_fd_++;
+  open_files_.emplace(fd, OpenFile{path, options.mode});
+  return fd;
+}
+
+Result<std::size_t> LocalBackend::pread(Fd fd, std::span<std::byte> out, std::uint64_t offset) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return bad_fd(fd);
+  if (it->second.mode == OpenMode::kWrite) return bad_mode("reading");
+  return fs_.pread(it->second.path, out, offset);
+}
+
+Result<std::size_t> LocalBackend::pwrite(Fd fd, std::span<const std::byte> data,
+                                         std::uint64_t offset) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return bad_fd(fd);
+  if (it->second.mode == OpenMode::kRead) return bad_mode("writing");
+  return fs_.pwrite(it->second.path, data, offset);
+}
+
+FsStatus LocalBackend::close(Fd fd) {
+  const std::scoped_lock lock(mutex_);
+  return open_files_.erase(fd) > 0 ? FsStatus::kOk : FsStatus::kInvalid;
+}
+
+FsStatus LocalBackend::fsync(Fd fd) {
+  const std::scoped_lock lock(mutex_);
+  // In-memory store: fsync is a semantic no-op but still validates the fd so
+  // traces show it against a real file.
+  return open_files_.contains(fd) ? FsStatus::kOk : FsStatus::kInvalid;
+}
+
+FsStatus LocalBackend::mkdir(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  return fs_.mkdir(path);
+}
+
+FsStatus LocalBackend::remove(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  return fs_.remove(path);
+}
+
+Result<FileInfo> LocalBackend::stat(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  return fs_.stat(path);
+}
+
+Result<std::vector<std::string>> LocalBackend::readdir(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  return fs_.readdir(path);
+}
+
+std::string LocalBackend::path_of(Fd fd) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = open_files_.find(fd);
+  return it == open_files_.end() ? std::string{} : it->second.path;
+}
+
+std::size_t LocalBackend::open_descriptors() const {
+  const std::scoped_lock lock(mutex_);
+  return open_files_.size();
+}
+
+}  // namespace pio::vfs

@@ -1,0 +1,87 @@
+// PIOEval VFS: the POSIX-level I/O interface (Fig. 2, bottom of the stack).
+//
+// Everything above — the MPI-IO layer, the HDF5-lite library, application
+// code — performs I/O exclusively through this interface, which makes it the
+// interposition point for POSIX-level tracing and profiling, exactly where
+// Darshan/Recorder hook the real stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "vfs/file_system.hpp"
+
+namespace pio::vfs {
+
+using Fd = std::int32_t;
+
+enum class OpenMode : std::uint8_t { kRead, kWrite, kReadWrite };
+
+struct OpenOptions {
+  OpenMode mode = OpenMode::kReadWrite;
+  bool create = false;
+  bool truncate = false;
+};
+
+/// Abstract POSIX-shaped backend. Implementations must be safe to call from
+/// multiple rank threads concurrently.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual Result<Fd> open(const std::string& path, const OpenOptions& options) = 0;
+  [[nodiscard]] virtual Result<std::size_t> pread(Fd fd, std::span<std::byte> out,
+                                                  std::uint64_t offset) = 0;
+  [[nodiscard]] virtual Result<std::size_t> pwrite(Fd fd, std::span<const std::byte> data,
+                                                   std::uint64_t offset) = 0;
+  virtual FsStatus close(Fd fd) = 0;
+  virtual FsStatus fsync(Fd fd) = 0;
+  virtual FsStatus mkdir(const std::string& path) = 0;
+  virtual FsStatus remove(const std::string& path) = 0;
+  [[nodiscard]] virtual Result<FileInfo> stat(const std::string& path) = 0;
+  [[nodiscard]] virtual Result<std::vector<std::string>> readdir(const std::string& path) = 0;
+
+  /// Path behind an open descriptor ("" if unknown) — used by tracers to
+  /// attribute per-file statistics.
+  [[nodiscard]] virtual std::string path_of(Fd fd) const = 0;
+};
+
+/// In-memory backend over a FileSystem, with a process-wide lock — the
+/// "compute node runs the real code" half of the measurement path.
+class LocalBackend final : public Backend {
+ public:
+  explicit LocalBackend(FileSystem& fs);
+
+  [[nodiscard]] Result<Fd> open(const std::string& path, const OpenOptions& options) override;
+  [[nodiscard]] Result<std::size_t> pread(Fd fd, std::span<std::byte> out,
+                                          std::uint64_t offset) override;
+  [[nodiscard]] Result<std::size_t> pwrite(Fd fd, std::span<const std::byte> data,
+                                           std::uint64_t offset) override;
+  FsStatus close(Fd fd) override;
+  FsStatus fsync(Fd fd) override;
+  FsStatus mkdir(const std::string& path) override;
+  FsStatus remove(const std::string& path) override;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& path) override;
+  [[nodiscard]] Result<std::vector<std::string>> readdir(const std::string& path) override;
+  [[nodiscard]] std::string path_of(Fd fd) const override;
+
+  [[nodiscard]] std::size_t open_descriptors() const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    OpenMode mode;
+  };
+
+  mutable std::mutex mutex_;
+  FileSystem& fs_;
+  Fd next_fd_ = 3;  // 0/1/2 reserved, as tradition demands
+  std::map<Fd, OpenFile> open_files_;
+};
+
+}  // namespace pio::vfs

@@ -1,0 +1,76 @@
+#include "vfs/fault_injection.hpp"
+
+namespace pio::vfs {
+
+namespace {
+
+Error injected_error(const char* what) {
+  return Error{kInjectedFaultCode, std::string("injected fault: ") + what};
+}
+
+}  // namespace
+
+FaultInjectionBackend::FaultInjectionBackend(Backend& inner, const FaultPlan& plan)
+    : inner_(inner), plan_(plan) {}
+
+bool FaultInjectionBackend::should_fail(double probability) {
+  const std::uint64_t index = ops_.fetch_add(1);
+  if (probability <= 0.0 || index < plan_.grace_ops) return false;
+  // One fresh draw per op index: deterministic under any thread
+  // interleaving of the surrounding calls.
+  Rng rng{plan_.seed, index};
+  const bool fail = rng.chance(probability);
+  if (fail) injected_.fetch_add(1);
+  return fail;
+}
+
+Result<Fd> FaultInjectionBackend::open(const std::string& path, const OpenOptions& options) {
+  if (should_fail(plan_.open_failure)) return injected_error("open");
+  return inner_.open(path, options);
+}
+
+Result<std::size_t> FaultInjectionBackend::pread(Fd fd, std::span<std::byte> out,
+                                                 std::uint64_t offset) {
+  if (should_fail(plan_.read_failure)) return injected_error("pread");
+  return inner_.pread(fd, out, offset);
+}
+
+Result<std::size_t> FaultInjectionBackend::pwrite(Fd fd, std::span<const std::byte> data,
+                                                  std::uint64_t offset) {
+  if (should_fail(plan_.write_failure)) return injected_error("pwrite");
+  return inner_.pwrite(fd, data, offset);
+}
+
+FsStatus FaultInjectionBackend::close(Fd fd) {
+  // Close never fails: leaking descriptors on injected errors would turn
+  // every failure test into a resource-leak test.
+  (void)ops_.fetch_add(1);
+  return inner_.close(fd);
+}
+
+FsStatus FaultInjectionBackend::fsync(Fd fd) {
+  if (should_fail(plan_.metadata_failure)) return FsStatus::kInvalid;
+  return inner_.fsync(fd);
+}
+
+FsStatus FaultInjectionBackend::mkdir(const std::string& path) {
+  if (should_fail(plan_.metadata_failure)) return FsStatus::kInvalid;
+  return inner_.mkdir(path);
+}
+
+FsStatus FaultInjectionBackend::remove(const std::string& path) {
+  if (should_fail(plan_.metadata_failure)) return FsStatus::kInvalid;
+  return inner_.remove(path);
+}
+
+Result<FileInfo> FaultInjectionBackend::stat(const std::string& path) {
+  if (should_fail(plan_.metadata_failure)) return injected_error("stat");
+  return inner_.stat(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionBackend::readdir(const std::string& path) {
+  if (should_fail(plan_.metadata_failure)) return injected_error("readdir");
+  return inner_.readdir(path);
+}
+
+}  // namespace pio::vfs

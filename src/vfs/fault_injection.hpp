@@ -1,0 +1,64 @@
+// PIOEval VFS: deterministic fault injection.
+//
+// A Backend decorator that fails a configurable, deterministic subset of
+// operations — the tool for testing how the measurement stack behaves on a
+// misbehaving file system: do tracers record the failures, do profilers
+// count them, do applications survive? Determinism comes from the usual
+// counter-based RNG, so a failing test case replays exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "vfs/backend.hpp"
+
+namespace pio::vfs {
+
+struct FaultPlan {
+  /// Independent failure probability per operation class.
+  double open_failure = 0.0;
+  double read_failure = 0.0;
+  double write_failure = 0.0;
+  double metadata_failure = 0.0;
+  /// Operations before any fault fires (lets setup complete).
+  std::uint64_t grace_ops = 0;
+  std::uint64_t seed = 1337;
+};
+
+/// Error code used for every injected failure (distinguishable from real
+/// backend errors in tests and traces).
+inline constexpr int kInjectedFaultCode = -999;
+
+class FaultInjectionBackend final : public Backend {
+ public:
+  FaultInjectionBackend(Backend& inner, const FaultPlan& plan);
+
+  [[nodiscard]] Result<Fd> open(const std::string& path, const OpenOptions& options) override;
+  [[nodiscard]] Result<std::size_t> pread(Fd fd, std::span<std::byte> out,
+                                          std::uint64_t offset) override;
+  [[nodiscard]] Result<std::size_t> pwrite(Fd fd, std::span<const std::byte> data,
+                                           std::uint64_t offset) override;
+  FsStatus close(Fd fd) override;
+  FsStatus fsync(Fd fd) override;
+  FsStatus mkdir(const std::string& path) override;
+  FsStatus remove(const std::string& path) override;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& path) override;
+  [[nodiscard]] Result<std::vector<std::string>> readdir(const std::string& path) override;
+  [[nodiscard]] std::string path_of(Fd fd) const override { return inner_.path_of(fd); }
+
+  [[nodiscard]] std::uint64_t injected_faults() const { return injected_.load(); }
+  [[nodiscard]] std::uint64_t total_ops() const { return ops_.load(); }
+
+ private:
+  /// Decide (thread-safely, deterministically by global op index) whether
+  /// this operation fails.
+  [[nodiscard]] bool should_fail(double probability);
+
+  Backend& inner_;
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace pio::vfs

@@ -1,0 +1,227 @@
+#include "vfs/file_system.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pio::vfs {
+
+namespace {
+
+Error fs_error(FsStatus status, const std::string& path) {
+  return Error{static_cast<int>(status), std::string(to_string(status)) + ": " + path};
+}
+
+}  // namespace
+
+const char* to_string(FsStatus status) {
+  switch (status) {
+    case FsStatus::kOk: return "ok";
+    case FsStatus::kNotFound: return "not found";
+    case FsStatus::kExists: return "already exists";
+    case FsStatus::kIsDirectory: return "is a directory";
+    case FsStatus::kNotDirectory: return "not a directory";
+    case FsStatus::kNotEmpty: return "directory not empty";
+    case FsStatus::kInvalid: return "invalid argument";
+  }
+  return "?";
+}
+
+FileSystem::FileSystem() {
+  Node root;
+  root.is_dir = true;
+  nodes_.emplace("/", root);
+}
+
+std::string FileSystem::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+bool FileSystem::valid_path(const std::string& path) {
+  if (path.empty() || path.front() != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  if (path.find("//") != std::string::npos) return false;
+  return true;
+}
+
+const FileSystem::Node* FileSystem::find(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+FileSystem::Node* FileSystem::find(const std::string& path) {
+  const auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool FileSystem::has_children(const std::string& path) const {
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  const auto it = nodes_.lower_bound(prefix);
+  return it != nodes_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+FsStatus FileSystem::create(const std::string& path) {
+  if (!valid_path(path) || path == "/") return FsStatus::kInvalid;
+  if (nodes_.contains(path)) return FsStatus::kExists;
+  const Node* parent = find(parent_of(path));
+  if (parent == nullptr) return FsStatus::kNotFound;
+  if (!parent->is_dir) return FsStatus::kNotDirectory;
+  nodes_.emplace(path, Node{});
+  return FsStatus::kOk;
+}
+
+FsStatus FileSystem::mkdir(const std::string& path) {
+  if (!valid_path(path) || path == "/") return FsStatus::kInvalid;
+  if (nodes_.contains(path)) return FsStatus::kExists;
+  const Node* parent = find(parent_of(path));
+  if (parent == nullptr) return FsStatus::kNotFound;
+  if (!parent->is_dir) return FsStatus::kNotDirectory;
+  Node node;
+  node.is_dir = true;
+  nodes_.emplace(path, node);
+  return FsStatus::kOk;
+}
+
+FsStatus FileSystem::remove(const std::string& path) {
+  if (!valid_path(path) || path == "/") return FsStatus::kInvalid;
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) return FsStatus::kNotFound;
+  if (it->second.is_dir && has_children(path)) return FsStatus::kNotEmpty;
+  for (const auto& [idx, page] : it->second.pages) allocated_ -= Bytes{page.size()};
+  nodes_.erase(it);
+  return FsStatus::kOk;
+}
+
+FsStatus FileSystem::rename(const std::string& from, const std::string& to) {
+  if (!valid_path(from) || !valid_path(to) || from == "/" || to == "/") return FsStatus::kInvalid;
+  const auto it = nodes_.find(from);
+  if (it == nodes_.end()) return FsStatus::kNotFound;
+  if (nodes_.contains(to)) return FsStatus::kExists;
+  const Node* parent = find(parent_of(to));
+  if (parent == nullptr || !parent->is_dir) return FsStatus::kNotFound;
+  if (it->second.is_dir && has_children(from)) {
+    // Renaming a non-empty directory would require rewriting child keys;
+    // out of scope for the workloads this VFS serves.
+    return FsStatus::kNotEmpty;
+  }
+  Node node = std::move(it->second);
+  nodes_.erase(it);
+  node.version++;
+  nodes_.emplace(to, std::move(node));
+  return FsStatus::kOk;
+}
+
+bool FileSystem::exists(const std::string& path) const { return nodes_.contains(path); }
+
+Result<FileInfo> FileSystem::stat(const std::string& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return fs_error(FsStatus::kNotFound, path);
+  return FileInfo{node->is_dir, Bytes{node->size}, node->version};
+}
+
+Result<std::vector<std::string>> FileSystem::readdir(const std::string& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return fs_error(FsStatus::kNotFound, path);
+  if (!node->is_dir) return fs_error(FsStatus::kNotDirectory, path);
+  std::vector<std::string> names;
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    const std::string rest = it->first.substr(prefix.size());
+    if (!rest.empty() && rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+Result<std::size_t> FileSystem::pwrite(const std::string& path, std::span<const std::byte> data,
+                                       std::uint64_t offset) {
+  Node* node = find(path);
+  if (node == nullptr) return fs_error(FsStatus::kNotFound, path);
+  if (node->is_dir) return fs_error(FsStatus::kIsDirectory, path);
+  std::uint64_t cur = offset;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint64_t page_index = cur / kPageSize;
+    const std::size_t within = static_cast<std::size_t>(cur % kPageSize);
+    const std::size_t run = std::min(data.size() - written, kPageSize - within);
+    auto& page = node->pages[page_index];
+    if (page.size() < within + run) {
+      allocated_ += Bytes{within + run - page.size()};
+      page.resize(within + run);
+    }
+    std::memcpy(page.data() + within, data.data() + written, run);
+    cur += run;
+    written += run;
+  }
+  node->size = std::max(node->size, offset + data.size());
+  ++node->version;
+  return written;
+}
+
+Result<std::size_t> FileSystem::pread(const std::string& path, std::span<std::byte> out,
+                                      std::uint64_t offset) const {
+  const Node* node = find(path);
+  if (node == nullptr) return fs_error(FsStatus::kNotFound, path);
+  if (node->is_dir) return fs_error(FsStatus::kIsDirectory, path);
+  if (offset >= node->size) return std::size_t{0};
+  const std::size_t want =
+      std::min<std::uint64_t>(out.size(), node->size - offset);
+  std::uint64_t cur = offset;
+  std::size_t read = 0;
+  while (read < want) {
+    const std::uint64_t page_index = cur / kPageSize;
+    const std::size_t within = static_cast<std::size_t>(cur % kPageSize);
+    const std::size_t run = std::min(want - read, kPageSize - within);
+    const auto it = node->pages.find(page_index);
+    if (it == node->pages.end()) {
+      std::memset(out.data() + read, 0, run);  // hole
+    } else {
+      const auto& page = it->second;
+      const std::size_t have = page.size() > within ? page.size() - within : 0;
+      const std::size_t copy = std::min(run, have);
+      if (copy > 0) std::memcpy(out.data() + read, page.data() + within, copy);
+      if (copy < run) std::memset(out.data() + read + copy, 0, run - copy);
+    }
+    cur += run;
+    read += run;
+  }
+  return read;
+}
+
+FsStatus FileSystem::truncate(const std::string& path, Bytes new_size) {
+  Node* node = find(path);
+  if (node == nullptr) return FsStatus::kNotFound;
+  if (node->is_dir) return FsStatus::kIsDirectory;
+  const std::uint64_t size = new_size.count();
+  if (size < node->size) {
+    // Drop pages entirely beyond the new end; trim the boundary page.
+    const std::uint64_t first_dead_page = (size + kPageSize - 1) / kPageSize;
+    for (auto it = node->pages.lower_bound(first_dead_page); it != node->pages.end();) {
+      allocated_ -= Bytes{it->second.size()};
+      it = node->pages.erase(it);
+    }
+    const std::uint64_t boundary = size / kPageSize;
+    const auto it = node->pages.find(boundary);
+    if (it != node->pages.end()) {
+      const auto keep = static_cast<std::size_t>(size % kPageSize);
+      if (it->second.size() > keep) {
+        allocated_ -= Bytes{it->second.size() - keep};
+        it->second.resize(keep);
+      }
+    }
+  }
+  node->size = size;
+  ++node->version;
+  return FsStatus::kOk;
+}
+
+std::size_t FileSystem::file_count() const {
+  std::size_t n = 0;
+  for (const auto& [path, node] : nodes_) {
+    if (!node.is_dir) ++n;
+  }
+  return n;
+}
+
+}  // namespace pio::vfs

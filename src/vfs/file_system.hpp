@@ -1,0 +1,94 @@
+// PIOEval VFS: an in-memory POSIX-like file system.
+//
+// This is the functional data store behind the measurement path: application
+// code and the I/O middleware (pio::mio, pio::h5) run against it for real,
+// with actual bytes, so correctness is testable end to end. Content is
+// stored in sparse pages; reading a hole returns zeros, as POSIX specifies
+// for sparse files.
+//
+// Thread-unsafe by design; LocalBackend adds the locking for the
+// threads-as-ranks measurement path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace pio::vfs {
+
+enum class FsStatus : std::uint8_t {
+  kOk,
+  kNotFound,
+  kExists,
+  kIsDirectory,
+  kNotDirectory,
+  kNotEmpty,
+  kInvalid,
+};
+
+[[nodiscard]] const char* to_string(FsStatus status);
+
+struct FileInfo {
+  bool is_dir = false;
+  Bytes size = Bytes::zero();
+  std::uint64_t version = 0;  ///< bumped on every mutation ("mtime")
+};
+
+/// Sparse in-memory file system keyed by absolute paths ("/a/b").
+class FileSystem {
+ public:
+  static constexpr std::size_t kPageSize = 64 * 1024;
+
+  FileSystem();
+
+  /// Create an empty regular file. Parent directory must exist.
+  FsStatus create(const std::string& path);
+  FsStatus mkdir(const std::string& path);
+  /// Remove a file, or an empty directory.
+  FsStatus remove(const std::string& path);
+  FsStatus rename(const std::string& from, const std::string& to);
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& path) const;
+  /// Names (not paths) of direct children, sorted.
+  [[nodiscard]] Result<std::vector<std::string>> readdir(const std::string& path) const;
+
+  /// Write at offset, extending the file as needed. Returns bytes written.
+  [[nodiscard]] Result<std::size_t> pwrite(const std::string& path,
+                                           std::span<const std::byte> data,
+                                           std::uint64_t offset);
+  /// Read at offset; short reads at EOF, zeros in holes. Returns bytes read.
+  [[nodiscard]] Result<std::size_t> pread(const std::string& path, std::span<std::byte> out,
+                                          std::uint64_t offset) const;
+
+  FsStatus truncate(const std::string& path, Bytes new_size);
+
+  [[nodiscard]] std::size_t file_count() const;
+  /// Bytes of page storage actually allocated (for memory accounting).
+  [[nodiscard]] Bytes allocated_bytes() const { return allocated_; }
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;
+    std::map<std::uint64_t, std::vector<std::byte>> pages;  // page index -> page
+  };
+
+  [[nodiscard]] static std::string parent_of(const std::string& path);
+  [[nodiscard]] static bool valid_path(const std::string& path);
+  [[nodiscard]] const Node* find(const std::string& path) const;
+  [[nodiscard]] Node* find(const std::string& path);
+  [[nodiscard]] bool has_children(const std::string& path) const;
+
+  std::map<std::string, Node> nodes_;
+  Bytes allocated_ = Bytes::zero();
+};
+
+}  // namespace pio::vfs

@@ -1,0 +1,49 @@
+// PIOEval workload: a CODES-I/O-language-style workload DSL (§IV.B.4).
+//
+// "An example is the CODES I/O language [59], which allows researchers to
+// model real or artificial I/O workloads using domain-specific language
+// constructs." This module provides a small declarative language that
+// expands into per-rank op streams:
+//
+//   name "striped-checkpoint"
+//   ranks 8
+//   mkdir "/out"
+//   barrier
+//   create "/out/ckpt.{rank}"
+//   loop i 4 {
+//     compute 50ms
+//     write "/out/ckpt.{rank}" at i * 4MiB size 1MiB
+//     barrier
+//   }
+//   close "/out/ckpt.{rank}"
+//
+// Expressions may use integer literals with size (B/KiB/MiB/GiB) or time
+// (ns/us/ms/s) units, the builtins `rank` and `ranks`, loop variables, and
+// + - * / % with the usual precedence. Paths substitute `{expr}`.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "workload/op.hpp"
+
+namespace pio::workload {
+
+/// Parse a DSL program and expand it to a workload. Throws
+/// `DslError` with a line-annotated message on any syntax or semantic error.
+[[nodiscard]] std::unique_ptr<Workload> parse_dsl(std::string_view source);
+
+class DslError : public std::runtime_error {
+ public:
+  DslError(std::size_t line, const std::string& message)
+      : std::runtime_error("dsl:" + std::to_string(line) + ": " + message), line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+}  // namespace pio::workload

@@ -1,0 +1,133 @@
+#include "workload/facility_mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace pio::workload {
+
+EraProfile era_simulation_2015() {
+  // Volumes in ln(bytes): mu=24 ~ 26 GiB median, mu=22 ~ 3.6 GiB, mu=20 ~ 0.5 GiB.
+  EraProfile era;
+  era.name = "simulation-2015";
+  era.classes = {
+      // Bulk-synchronous simulation: heavy checkpoint output, light restart
+      // input.
+      JobClass{"simulation", 0.60, /*read*/ 21.5, 1.0, /*write*/ 24.5, 0.9, /*meta*/ 5.5, 0.8},
+      // Post-processing: reads some simulation output, writes reduced data.
+      JobClass{"postprocess", 0.25, 23.0, 0.9, 22.0, 0.9, 6.0, 0.8},
+      // Small utility/compile-style jobs.
+      JobClass{"utility", 0.15, 19.0, 1.2, 19.0, 1.2, 7.0, 1.0},
+  };
+  return era;
+}
+
+EraProfile era_emerging_2019() {
+  EraProfile era;
+  era.name = "emerging-2019";
+  era.classes = {
+      // Simulation still present but a smaller share.
+      JobClass{"simulation", 0.30, 21.5, 1.0, 24.5, 0.9, 5.5, 0.8},
+      // DL training: epoch-over-epoch re-reads of large datasets; output is
+      // only small model checkpoints.
+      JobClass{"dl-training", 0.30, 25.5, 0.8, 21.0, 0.9, 8.0, 0.9},
+      // Analytics: scan-heavy reads of observational archives.
+      JobClass{"analytics", 0.25, 24.8, 0.9, 21.5, 1.0, 7.5, 0.9},
+      // Workflows: moderate data, metadata-intensive.
+      JobClass{"workflow", 0.15, 22.5, 1.0, 22.0, 1.0, 9.5, 0.8},
+  };
+  return era;
+}
+
+namespace {
+
+/// Linear interpolation of the class mix between two eras. Classes are
+/// matched by name; a class absent from one era contributes weight 0 there.
+std::vector<JobClass> blend(const EraProfile& from, const EraProfile& to, double t) {
+  std::vector<JobClass> merged;
+  auto find = [](const EraProfile& era, const std::string& name) -> const JobClass* {
+    for (const auto& c : era.classes) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  };
+  auto add = [&](const JobClass& base, const JobClass* a, const JobClass* b) {
+    JobClass c = base;
+    const double wa = a != nullptr ? a->weight : 0.0;
+    const double wb = b != nullptr ? b->weight : 0.0;
+    c.weight = (1.0 - t) * wa + t * wb;
+    merged.push_back(c);
+  };
+  for (const auto& c : from.classes) add(c, &c, find(to, c.name));
+  for (const auto& c : to.classes) {
+    if (find(from, c.name) == nullptr) add(c, nullptr, &c);
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<JobLogEntry> generate_facility_log(const FacilityMixConfig& config) {
+  if (config.months == 0 || config.jobs_per_month == 0) {
+    throw std::invalid_argument("generate_facility_log: months and jobs_per_month must be > 0");
+  }
+  std::vector<JobLogEntry> log;
+  log.reserve(static_cast<std::size_t>(config.months) * config.jobs_per_month);
+  for (std::uint32_t month = 0; month < config.months; ++month) {
+    const double t =
+        config.months == 1 ? 1.0 : static_cast<double>(month) / (config.months - 1);
+    const auto classes = blend(config.from, config.to, t);
+    double total_weight = 0.0;
+    for (const auto& c : classes) total_weight += c.weight;
+    Rng rng{config.seed, 0xFAC1117ULL + month};
+    for (std::uint32_t j = 0; j < config.jobs_per_month; ++j) {
+      // Weighted class draw.
+      double pick = rng.uniform(0.0, total_weight);
+      const JobClass* chosen = &classes.back();
+      for (const auto& c : classes) {
+        if (pick < c.weight) {
+          chosen = &c;
+          break;
+        }
+        pick -= c.weight;
+      }
+      JobLogEntry entry;
+      entry.month = month;
+      entry.job_class = chosen->name;
+      entry.bytes_read = Bytes{static_cast<std::uint64_t>(
+          std::min(rng.lognormal(chosen->read_mu, chosen->read_sigma), 1e15))};
+      entry.bytes_written = Bytes{static_cast<std::uint64_t>(
+          std::min(rng.lognormal(chosen->write_mu, chosen->write_sigma), 1e15))};
+      entry.metadata_ops = static_cast<std::uint64_t>(
+          std::min(rng.lognormal(chosen->meta_mu, chosen->meta_sigma), 1e12));
+      log.push_back(std::move(entry));
+    }
+  }
+  return log;
+}
+
+std::vector<MonthlyIoSummary> aggregate_by_month(const std::vector<JobLogEntry>& log) {
+  std::uint32_t max_month = 0;
+  for (const auto& e : log) max_month = std::max(max_month, e.month);
+  std::vector<MonthlyIoSummary> monthly(log.empty() ? 0 : max_month + 1);
+  for (std::uint32_t m = 0; m < monthly.size(); ++m) monthly[m].month = m;
+  for (const auto& e : log) {
+    auto& s = monthly[e.month];
+    s.bytes_read += e.bytes_read;
+    s.bytes_written += e.bytes_written;
+    s.metadata_ops += e.metadata_ops;
+    ++s.jobs;
+  }
+  return monthly;
+}
+
+std::int64_t read_write_crossover_month(const std::vector<MonthlyIoSummary>& monthly) {
+  for (const auto& s : monthly) {
+    if (s.read_fraction() >= 0.5) return s.month;
+  }
+  return -1;
+}
+
+}  // namespace pio::workload

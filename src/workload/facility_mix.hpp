@@ -1,0 +1,88 @@
+// PIOEval workload: facility-scale job-mix generator (experiment C1).
+//
+// Patel et al. [53] analysed a year of production I/O at NERSC and found
+// that "HPC storage systems may no longer be dominated by write I/O —
+// challenging the long- and widely-held belief that HPC workloads are
+// write-intensive." We cannot use those proprietary logs, so this module
+// generates a synthetic multi-month facility job log with a controlled
+// ground truth: a job-class mix that shifts, month over month, from a
+// simulation-dominated (write-heavy) era toward an analytics/learning era
+// (read-heavy). The system-level analysis (src/analysis) must detect the
+// read/write crossover from the generated log alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pio::workload {
+
+/// A class of jobs with log-normal volume distributions.
+struct JobClass {
+  std::string name;
+  double weight = 1.0;          ///< relative share of submitted jobs
+  double read_mu = 20.0;        ///< lognormal mu of bytes read (ln-bytes)
+  double read_sigma = 1.0;
+  double write_mu = 20.0;
+  double write_sigma = 1.0;
+  double meta_mu = 6.0;         ///< lognormal mu of metadata op count
+  double meta_sigma = 1.0;
+};
+
+/// A facility era: a weighted mix of job classes.
+struct EraProfile {
+  std::string name;
+  std::vector<JobClass> classes;
+};
+
+/// Simulation-dominated mix (traditional checkpoint/restart facilities).
+[[nodiscard]] EraProfile era_simulation_2015();
+/// Emerging mix: deep learning, analytics, and workflows take large shares.
+[[nodiscard]] EraProfile era_emerging_2019();
+
+/// One job in the synthetic facility log.
+struct JobLogEntry {
+  std::uint32_t month = 0;
+  std::string job_class;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  std::uint64_t metadata_ops = 0;
+};
+
+struct FacilityMixConfig {
+  std::uint32_t months = 48;
+  std::uint32_t jobs_per_month = 2000;
+  std::uint64_t seed = 7;
+  /// Mix evolves linearly from `from` (month 0) to `to` (last month).
+  EraProfile from = era_simulation_2015();
+  EraProfile to = era_emerging_2019();
+};
+
+/// Generate the full synthetic job log.
+[[nodiscard]] std::vector<JobLogEntry> generate_facility_log(const FacilityMixConfig& config);
+
+/// Per-month aggregate.
+struct MonthlyIoSummary {
+  std::uint32_t month = 0;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  std::uint64_t metadata_ops = 0;
+  std::uint64_t jobs = 0;
+
+  [[nodiscard]] double read_fraction() const {
+    const double total = bytes_read.as_double() + bytes_written.as_double();
+    return total == 0.0 ? 0.0 : bytes_read.as_double() / total;
+  }
+};
+
+[[nodiscard]] std::vector<MonthlyIoSummary> aggregate_by_month(
+    const std::vector<JobLogEntry>& log);
+
+/// First month whose read fraction is >= 0.5, or -1 if reads never
+/// overtake writes (the Patel-style crossover detector).
+[[nodiscard]] std::int64_t read_write_crossover_month(
+    const std::vector<MonthlyIoSummary>& monthly);
+
+}  // namespace pio::workload

@@ -1,0 +1,34 @@
+// PIOEval workload: characterization-based workload generation (IOWA-style).
+//
+// §IV.B.4: "I/O Characterization Workloads: I/O profiles provide high-level
+// statistics and capture an accurate picture of application I/O behavior,
+// including properties such as access patterns within files, rather than
+// complete traces." Snyder et al. [20] synthesize representative workloads
+// from Darshan logs; this module does the same from our Profile: for each
+// (rank, file) record it regenerates the recorded number of reads/writes,
+// sampling access sizes from the recorded log2 histograms and reproducing
+// the recorded sequential-access fraction. The result is statistically
+// representative but not operation-exact — precisely the accuracy/cost
+// trade-off experiment C7 measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/profiler.hpp"
+#include "workload/op.hpp"
+
+namespace pio::workload {
+
+struct FromProfileConfig {
+  std::uint64_t seed = 11;
+  /// Cap on regenerated ops per (rank, file) record — guards against
+  /// pathological profiles (0 = no cap).
+  std::uint64_t max_ops_per_record = 0;
+};
+
+/// Synthesize a workload from a characterization profile.
+[[nodiscard]] std::unique_ptr<Workload> workload_from_profile(const trace::Profile& profile,
+                                                              const FromProfileConfig& config);
+
+}  // namespace pio::workload

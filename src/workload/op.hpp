@@ -1,0 +1,116 @@
+// PIOEval workload: the operation/stream model (§IV.A.1, §IV.B.4).
+//
+// Every workload source — benchmark kernels, the synthetic I/O DSL, trace
+// replay, characterization sampling — produces the same thing: one lazy
+// stream of Ops per rank. Lazy streams are what make execution-driven
+// simulation (§IV.C.3) possible: the driver pulls the next op only when the
+// previous one completes, interleaving "workload produce" and "workload
+// consume" exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pio::workload {
+
+enum class OpKind : std::uint8_t {
+  kCreate,   ///< create + open for writing
+  kOpen,     ///< open existing
+  kClose,
+  kRead,
+  kWrite,
+  kStat,
+  kMkdir,
+  kUnlink,
+  kReaddir,
+  kFsync,
+  kCompute,  ///< think time between I/O phases
+  kBarrier,  ///< synchronize all ranks
+};
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+/// One workload operation. Interpretation of fields depends on `kind`:
+/// data ops use path/offset/size; kCompute uses `think_time`; kBarrier uses
+/// nothing.
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::string path;
+  std::uint64_t offset = 0;
+  Bytes size = Bytes::zero();
+  SimTime think_time = SimTime::zero();
+
+  static Op create(std::string path) { return Op{OpKind::kCreate, std::move(path), 0, {}, {}}; }
+  static Op open(std::string path) { return Op{OpKind::kOpen, std::move(path), 0, {}, {}}; }
+  static Op close(std::string path) { return Op{OpKind::kClose, std::move(path), 0, {}, {}}; }
+  static Op read(std::string path, std::uint64_t offset, Bytes size) {
+    return Op{OpKind::kRead, std::move(path), offset, size, {}};
+  }
+  static Op write(std::string path, std::uint64_t offset, Bytes size) {
+    return Op{OpKind::kWrite, std::move(path), offset, size, {}};
+  }
+  static Op stat(std::string path) { return Op{OpKind::kStat, std::move(path), 0, {}, {}}; }
+  static Op mkdir(std::string path) { return Op{OpKind::kMkdir, std::move(path), 0, {}, {}}; }
+  static Op unlink(std::string path) { return Op{OpKind::kUnlink, std::move(path), 0, {}, {}}; }
+  static Op readdir(std::string path) { return Op{OpKind::kReaddir, std::move(path), 0, {}, {}}; }
+  static Op fsync(std::string path) { return Op{OpKind::kFsync, std::move(path), 0, {}, {}}; }
+  static Op compute(SimTime t) { return Op{OpKind::kCompute, {}, 0, {}, t}; }
+  static Op barrier() { return Op{OpKind::kBarrier, {}, 0, {}, {}}; }
+};
+
+/// Lazy per-rank op stream.
+class RankStream {
+ public:
+  virtual ~RankStream() = default;
+  /// Next op, or nullopt when the rank is done.
+  [[nodiscard]] virtual std::optional<Op> next() = 0;
+};
+
+/// A workload = a name + a number of ranks + a stream factory. Workloads
+/// must be re-streamable: `stream(r)` can be called repeatedly and always
+/// yields the same sequence (determinism requirement).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::int32_t ranks() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<RankStream> stream(std::int32_t rank) const = 0;
+};
+
+/// Fully materialized workload (used by trace replay and the DSL expander).
+class VectorWorkload final : public Workload {
+ public:
+  VectorWorkload(std::string name, std::vector<std::vector<Op>> per_rank)
+      : name_(std::move(name)), per_rank_(std::move(per_rank)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::int32_t ranks() const override {
+    return static_cast<std::int32_t>(per_rank_.size());
+  }
+  [[nodiscard]] std::unique_ptr<RankStream> stream(std::int32_t rank) const override;
+
+  [[nodiscard]] const std::vector<std::vector<Op>>& ops() const { return per_rank_; }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<Op>> per_rank_;
+};
+
+/// Drain all streams into vectors (for inspection and tests).
+[[nodiscard]] std::vector<std::vector<Op>> materialize(const Workload& workload);
+
+/// Total bytes a workload would read/write, and op count (dry run).
+struct WorkloadFootprint {
+  std::uint64_t ops = 0;
+  Bytes bytes_read = Bytes::zero();
+  Bytes bytes_written = Bytes::zero();
+  std::uint64_t metadata_ops = 0;
+};
+[[nodiscard]] WorkloadFootprint footprint(const Workload& workload);
+
+}  // namespace pio::workload

@@ -1,0 +1,287 @@
+// Tests for the MPI-IO-lite layer: independent I/O, data sieving, and
+// two-phase collective buffering (the experiment-C8 machinery).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "mio/mio.hpp"
+#include "par/comm.hpp"
+#include "trace/backend_shim.hpp"
+#include "trace/tracer.hpp"
+#include "vfs/backend.hpp"
+#include "vfs/file_system.hpp"
+
+namespace pio::mio {
+namespace {
+
+using namespace pio::literals;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::byte>((i * 13 + seed) & 0xFF);
+  return data;
+}
+
+TEST(MioTest, TotalLength) {
+  const std::vector<Extent> extents{{0, Bytes{10}}, {100, Bytes{20}}};
+  EXPECT_EQ(total_length(extents), Bytes{30});
+}
+
+TEST(MioTest, IndependentWriteReadRoundTrip) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{2};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/shared", true);
+    ASSERT_TRUE(file.ok());
+    const auto data = pattern(4096, static_cast<unsigned>(comm.rank()));
+    const std::uint64_t offset = static_cast<std::uint64_t>(comm.rank()) * 4096;
+    ASSERT_TRUE(file.value()->write_at(offset, data).ok());
+    comm.barrier();
+    // Each rank reads the other's region.
+    const std::uint64_t other = static_cast<std::uint64_t>(1 - comm.rank()) * 4096;
+    std::vector<std::byte> out(4096);
+    ASSERT_TRUE(file.value()->read_at(other, out).ok());
+    EXPECT_EQ(out, pattern(4096, static_cast<unsigned>(1 - comm.rank())));
+    EXPECT_EQ(file.value()->close_all(), vfs::FsStatus::kOk);
+  });
+}
+
+TEST(MioTest, OpenMissingFileFailsOnAllRanks) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{2};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/absent", false);
+    EXPECT_FALSE(file.ok());
+  });
+}
+
+TEST(MioTest, DataSievingUsesOneBigRead) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{1};
+  runtime.run([&](par::Comm& comm) {
+    Hints hints;
+    hints.ds_max_hole_fraction = 0.6;
+    auto file = File::open_all(comm, backend, "/f", true, hints);
+    ASSERT_TRUE(file.ok());
+    const auto data = pattern(64 * 1024, 1);
+    ASSERT_TRUE(file.value()->write_at(0, data).ok());
+    const auto before = file.value()->posix_counters();
+    // 8 strided extents of 4 KiB every 8 KiB: hole fraction ~0.5 < 0.6.
+    std::vector<Extent> extents;
+    for (int i = 0; i < 8; ++i) {
+      extents.push_back(Extent{static_cast<std::uint64_t>(i) * 8192, Bytes{4096}});
+    }
+    std::vector<std::byte> out(8 * 4096);
+    auto r = file.value()->read_strided(extents, out);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), out.size());
+    // One sieved read, not eight.
+    EXPECT_EQ(file.value()->posix_counters().reads - before.reads, 1u);
+    // Contents match the strided pieces.
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 4096; ++j) {
+        const std::size_t src = static_cast<std::size_t>(i) * 8192 + static_cast<std::size_t>(j);
+        ASSERT_EQ(out[static_cast<std::size_t>(i * 4096 + j)], data[src]);
+      }
+    }
+    (void)file.value()->close_all();
+  });
+}
+
+TEST(MioTest, SievingDisabledFallsBackToPerExtentReads) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{1};
+  runtime.run([&](par::Comm& comm) {
+    Hints hints;
+    hints.ds_max_hole_fraction = 0.0;  // sieving off
+    auto file = File::open_all(comm, backend, "/f", true, hints);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->write_at(0, pattern(64 * 1024, 1)).ok());
+    std::vector<Extent> extents;
+    for (int i = 0; i < 8; ++i) {
+      extents.push_back(Extent{static_cast<std::uint64_t>(i) * 8192, Bytes{4096}});
+    }
+    std::vector<std::byte> out(8 * 4096);
+    const auto before = file.value()->posix_counters().reads;
+    ASSERT_TRUE(file.value()->read_strided(extents, out).ok());
+    EXPECT_EQ(file.value()->posix_counters().reads - before, 8u);
+    (void)file.value()->close_all();
+  });
+}
+
+TEST(MioTest, ReadStridedRejectsUnsortedExtents) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{1};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/f", true);
+    ASSERT_TRUE(file.ok());
+    const std::vector<Extent> extents{{100, Bytes{50}}, {0, Bytes{50}}};
+    std::vector<std::byte> out(100);
+    EXPECT_FALSE(file.value()->read_strided(extents, out).ok());
+    (void)file.value()->close_all();
+  });
+}
+
+class CollectiveWriteTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CollectiveWriteTest, InterleavedPatternLandsCorrectly) {
+  // 4 ranks write an interleaved pattern: rank r owns every 4th block of
+  // 1 KiB. Collective buffering must produce the same file contents as
+  // independent writes, with far fewer POSIX writes.
+  const std::uint32_t cb_nodes = GetParam();
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kBlock = 1024;
+  constexpr std::uint64_t kBlocksPerRank = 16;
+  std::atomic<std::uint64_t> posix_writes{0};
+  par::Runtime runtime{kRanks};
+  runtime.run([&](par::Comm& comm) {
+    Hints hints;
+    hints.cb_nodes = cb_nodes;
+    auto file = File::open_all(comm, backend, "/cb", true, hints);
+    ASSERT_TRUE(file.ok());
+    std::vector<Extent> extents;
+    std::vector<std::byte> payload;
+    for (std::uint64_t b = 0; b < kBlocksPerRank; ++b) {
+      const std::uint64_t offset =
+          (b * kRanks + static_cast<std::uint64_t>(comm.rank())) * kBlock;
+      extents.push_back(Extent{offset, Bytes{kBlock}});
+      const auto piece = pattern(kBlock, static_cast<unsigned>(offset / kBlock));
+      payload.insert(payload.end(), piece.begin(), piece.end());
+    }
+    auto r = file.value()->write_at_all(extents, payload);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), payload.size());
+    posix_writes += file.value()->posix_counters().writes;
+    EXPECT_EQ(file.value()->close_all(), vfs::FsStatus::kOk);
+  });
+  // Verify the full interleaved file.
+  const std::uint64_t total = kBlock * kBlocksPerRank * kRanks;
+  std::vector<std::byte> out(total);
+  ASSERT_TRUE(fs.pread("/cb", out, 0).ok());
+  for (std::uint64_t block = 0; block < kBlocksPerRank * kRanks; ++block) {
+    const auto expected = pattern(kBlock, static_cast<unsigned>(block));
+    ASSERT_EQ(std::memcmp(out.data() + block * kBlock, expected.data(), kBlock), 0)
+        << "block " << block;
+  }
+  if (cb_nodes > 0) {
+    // The whole range is contiguous once assembled: one POSIX write per
+    // aggregator (the range fits in one cb buffer).
+    EXPECT_LE(posix_writes.load(), cb_nodes);
+  } else {
+    EXPECT_EQ(posix_writes.load(), kBlocksPerRank * kRanks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CbNodes, CollectiveWriteTest, ::testing::Values(0u, 1u, 2u, 4u));
+
+TEST(MioTest, CollectiveReadRoundTrip) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kBlock = 2048;
+  par::Runtime runtime{kRanks};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/cr", true);
+    ASSERT_TRUE(file.ok());
+    // Rank 0 writes the whole file; then everyone collectively reads its
+    // interleaved slice.
+    const std::uint64_t total = kBlock * 4 * kRanks;
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(file.value()->write_at(0, pattern(total, 9)).ok());
+    }
+    comm.barrier();
+    std::vector<Extent> extents;
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      extents.push_back(
+          Extent{(b * kRanks + static_cast<std::uint64_t>(comm.rank())) * kBlock,
+                 Bytes{kBlock}});
+    }
+    std::vector<std::byte> out(4 * kBlock);
+    auto r = file.value()->read_at_all(extents, out);
+    ASSERT_TRUE(r.ok());
+    const auto whole = pattern(total, 9);
+    std::size_t pos = 0;
+    for (const auto& e : extents) {
+      ASSERT_EQ(std::memcmp(out.data() + pos, whole.data() + e.offset, e.length.count()), 0);
+      pos += static_cast<std::size_t>(e.length.count());
+    }
+    EXPECT_EQ(file.value()->close_all(), vfs::FsStatus::kOk);
+  });
+}
+
+TEST(MioTest, EmptyCollectiveParticipationIsFine) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{3};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/sparsecb", true);
+    ASSERT_TRUE(file.ok());
+    // Only rank 1 contributes.
+    std::vector<Extent> extents;
+    std::vector<std::byte> payload;
+    if (comm.rank() == 1) {
+      extents.push_back(Extent{100, Bytes{50}});
+      payload = pattern(50, 3);
+    }
+    auto r = file.value()->write_at_all(extents, payload);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), comm.rank() == 1 ? 50u : 0u);
+    EXPECT_EQ(file.value()->close_all(), vfs::FsStatus::kOk);
+  });
+  std::vector<std::byte> out(50);
+  ASSERT_TRUE(fs.pread("/sparsecb", out, 100).ok());
+  EXPECT_EQ(out, pattern(50, 3));
+}
+
+TEST(MioTest, AllEmptyCollectiveCompletes) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend backend{fs};
+  par::Runtime runtime{2};
+  runtime.run([&](par::Comm& comm) {
+    auto file = File::open_all(comm, backend, "/empty", true);
+    ASSERT_TRUE(file.ok());
+    auto r = file.value()->write_at_all({}, {});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 0u);
+    (void)file.value()->close_all();
+  });
+}
+
+TEST(MioTest, EmitsMpiIoLayerEvents) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend inner{fs};
+  trace::Tracer tracer;
+  trace::ManualClock clock;
+  par::Runtime runtime{2};
+  runtime.run([&](par::Comm& comm) {
+    trace::TracingBackend posix{inner, tracer, clock, comm.rank()};
+    auto file = File::open_all(comm, posix, "/traced", true, Hints{}, &tracer, &clock);
+    ASSERT_TRUE(file.ok());
+    const auto data = pattern(1024, 0);
+    ASSERT_TRUE(
+        file.value()->write_at(static_cast<std::uint64_t>(comm.rank()) * 1024, data).ok());
+    (void)file.value()->close_all();
+  });
+  const auto trace = tracer.snapshot();
+  EXPECT_GT(trace.layer(trace::Layer::kMpiIo).size(), 0u);
+  EXPECT_GT(trace.layer(trace::Layer::kPosix).size(), 0u);
+  // MPI-IO layer recorded exactly 2 user writes; POSIX saw the same bytes.
+  std::size_t mio_writes = 0;
+  const auto mio_layer = trace.layer(trace::Layer::kMpiIo);
+  for (const auto& e : mio_layer.events()) {
+    if (e.op == trace::OpKind::kWrite) ++mio_writes;
+  }
+  EXPECT_EQ(mio_writes, 2u);
+}
+
+}  // namespace
+}  // namespace pio::mio

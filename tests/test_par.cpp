@@ -1,0 +1,152 @@
+// Unit tests for the mini message-passing runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "par/comm.hpp"
+
+namespace pio::par {
+namespace {
+
+TEST(CodecTest, EncodeDecodeRoundTrip) {
+  const double x = 3.25;
+  EXPECT_DOUBLE_EQ(decode<double>(encode(x)), x);
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(decode_range<int>(encode_range<int>(v)), v);
+  EXPECT_THROW((void)decode<int>(Buffer(3)), std::invalid_argument);
+  EXPECT_THROW((void)decode_range<int>(Buffer(5)), std::invalid_argument);
+}
+
+TEST(RuntimeTest, SendRecvMatchesSourceAndTag) {
+  Runtime runtime{2};
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 123);
+      comm.send_value(1, 8, 456);
+    } else {
+      // Receive out of send order: tag matching must hold.
+      EXPECT_EQ(comm.recv_value<int>(0, 8), 456);
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 123);
+    }
+  });
+}
+
+TEST(RuntimeTest, NegativeUserTagRejected) {
+  Runtime runtime{2};
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(1, -3, Buffer{});
+                 else (void)comm.recv(0, 0);
+               }),
+               std::invalid_argument);
+}
+
+TEST(RuntimeTest, BarrierSynchronizesPhases) {
+  constexpr int kRanks = 8;
+  Runtime runtime{kRanks};
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+  runtime.run([&](Comm& comm) {
+    for (int phase = 0; phase < 5; ++phase) {
+      ++phase_counter;
+      comm.barrier();
+      // After the barrier, every rank must have incremented this phase.
+      if (phase_counter.load() < (phase + 1) * kRanks) violation = true;
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), 5 * kRanks);
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  Runtime runtime{n};
+  for (int root = 0; root < n; ++root) {
+    runtime.run([root](Comm& comm) {
+      Buffer data;
+      if (comm.rank() == root) data = encode(root * 1000 + 17);
+      const Buffer out = comm.bcast(root, std::move(data));
+      EXPECT_EQ(decode<int>(out), root * 1000 + 17);
+    });
+  }
+}
+
+TEST_P(CollectiveTest, ReduceAndAllreduce) {
+  const int n = GetParam();
+  Runtime runtime{n};
+  runtime.run([n](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    const double total = comm.reduce(0, mine, ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(total, n * (n + 1) / 2.0);
+    }
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::kMax), static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::kSum), n * (n + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveTest, GatherScatterAlltoall) {
+  const int n = GetParam();
+  Runtime runtime{n};
+  runtime.run([n](Comm& comm) {
+    // Gather: root sees every rank's value in order.
+    const auto gathered = comm.gather(0, encode(comm.rank() * 2));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(decode<int>(gathered[static_cast<std::size_t>(r)]), r * 2);
+      }
+    }
+    comm.barrier();
+    // Scatter: each rank gets its slot.
+    std::vector<Buffer> to_scatter;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) to_scatter.push_back(encode(100 + r));
+    }
+    const Buffer mine = comm.scatter(0, std::move(to_scatter));
+    EXPECT_EQ(decode<int>(mine), 100 + comm.rank());
+    comm.barrier();
+    // Alltoall: value (src*100 + dst) travels src -> dst.
+    std::vector<Buffer> out;
+    for (int dst = 0; dst < n; ++dst) out.push_back(encode(comm.rank() * 100 + dst));
+    const auto in = comm.alltoall(std::move(out));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      EXPECT_EQ(decode<int>(in[static_cast<std::size_t>(src)]), src * 100 + comm.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest, ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(RuntimeTest, ExceptionsPropagateToCaller) {
+  Runtime runtime{4};
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+                 if (comm.rank() == 2) throw std::runtime_error("rank 2 failed");
+               }),
+               std::runtime_error);
+  // The runtime is reusable after a failed run.
+  runtime.run([](Comm& comm) { comm.barrier(); });
+}
+
+TEST(RuntimeTest, PingPongManyMessages) {
+  Runtime runtime{2};
+  runtime.run([](Comm& comm) {
+    for (int i = 0; i < 500; ++i) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 1, i);
+        EXPECT_EQ(comm.recv_value<int>(1, 2), i + 1);
+      } else {
+        const int v = comm.recv_value<int>(0, 1);
+        comm.send_value(0, 2, v + 1);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pio::par

@@ -1,0 +1,210 @@
+// Unit tests for the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/hypothesis.hpp"
+#include "stats/markov.hpp"
+#include "stats/regression.hpp"
+
+namespace pio::stats {
+namespace {
+
+TEST(DescriptiveTest, Basics) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);  // sample stddev
+  EXPECT_NEAR(coefficient_of_variation(xs), 2.138 / 5.0, 1e-3);
+  EXPECT_DOUBLE_EQ(min(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(median(xs), 4.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(DescriptiveTest, EmptyAndDegenerate) {
+  const std::vector<double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(variance(empty), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(variance(one), 0.0);
+  EXPECT_THROW((void)quantile(one, 1.5), std::domain_error);
+}
+
+TEST(DescriptiveTest, KahanSummationSurvivesMixedMagnitudes) {
+  std::vector<double> xs;
+  xs.push_back(1e16);
+  for (int i = 0; i < 10; ++i) xs.push_back(1.0);
+  xs.push_back(-1e16);
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+}
+
+TEST(CorrelationTest, PearsonKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+  const std::vector<double> constant{3, 3, 3, 3, 3};
+  EXPECT_EQ(pearson(xs, constant), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanIsRankBased) {
+  // A monotone nonlinear relation: Spearman 1, Pearson < 1.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(EmpiricalCdfTest, StepsCorrectly) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const EmpiricalCdf cdf{xs};
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(10.0), 1.0);
+}
+
+TEST(RegressionTest, SimpleFitRecoversLine) {
+  Rng rng{1, 0};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(3.0 + 2.0 * x + rng.normal(0.0, 0.01));
+  }
+  const SimpleFit fit = fit_simple(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.01);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+  EXPECT_NEAR(fit.predict(5.0), 13.0, 0.05);
+}
+
+TEST(RegressionTest, MultivariateRecoversCoefficients) {
+  Rng rng{2, 0};
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 5.0);
+    const double b = rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(0.0, 5.0);
+    rows.push_back({a, b, c});
+    ys.push_back(1.5 - 2.0 * a + 0.5 * b + 4.0 * c + rng.normal(0.0, 0.01));
+  }
+  const LinearModel model = LinearModel::fit(rows, ys);
+  ASSERT_EQ(model.coefficients().size(), 4u);
+  EXPECT_NEAR(model.coefficients()[0], 1.5, 0.02);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[2], 0.5, 0.01);
+  EXPECT_NEAR(model.coefficients()[3], 4.0, 0.01);
+  EXPECT_GT(model.r_squared(), 0.999);
+}
+
+TEST(RegressionTest, SingularDesignThrows) {
+  // Perfectly collinear features.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i;
+    rows.push_back({x, 2.0 * x});
+    ys.push_back(x);
+  }
+  EXPECT_THROW((void)LinearModel::fit(rows, ys), std::runtime_error);
+}
+
+TEST(RegressionTest, ErrorMetrics) {
+  const std::vector<double> predicted{10.0, 20.0, 30.0};
+  const std::vector<double> actual{12.0, 18.0, 30.0};
+  const ErrorMetrics m = compute_errors(predicted, actual);
+  EXPECT_NEAR(m.mae, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.rmse, std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(m.mape, (2.0 / 12.0 + 2.0 / 18.0) / 3.0, 1e-12);
+}
+
+TEST(MarkovTest, FitRecoversTransitions) {
+  // Deterministic cycle 0 -> 1 -> 2 -> 0.
+  std::vector<std::uint32_t> seq;
+  for (int i = 0; i < 300; ++i) seq.push_back(static_cast<std::uint32_t>(i % 3));
+  const MarkovChain chain = MarkovChain::fit(seq, 3);
+  EXPECT_NEAR(chain.probability(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(chain.probability(1, 2), 1.0, 1e-12);
+  EXPECT_NEAR(chain.probability(2, 0), 1.0, 1e-12);
+  const auto pi = chain.stationary();
+  for (const double p : pi) EXPECT_NEAR(p, 1.0 / 3.0, 1e-6);
+}
+
+TEST(MarkovTest, GenerateFollowsChain) {
+  const MarkovChain chain{{{0.0, 1.0}, {1.0, 0.0}}};  // strict alternation
+  Rng rng{3, 0};
+  const auto seq = chain.generate(0, 10, rng);
+  ASSERT_EQ(seq.size(), 10u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], static_cast<std::uint32_t>(i % 2));
+  }
+}
+
+TEST(MarkovTest, ValidationRejectsBadMatrices) {
+  EXPECT_THROW(MarkovChain({{0.5, 0.2}, {0.5, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({{1.0}, {1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW((void)MarkovChain::fit(std::vector<std::uint32_t>{0, 5}, 3),
+               std::invalid_argument);
+}
+
+TEST(MarkovTest, LogLikelihoodPrefersTheGeneratingChain) {
+  Rng rng{4, 0};
+  const MarkovChain truth{{{0.9, 0.1}, {0.3, 0.7}}};
+  const auto seq = truth.generate(0, 2000, rng);
+  const MarkovChain fitted = MarkovChain::fit(seq, 2, 1.0);
+  const MarkovChain uniform{{{0.5, 0.5}, {0.5, 0.5}}};
+  EXPECT_GT(fitted.log_likelihood(seq), uniform.log_likelihood(seq));
+  EXPECT_NEAR(fitted.probability(0, 0), 0.9, 0.05);
+  EXPECT_NEAR(fitted.probability(1, 1), 0.7, 0.05);
+}
+
+TEST(HypothesisTest, TTestDetectsShiftedMeans) {
+  Rng rng{5, 0};
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.normal(10.0, 1.0));
+    b.push_back(rng.normal(12.0, 1.0));
+    c.push_back(rng.normal(10.0, 1.0));
+  }
+  EXPECT_TRUE(welch_t_test(a, b).significant());
+  EXPECT_FALSE(welch_t_test(a, c).significant());
+  EXPECT_GT(welch_t_test(a, c).p_value, 0.05);
+}
+
+TEST(HypothesisTest, KsDetectsDifferentShapes) {
+  Rng rng{6, 0};
+  std::vector<double> normal;
+  std::vector<double> heavy;
+  std::vector<double> normal2;
+  for (int i = 0; i < 400; ++i) {
+    normal.push_back(rng.normal(5.0, 1.0));
+    heavy.push_back(rng.exponential(5.0));
+    normal2.push_back(rng.normal(5.0, 1.0));
+  }
+  EXPECT_TRUE(ks_test(normal, heavy).significant());
+  EXPECT_FALSE(ks_test(normal, normal2).significant());
+}
+
+TEST(HypothesisTest, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-9);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-9);
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.25), 0.25 * 0.25 * (3.0 - 0.5), 1e-9);
+  EXPECT_EQ(incomplete_beta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(3.0, 4.0, 1.0), 1.0);
+  EXPECT_THROW((void)incomplete_beta(1.0, 1.0, 2.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace pio::stats

@@ -1,0 +1,305 @@
+// Unit tests for tracing, profiling, the backend shim, and server stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "trace/backend_shim.hpp"
+#include "trace/event.hpp"
+#include "trace/profiler.hpp"
+#include "trace/server_stats.hpp"
+#include "trace/tracer.hpp"
+#include "vfs/backend.hpp"
+#include "vfs/file_system.hpp"
+
+namespace pio::trace {
+namespace {
+
+using namespace pio::literals;
+
+TraceEvent make_event(Layer layer, OpKind op, std::int32_t rank, std::string path,
+                      std::uint64_t offset, std::uint64_t size, std::int64_t start_ns,
+                      std::int64_t end_ns, bool ok = true) {
+  TraceEvent e;
+  e.layer = layer;
+  e.op = op;
+  e.rank = rank;
+  e.path = std::move(path);
+  e.offset = offset;
+  e.size = size;
+  e.start = SimTime::from_ns(start_ns);
+  e.end = SimTime::from_ns(end_ns);
+  e.ok = ok;
+  return e;
+}
+
+TEST(EventTest, Classification) {
+  EXPECT_TRUE(is_data_op(OpKind::kRead));
+  EXPECT_TRUE(is_data_op(OpKind::kWrite));
+  EXPECT_FALSE(is_data_op(OpKind::kStat));
+  EXPECT_TRUE(is_metadata_op(OpKind::kOpen));
+  EXPECT_TRUE(is_metadata_op(OpKind::kFsync));
+  EXPECT_FALSE(is_metadata_op(OpKind::kRead));
+  EXPECT_FALSE(is_metadata_op(OpKind::kSync));
+  EXPECT_STREQ(to_string(Layer::kMpiIo), "mpiio");
+  EXPECT_STREQ(to_string(OpKind::kReaddir), "readdir");
+}
+
+TEST(TraceTest, FiltersAndAggregates) {
+  Trace t;
+  t.append(make_event(Layer::kPosix, OpKind::kWrite, 0, "/a", 0, 100, 0, 10));
+  t.append(make_event(Layer::kPosix, OpKind::kRead, 1, "/b", 0, 40, 5, 12));
+  t.append(make_event(Layer::kMpiIo, OpKind::kWrite, 0, "/a", 100, 60, 2, 9));
+  EXPECT_EQ(t.layer(Layer::kPosix).size(), 2u);
+  EXPECT_EQ(t.rank(0).size(), 2u);
+  EXPECT_EQ(t.bytes_written(), Bytes{160});
+  EXPECT_EQ(t.bytes_read(), Bytes{40});
+  EXPECT_EQ(t.span(), SimTime::from_ns(12));
+  EXPECT_EQ(t.ranks(), (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(t.paths(), (std::vector<std::string>{"/a", "/b"}));
+}
+
+TEST(TraceTest, MergeSortsByTime) {
+  Trace a;
+  a.append(make_event(Layer::kPosix, OpKind::kWrite, 0, "/a", 0, 1, 10, 11));
+  Trace b;
+  b.append(make_event(Layer::kPosix, OpKind::kWrite, 1, "/b", 0, 1, 5, 6));
+  const Trace merged = Trace::merge(a, b);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.events()[0].rank, 1);
+  EXPECT_EQ(merged.events()[1].rank, 0);
+}
+
+Trace random_trace(std::uint64_t seed, std::size_t n) {
+  Rng rng{seed, 0};
+  Trace t;
+  const std::vector<std::string> paths{"/data/a", "/data/b", "/x \"quoted\"\n", ""};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto start = static_cast<std::int64_t>(rng.next_below(1'000'000));
+    t.append(make_event(static_cast<Layer>(rng.next_below(4)),
+                        static_cast<OpKind>(rng.next_below(11)),
+                        static_cast<std::int32_t>(rng.next_below(64)),
+                        paths[rng.next_below(paths.size())], rng.next_below(1 << 30),
+                        rng.next_below(1 << 22), start,
+                        start + static_cast<std::int64_t>(rng.next_below(10'000)),
+                        rng.chance(0.9)));
+  }
+  return t;
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.events()[i];
+    const auto& y = b.events()[i];
+    EXPECT_EQ(x.layer, y.layer) << i;
+    EXPECT_EQ(x.op, y.op) << i;
+    EXPECT_EQ(x.rank, y.rank) << i;
+    EXPECT_EQ(x.path, y.path) << i;
+    EXPECT_EQ(x.offset, y.offset) << i;
+    EXPECT_EQ(x.size, y.size) << i;
+    EXPECT_EQ(x.start, y.start) << i;
+    EXPECT_EQ(x.end, y.end) << i;
+    EXPECT_EQ(x.ok, y.ok) << i;
+  }
+}
+
+class TraceRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceRoundTripTest, JsonlRoundTripIsLossless) {
+  const Trace t = random_trace(GetParam(), 200);
+  std::stringstream buffer;
+  t.write_jsonl(buffer);
+  expect_traces_equal(t, Trace::read_jsonl(buffer));
+}
+
+TEST_P(TraceRoundTripTest, BinaryRoundTripIsLossless) {
+  const Trace t = random_trace(GetParam(), 200);
+  std::stringstream buffer;
+  t.write_binary(buffer);
+  expect_traces_equal(t, Trace::read_binary(buffer));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTripTest, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(TraceSerializationTest, BinaryIsSmallerThanJsonl) {
+  const Trace t = random_trace(5, 1000);
+  std::stringstream json;
+  std::stringstream binary;
+  t.write_jsonl(json);
+  t.write_binary(binary);
+  EXPECT_LT(binary.str().size(), json.str().size() / 2);
+}
+
+TEST(TraceSerializationTest, BadMagicThrows) {
+  std::stringstream buffer;
+  buffer << "NOTATRACE";
+  EXPECT_THROW((void)Trace::read_binary(buffer), std::runtime_error);
+}
+
+TEST(TracerTest, SnapshotAndTake) {
+  Tracer tracer;
+  tracer.record(make_event(Layer::kPosix, OpKind::kOpen, 0, "/f", 0, 0, 0, 1));
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+  const Trace taken = tracer.take();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(MultiSinkTest, FansOut) {
+  Tracer a;
+  Tracer b;
+  MultiSink multi;
+  multi.add(a);
+  multi.add(b);
+  multi.record(make_event(Layer::kApp, OpKind::kOther, 0, "", 0, 0, 0, 0));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(ProfilerTest, CountersAndHistograms) {
+  Profiler profiler;
+  profiler.record(make_event(Layer::kPosix, OpKind::kOpen, 0, "/f", 0, 0, 0, 100));
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 4096, 100, 300));
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 4096, 4096, 300, 500));
+  profiler.record(make_event(Layer::kPosix, OpKind::kRead, 0, "/f", 0, 100, 500, 600));
+  profiler.record(make_event(Layer::kPosix, OpKind::kClose, 0, "/f", 0, 0, 600, 650));
+  // Non-POSIX layers are ignored by the POSIX profiler.
+  profiler.record(make_event(Layer::kHdf5, OpKind::kWrite, 0, "/f", 0, 9999, 0, 1));
+  const Profile profile = profiler.snapshot();
+  ASSERT_EQ(profile.records().size(), 1u);
+  const auto& r = profile.records()[0];
+  EXPECT_EQ(r.opens, 1u);
+  EXPECT_EQ(r.closes, 1u);
+  EXPECT_EQ(r.writes, 2u);
+  EXPECT_EQ(r.reads, 1u);
+  EXPECT_EQ(r.bytes_written, Bytes{8192});
+  EXPECT_EQ(r.bytes_read, Bytes{100});
+  EXPECT_EQ(r.write_time, SimTime::from_ns(400));
+  EXPECT_EQ(r.write_sizes.bucket_count(12), 2u);  // 4096 twice
+  EXPECT_EQ(r.max_offset, 8192u);
+  const JobSummary s = profile.summarize();
+  EXPECT_EQ(s.total_ops, 5u);
+  EXPECT_EQ(s.metadata_ops, 2u);
+  EXPECT_EQ(s.span, SimTime::from_ns(650));
+  EXPECT_NEAR(s.read_fraction_bytes(), 100.0 / 8292.0, 1e-12);
+}
+
+TEST(ProfilerTest, SequentialityDetection) {
+  Profiler profiler;
+  // Consecutive writes from offset 0.
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 100, 0, 1));
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 100, 100, 1, 2));
+  // Forward jump: sequential but not consecutive.
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 500, 100, 2, 3));
+  // Backward jump: neither.
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 100, 3, 4));
+  const auto& r = profiler.snapshot().records()[0];
+  EXPECT_EQ(r.writes, 4u);
+  EXPECT_EQ(r.sequential_writes, 3u);
+  EXPECT_EQ(r.consecutive_writes, 2u);
+  EXPECT_DOUBLE_EQ(r.write_seq_fraction(), 0.75);
+}
+
+TEST(ProfilerTest, PerRankRecordsMergeByFile) {
+  Profiler profiler;
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 10, 0, 1));
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 1, "/f", 10, 20, 0, 1));
+  const Profile profile = profiler.snapshot();
+  EXPECT_EQ(profile.records().size(), 2u);
+  const auto by_file = profile.by_file();
+  ASSERT_EQ(by_file.size(), 1u);
+  EXPECT_EQ(by_file[0].writes, 2u);
+  EXPECT_EQ(by_file[0].bytes_written, Bytes{30});
+  EXPECT_EQ(by_file[0].rank, -1);
+}
+
+TEST(ProfilerTest, ReportMentionsFiles) {
+  Profiler profiler;
+  profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/data/out", 0, 10, 0, 1));
+  const std::string report = profiler.snapshot().report();
+  EXPECT_NE(report.find("/data/out"), std::string::npos);
+  EXPECT_NE(report.find("bytes written"), std::string::npos);
+}
+
+TEST(BackendShimTest, EmitsPosixEventsWithPaths) {
+  vfs::FileSystem fs;
+  vfs::LocalBackend inner{fs};
+  Tracer tracer;
+  ManualClock clock;
+  TracingBackend backend{inner, tracer, clock, 3};
+
+  clock.set(10_us);
+  auto fd = backend.open("/f", {vfs::OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  clock.set(20_us);
+  std::vector<std::byte> buf(256);
+  ASSERT_TRUE(backend.pwrite(fd.value(), buf, 0).ok());
+  clock.set(30_us);
+  ASSERT_TRUE(backend.pread(fd.value(), buf, 0).ok());
+  EXPECT_EQ(backend.close(fd.value()), vfs::FsStatus::kOk);
+  (void)backend.stat("/f");
+  (void)backend.open("/missing", {vfs::OpenMode::kRead, false, false});  // fails
+
+  const Trace t = tracer.snapshot();
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.events()[0].op, OpKind::kOpen);
+  EXPECT_EQ(t.events()[0].rank, 3);
+  EXPECT_EQ(t.events()[0].start, 10_us);
+  EXPECT_EQ(t.events()[1].op, OpKind::kWrite);
+  EXPECT_EQ(t.events()[1].path, "/f");
+  EXPECT_EQ(t.events()[1].size, 256u);
+  EXPECT_EQ(t.events()[2].op, OpKind::kRead);
+  EXPECT_EQ(t.events()[2].start, 30_us);
+  EXPECT_FALSE(t.events()[5].ok);
+}
+
+TEST(ServerStatsTest, BinsIntoWindows) {
+  ServerStatsCollector collector{10_ms};
+  pfs::OstOpRecord r;
+  r.ost = 0;
+  r.enqueued = 1_ms;
+  r.completed = 5_ms;  // window 0
+  r.size = 1_MiB;
+  r.is_write = true;
+  collector.on_ost_record(r);
+  r.enqueued = 12_ms;
+  r.completed = 15_ms;  // window 1
+  r.is_write = false;
+  collector.on_ost_record(r);
+  pfs::MdsOpRecord m;
+  m.enqueued = 2_ms;
+  m.completed = 3_ms;
+  collector.on_mds_record(m);
+
+  const auto& series = collector.ost_series().at(0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.at(0).write_ops, 1u);
+  EXPECT_EQ(series.at(0).bytes_written, 1_MiB);
+  EXPECT_EQ(series.at(1).read_ops, 1u);
+  EXPECT_EQ(series.at(0).total_latency, 4_ms);
+  EXPECT_EQ(collector.mds_series().at(0).meta_ops, 1u);
+}
+
+TEST(ServerStatsTest, ImbalanceDetectsHotOst) {
+  ServerStatsCollector collector{10_ms};
+  auto record = [&](std::uint32_t ost, std::uint64_t mib) {
+    pfs::OstOpRecord r;
+    r.ost = ost;
+    r.completed = 5_ms;
+    r.size = Bytes::from_mib(mib);
+    r.is_write = true;
+    collector.on_ost_record(r);
+  };
+  record(0, 30);
+  record(1, 1);
+  record(2, 1);
+  const auto imbalance = collector.ost_imbalance();
+  ASSERT_EQ(imbalance.size(), 1u);
+  // max/mean = 30 / (32/3) = 2.81...
+  EXPECT_NEAR(imbalance[0].second, 30.0 / (32.0 / 3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace pio::trace

@@ -1,0 +1,187 @@
+// Unit tests for the in-memory VFS and the POSIX-level backend.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vfs/backend.hpp"
+#include "vfs/file_system.hpp"
+
+namespace pio::vfs {
+namespace {
+
+using namespace pio::literals;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 0) {
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::byte>((i * 7 + seed) & 0xFF);
+  return data;
+}
+
+TEST(FileSystemTest, CreateRequiresParent) {
+  FileSystem fs;
+  EXPECT_EQ(fs.create("/a"), FsStatus::kOk);
+  EXPECT_EQ(fs.create("/a"), FsStatus::kExists);
+  EXPECT_EQ(fs.create("/missing/b"), FsStatus::kNotFound);
+  EXPECT_EQ(fs.mkdir("/d"), FsStatus::kOk);
+  EXPECT_EQ(fs.create("/d/b"), FsStatus::kOk);
+  EXPECT_EQ(fs.create("/a/c"), FsStatus::kNotDirectory);  // /a is a file
+}
+
+TEST(FileSystemTest, PathValidation) {
+  FileSystem fs;
+  EXPECT_EQ(fs.create("relative"), FsStatus::kInvalid);
+  EXPECT_EQ(fs.create("/trailing/"), FsStatus::kInvalid);
+  EXPECT_EQ(fs.create("//double"), FsStatus::kInvalid);
+  EXPECT_EQ(fs.create("/"), FsStatus::kInvalid);
+}
+
+TEST(FileSystemTest, WriteReadRoundTripAcrossPages) {
+  FileSystem fs;
+  ASSERT_EQ(fs.create("/f"), FsStatus::kOk);
+  // Span three pages with an unaligned start.
+  const std::uint64_t offset = FileSystem::kPageSize - 100;
+  const auto data = pattern(2 * FileSystem::kPageSize + 333);
+  auto wrote = fs.pwrite("/f", data, offset);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), data.size());
+  std::vector<std::byte> out(data.size());
+  auto read = fs.pread("/f", out, offset);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), data.size());
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+  EXPECT_EQ(fs.stat("/f").value().size, Bytes{offset + data.size()});
+}
+
+TEST(FileSystemTest, HolesReadAsZeros) {
+  FileSystem fs;
+  ASSERT_EQ(fs.create("/sparse"), FsStatus::kOk);
+  const auto data = pattern(10);
+  ASSERT_TRUE(fs.pwrite("/sparse", data, 1'000'000).ok());
+  std::vector<std::byte> out(100);
+  auto read = fs.pread("/sparse", out, 500);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), 100u);
+  for (const auto b : out) EXPECT_EQ(b, std::byte{0});
+  // Allocation reflects only the written page, not the hole.
+  EXPECT_LT(fs.allocated_bytes().count(), 2 * FileSystem::kPageSize);
+}
+
+TEST(FileSystemTest, ShortReadAtEof) {
+  FileSystem fs;
+  ASSERT_EQ(fs.create("/f"), FsStatus::kOk);
+  ASSERT_TRUE(fs.pwrite("/f", pattern(100), 0).ok());
+  std::vector<std::byte> out(200);
+  EXPECT_EQ(fs.pread("/f", out, 50).value(), 50u);
+  EXPECT_EQ(fs.pread("/f", out, 100).value(), 0u);
+  EXPECT_EQ(fs.pread("/f", out, 5000).value(), 0u);
+}
+
+TEST(FileSystemTest, TruncateShrinksAndFrees) {
+  FileSystem fs;
+  ASSERT_EQ(fs.create("/f"), FsStatus::kOk);
+  ASSERT_TRUE(fs.pwrite("/f", pattern(3 * FileSystem::kPageSize), 0).ok());
+  const Bytes before = fs.allocated_bytes();
+  EXPECT_EQ(fs.truncate("/f", Bytes{100}), FsStatus::kOk);
+  EXPECT_EQ(fs.stat("/f").value().size, Bytes{100});
+  EXPECT_LT(fs.allocated_bytes().count(), before.count());
+  // Reading past the new end is EOF.
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(fs.pread("/f", out, 200).value(), 0u);
+  // Extending truncate grows the size but keeps holes.
+  EXPECT_EQ(fs.truncate("/f", 1_MiB), FsStatus::kOk);
+  EXPECT_EQ(fs.stat("/f").value().size, 1_MiB);
+}
+
+TEST(FileSystemTest, RemoveAndReaddir) {
+  FileSystem fs;
+  ASSERT_EQ(fs.mkdir("/d"), FsStatus::kOk);
+  ASSERT_EQ(fs.create("/d/a"), FsStatus::kOk);
+  ASSERT_EQ(fs.create("/d/b"), FsStatus::kOk);
+  ASSERT_EQ(fs.mkdir("/d/sub"), FsStatus::kOk);
+  const auto names = fs.readdir("/d").value();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "sub"}));
+  EXPECT_EQ(fs.remove("/d"), FsStatus::kNotEmpty);
+  EXPECT_EQ(fs.remove("/d/a"), FsStatus::kOk);
+  EXPECT_EQ(fs.remove("/d/b"), FsStatus::kOk);
+  EXPECT_EQ(fs.remove("/d/sub"), FsStatus::kOk);
+  EXPECT_EQ(fs.remove("/d"), FsStatus::kOk);
+  EXPECT_FALSE(fs.exists("/d"));
+}
+
+TEST(FileSystemTest, RenameFile) {
+  FileSystem fs;
+  ASSERT_EQ(fs.create("/old"), FsStatus::kOk);
+  ASSERT_TRUE(fs.pwrite("/old", pattern(64), 0).ok());
+  EXPECT_EQ(fs.rename("/old", "/new"), FsStatus::kOk);
+  EXPECT_FALSE(fs.exists("/old"));
+  std::vector<std::byte> out(64);
+  EXPECT_EQ(fs.pread("/new", out, 0).value(), 64u);
+  EXPECT_EQ(fs.rename("/missing", "/x"), FsStatus::kNotFound);
+  ASSERT_EQ(fs.create("/other"), FsStatus::kOk);
+  EXPECT_EQ(fs.rename("/new", "/other"), FsStatus::kExists);
+}
+
+TEST(FileSystemTest, DirectoryIoRejected) {
+  FileSystem fs;
+  ASSERT_EQ(fs.mkdir("/d"), FsStatus::kOk);
+  std::vector<std::byte> buf(4);
+  EXPECT_FALSE(fs.pwrite("/d", buf, 0).ok());
+  EXPECT_FALSE(fs.pread("/d", buf, 0).ok());
+  EXPECT_EQ(fs.readdir("/missing").ok(), false);
+}
+
+TEST(LocalBackendTest, OpenModesEnforced) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  EXPECT_FALSE(backend.open("/nope", {OpenMode::kRead, false, false}).ok());
+  auto fd = backend.open("/f", {OpenMode::kWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(8);
+  EXPECT_FALSE(backend.pread(fd.value(), buf, 0).ok());  // write-only
+  EXPECT_TRUE(backend.pwrite(fd.value(), buf, 0).ok());
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+  auto rd = backend.open("/f", {OpenMode::kRead, false, false});
+  ASSERT_TRUE(rd.ok());
+  EXPECT_FALSE(backend.pwrite(rd.value(), buf, 0).ok());  // read-only
+  EXPECT_TRUE(backend.pread(rd.value(), buf, 0).ok());
+  EXPECT_EQ(backend.close(rd.value()), FsStatus::kOk);
+  EXPECT_EQ(backend.close(rd.value()), FsStatus::kInvalid);  // double close
+}
+
+TEST(LocalBackendTest, TruncateOnOpen) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/f", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(100);
+  ASSERT_TRUE(backend.pwrite(fd.value(), buf, 0).ok());
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+  auto fd2 = backend.open("/f", {OpenMode::kReadWrite, false, true});
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(backend.stat("/f").value().size, Bytes::zero());
+  EXPECT_EQ(backend.close(fd2.value()), FsStatus::kOk);
+}
+
+TEST(LocalBackendTest, PathOfAndDescriptorTable) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/abc", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(backend.path_of(fd.value()), "/abc");
+  EXPECT_EQ(backend.path_of(999), "");
+  EXPECT_EQ(backend.open_descriptors(), 1u);
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+  EXPECT_EQ(backend.open_descriptors(), 0u);
+}
+
+TEST(LocalBackendTest, FsyncValidatesDescriptor) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/f", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(backend.fsync(fd.value()), FsStatus::kOk);
+  EXPECT_EQ(backend.fsync(777), FsStatus::kInvalid);
+}
+
+}  // namespace
+}  // namespace pio::vfs

@@ -1,0 +1,127 @@
+// pio-dsl: run a synthetic-workload DSL program on the simulated system.
+//
+//   pio-dsl run <program.dsl> [options]
+//     --disk hdd|ssd        storage device model        (default hdd)
+//     --clients N           compute clients             (default 16)
+//     --osts N              object storage targets      (default 8)
+//     --ions N              I/O forwarding nodes        (default 4)
+//     --bb none|node|shared burst-buffer placement      (default none)
+//     --trace <out>         write the run's trace (.jsonl or binary)
+//     --seed N              simulation seed             (default 1)
+//
+//   pio-dsl check <program.dsl>      parse + print the expansion footprint
+//
+// See src/workload/dsl.hpp for the language reference.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "driver/sim_driver.hpp"
+#include "trace/tracer.hpp"
+#include "workload/dsl.hpp"
+
+using namespace pio;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::cerr << "usage: pio-dsl run <program.dsl> [--disk hdd|ssd] [--clients N]\n"
+               "               [--osts N] [--ions N] [--bb none|node|shared]\n"
+               "               [--trace out.jsonl] [--seed N]\n"
+               "       pio-dsl check <program.dsl>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args{argv + 1, argv + argc};
+    if (args.size() < 2) return usage();
+    const std::string& command = args[0];
+    const auto workload = workload::parse_dsl(slurp(args[1]));
+
+    if (command == "check") {
+      const auto fp = workload::footprint(*workload);
+      std::cout << "workload '" << workload->name() << "': " << workload->ranks()
+                << " ranks, " << fp.ops << " ops\n";
+      std::cout << "  writes " << format_bytes(fp.bytes_written) << ", reads "
+                << format_bytes(fp.bytes_read) << ", metadata ops " << fp.metadata_ops
+                << "\n";
+      return 0;
+    }
+    if (command != "run") return usage();
+
+    pfs::PfsConfig system;
+    system.clients = 16;
+    system.io_nodes = 4;
+    system.osts = 8;
+    std::uint64_t seed = 1;
+    std::string trace_out;
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+      const std::string& flag = args[i];
+      const std::string& value = args[i + 1];
+      if (flag == "--disk") {
+        system.disk_kind = value == "ssd" ? pfs::DiskKind::kSsd : pfs::DiskKind::kHdd;
+      } else if (flag == "--clients") {
+        system.clients = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (flag == "--osts") {
+        system.osts = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (flag == "--ions") {
+        system.io_nodes = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (flag == "--bb") {
+        system.bb_placement = value == "node"     ? pfs::BbPlacement::kPerIoNode
+                              : value == "shared" ? pfs::BbPlacement::kShared
+                                                  : pfs::BbPlacement::kNone;
+      } else if (flag == "--trace") {
+        trace_out = value;
+      } else if (flag == "--seed") {
+        seed = std::stoull(value);
+      } else {
+        return usage();
+      }
+    }
+
+    sim::Engine engine{seed};
+    pfs::PfsModel model{engine, system};
+    driver::ExecutionDrivenSimulator sim{engine, model};
+    trace::Tracer tracer;
+    const auto result = sim.run(*workload, trace_out.empty() ? nullptr : &tracer);
+    engine.run();
+
+    std::cout << "workload '" << workload->name() << "' on " << workload->ranks()
+              << " ranks (" << (system.disk_kind == pfs::DiskKind::kSsd ? "ssd" : "hdd")
+              << " system, " << system.osts << " OSTs)\n";
+    std::cout << "  makespan:  " << format_time(result.makespan) << "\n";
+    std::cout << "  written:   " << format_bytes(result.bytes_written) << " ("
+              << format_bandwidth(result.write_bandwidth()) << ")\n";
+    std::cout << "  read:      " << format_bytes(result.bytes_read) << " ("
+              << format_bandwidth(result.read_bandwidth()) << ")\n";
+    std::cout << "  ops:       " << result.ops << " (" << result.failed_ops
+              << " failed)\n";
+    if (!trace_out.empty()) {
+      std::ofstream out{trace_out, std::ios::binary};
+      if (!out) throw std::runtime_error("cannot create " + trace_out);
+      const auto t = tracer.take();
+      if (trace_out.size() >= 6 && trace_out.substr(trace_out.size() - 6) == ".jsonl") {
+        t.write_jsonl(out);
+      } else {
+        t.write_binary(out);
+      }
+      std::cout << "  trace:     " << t.size() << " events -> " << trace_out << "\n";
+    }
+    return result.failed_ops == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "pio-dsl: " << e.what() << "\n";
+    return 1;
+  }
+}

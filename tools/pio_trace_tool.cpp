@@ -1,0 +1,103 @@
+// pio-trace: command-line utility over PIOEval trace files.
+//
+//   pio-trace stats <trace>            summary + per-layer/op breakdown
+//   pio-trace convert <in> <out>       JSONL <-> binary by file extension
+//   pio-trace head <trace> [count]     print the first events as JSONL
+//
+// Formats are chosen by extension: ".jsonl" is JSON lines, anything else
+// is the compact binary format.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "trace/tracer.hpp"
+
+using namespace pio;
+
+namespace {
+
+bool is_jsonl(const std::string& path) {
+  return path.size() >= 6 && path.substr(path.size() - 6) == ".jsonl";
+}
+
+trace::Trace load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return is_jsonl(path) ? trace::Trace::read_jsonl(in) : trace::Trace::read_binary(in);
+}
+
+void store(const trace::Trace& t, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("cannot create " + path);
+  if (is_jsonl(path)) {
+    t.write_jsonl(out);
+  } else {
+    t.write_binary(out);
+  }
+}
+
+int cmd_stats(const std::string& path) {
+  const auto t = load(path);
+  std::cout << "events: " << t.size() << "\n";
+  std::cout << "ranks:  " << t.ranks().size() << "\n";
+  std::cout << "files:  " << t.paths().size() << "\n";
+  std::cout << "span:   " << format_time(t.span()) << "\n";
+  std::cout << "bytes:  " << format_bytes(t.bytes_read()) << " read, "
+            << format_bytes(t.bytes_written()) << " written\n";
+  std::map<std::pair<std::string, std::string>, std::uint64_t> breakdown;
+  for (const auto& e : t.events()) {
+    ++breakdown[{trace::to_string(e.layer), trace::to_string(e.op)}];
+  }
+  TextTable table{{"layer", "op", "count"}};
+  for (const auto& [key, count] : breakdown) {
+    table.add_row({key.first, key.second, std::to_string(count)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const auto t = load(in);
+  store(t, out);
+  std::cout << "converted " << t.size() << " events: " << in << " -> " << out << "\n";
+  return 0;
+}
+
+int cmd_head(const std::string& path, std::size_t count) {
+  const auto t = load(path);
+  trace::Trace head;
+  for (std::size_t i = 0; i < std::min(count, t.size()); ++i) head.append(t.events()[i]);
+  std::ostringstream buffer;
+  head.write_jsonl(buffer);
+  std::cout << buffer.str();
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  pio-trace stats <trace>\n"
+               "  pio-trace convert <in> <out>\n"
+               "  pio-trace head <trace> [count]\n"
+               "(*.jsonl = JSON lines; anything else = compact binary)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args{argv + 1, argv + argc};
+    if (args.empty()) return usage();
+    if (args[0] == "stats" && args.size() == 2) return cmd_stats(args[1]);
+    if (args[0] == "convert" && args.size() == 3) return cmd_convert(args[1], args[2]);
+    if (args[0] == "head" && (args.size() == 2 || args.size() == 3)) {
+      return cmd_head(args[1], args.size() == 3 ? std::stoul(args[2]) : 10);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "pio-trace: " << e.what() << "\n";
+    return 1;
+  }
+}
