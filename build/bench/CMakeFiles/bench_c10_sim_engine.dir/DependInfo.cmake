@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c10_sim_engine.cpp" "bench/CMakeFiles/bench_c10_sim_engine.dir/bench_c10_sim_engine.cpp.o" "gcc" "bench/CMakeFiles/bench_c10_sim_engine.dir/bench_c10_sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pio_pfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

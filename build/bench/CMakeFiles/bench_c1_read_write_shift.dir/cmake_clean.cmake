@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_read_write_shift.dir/bench_c1_read_write_shift.cpp.o"
+  "CMakeFiles/bench_c1_read_write_shift.dir/bench_c1_read_write_shift.cpp.o.d"
+  "bench_c1_read_write_shift"
+  "bench_c1_read_write_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_read_write_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

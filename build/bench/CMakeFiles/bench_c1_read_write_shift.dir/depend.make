@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c1_read_write_shift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_dl_small_reads.dir/bench_c2_dl_small_reads.cpp.o"
+  "CMakeFiles/bench_c2_dl_small_reads.dir/bench_c2_dl_small_reads.cpp.o.d"
+  "bench_c2_dl_small_reads"
+  "bench_c2_dl_small_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_dl_small_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_workflow_metadata.dir/bench_c3_workflow_metadata.cpp.o"
+  "CMakeFiles/bench_c3_workflow_metadata.dir/bench_c3_workflow_metadata.cpp.o.d"
+  "bench_c3_workflow_metadata"
+  "bench_c3_workflow_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_workflow_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

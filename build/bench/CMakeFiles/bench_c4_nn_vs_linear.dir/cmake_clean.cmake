@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_nn_vs_linear.dir/bench_c4_nn_vs_linear.cpp.o"
+  "CMakeFiles/bench_c4_nn_vs_linear.dir/bench_c4_nn_vs_linear.cpp.o.d"
+  "bench_c4_nn_vs_linear"
+  "bench_c4_nn_vs_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_nn_vs_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

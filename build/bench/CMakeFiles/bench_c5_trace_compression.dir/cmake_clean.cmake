@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_trace_compression.dir/bench_c5_trace_compression.cpp.o"
+  "CMakeFiles/bench_c5_trace_compression.dir/bench_c5_trace_compression.cpp.o.d"
+  "bench_c5_trace_compression"
+  "bench_c5_trace_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_trace_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_extrapolation.dir/bench_c6_extrapolation.cpp.o"
+  "CMakeFiles/bench_c6_extrapolation.dir/bench_c6_extrapolation.cpp.o.d"
+  "bench_c6_extrapolation"
+  "bench_c6_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_workload_sources.dir/bench_c7_workload_sources.cpp.o"
+  "CMakeFiles/bench_c7_workload_sources.dir/bench_c7_workload_sources.cpp.o.d"
+  "bench_c7_workload_sources"
+  "bench_c7_workload_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_workload_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

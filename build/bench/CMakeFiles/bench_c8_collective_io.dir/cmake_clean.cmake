@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_collective_io.dir/bench_c8_collective_io.cpp.o"
+  "CMakeFiles/bench_c8_collective_io.dir/bench_c8_collective_io.cpp.o.d"
+  "bench_c8_collective_io"
+  "bench_c8_collective_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_collective_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_bb_placement.dir/bench_c9_bb_placement.cpp.o"
+  "CMakeFiles/bench_c9_bb_placement.dir/bench_c9_bb_placement.cpp.o.d"
+  "bench_c9_bb_placement"
+  "bench_c9_bb_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_bb_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_training_io.dir/dl_training_io.cpp.o"
+  "CMakeFiles/dl_training_io.dir/dl_training_io.cpp.o.d"
+  "dl_training_io"
+  "dl_training_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_training_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

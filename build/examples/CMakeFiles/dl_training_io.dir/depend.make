@@ -1,0 +1,2 @@
+# Empty dependencies file for dl_training_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_extrapolate.dir/trace_replay_extrapolate.cpp.o"
+  "CMakeFiles/trace_replay_extrapolate.dir/trace_replay_extrapolate.cpp.o.d"
+  "trace_replay_extrapolate"
+  "trace_replay_extrapolate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_extrapolate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_campaign.dir/workflow_campaign.cpp.o"
+  "CMakeFiles/workflow_campaign.dir/workflow_campaign.cpp.o.d"
+  "workflow_campaign"
+  "workflow_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("pfs")
+subdirs("par")
+subdirs("vfs")
+subdirs("mio")
+subdirs("h5")
+subdirs("stats")
+subdirs("trace")
+subdirs("workload")
+subdirs("analysis")
+subdirs("predict")
+subdirs("replay")
+subdirs("driver")
+subdirs("eval")
+subdirs("corpus")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_analysis.dir/job_analysis.cpp.o"
+  "CMakeFiles/pio_analysis.dir/job_analysis.cpp.o.d"
+  "CMakeFiles/pio_analysis.dir/system_analysis.cpp.o"
+  "CMakeFiles/pio_analysis.dir/system_analysis.cpp.o.d"
+  "libpio_analysis.a"
+  "libpio_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

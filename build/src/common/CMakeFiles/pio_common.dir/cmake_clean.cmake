@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_common.dir/format.cpp.o"
+  "CMakeFiles/pio_common.dir/format.cpp.o.d"
+  "CMakeFiles/pio_common.dir/histogram.cpp.o"
+  "CMakeFiles/pio_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/pio_common.dir/interval_set.cpp.o"
+  "CMakeFiles/pio_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/pio_common.dir/record_io.cpp.o"
+  "CMakeFiles/pio_common.dir/record_io.cpp.o.d"
+  "CMakeFiles/pio_common.dir/rng.cpp.o"
+  "CMakeFiles/pio_common.dir/rng.cpp.o.d"
+  "libpio_common.a"
+  "libpio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

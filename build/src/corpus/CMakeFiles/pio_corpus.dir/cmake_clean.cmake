@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/pio_corpus.dir/corpus.cpp.o.d"
+  "libpio_corpus.a"
+  "libpio_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/measured_runner.cpp" "src/driver/CMakeFiles/pio_driver.dir/measured_runner.cpp.o" "gcc" "src/driver/CMakeFiles/pio_driver.dir/measured_runner.cpp.o.d"
+  "/root/repo/src/driver/sim_driver.cpp" "src/driver/CMakeFiles/pio_driver.dir/sim_driver.cpp.o" "gcc" "src/driver/CMakeFiles/pio_driver.dir/sim_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pio_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/pio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

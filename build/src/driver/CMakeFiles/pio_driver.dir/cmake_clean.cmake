@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_driver.dir/measured_runner.cpp.o"
+  "CMakeFiles/pio_driver.dir/measured_runner.cpp.o.d"
+  "CMakeFiles/pio_driver.dir/sim_driver.cpp.o"
+  "CMakeFiles/pio_driver.dir/sim_driver.cpp.o.d"
+  "libpio_driver.a"
+  "libpio_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

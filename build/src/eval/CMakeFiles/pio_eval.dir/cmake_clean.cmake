@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_eval.dir/campaign.cpp.o"
+  "CMakeFiles/pio_eval.dir/campaign.cpp.o.d"
+  "libpio_eval.a"
+  "libpio_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpio_eval.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_h5.dir/h5.cpp.o"
+  "CMakeFiles/pio_h5.dir/h5.cpp.o.d"
+  "libpio_h5.a"
+  "libpio_h5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_mio.dir/mio.cpp.o"
+  "CMakeFiles/pio_mio.dir/mio.cpp.o.d"
+  "libpio_mio.a"
+  "libpio_mio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_mio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_net.dir/fabric.cpp.o"
+  "CMakeFiles/pio_net.dir/fabric.cpp.o.d"
+  "libpio_net.a"
+  "libpio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_par.dir/comm.cpp.o"
+  "CMakeFiles/pio_par.dir/comm.cpp.o.d"
+  "libpio_par.a"
+  "libpio_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/burst_buffer.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/burst_buffer.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/burst_buffer.cpp.o.d"
+  "/root/repo/src/pfs/disk.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/disk.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/disk.cpp.o.d"
+  "/root/repo/src/pfs/mds.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/mds.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/mds.cpp.o.d"
+  "/root/repo/src/pfs/ost.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/ost.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/ost.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/pfs.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/pfs.cpp.o.d"
+  "/root/repo/src/pfs/stripe.cpp" "src/pfs/CMakeFiles/pio_pfs.dir/stripe.cpp.o" "gcc" "src/pfs/CMakeFiles/pio_pfs.dir/stripe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_pfs.dir/burst_buffer.cpp.o"
+  "CMakeFiles/pio_pfs.dir/burst_buffer.cpp.o.d"
+  "CMakeFiles/pio_pfs.dir/disk.cpp.o"
+  "CMakeFiles/pio_pfs.dir/disk.cpp.o.d"
+  "CMakeFiles/pio_pfs.dir/mds.cpp.o"
+  "CMakeFiles/pio_pfs.dir/mds.cpp.o.d"
+  "CMakeFiles/pio_pfs.dir/ost.cpp.o"
+  "CMakeFiles/pio_pfs.dir/ost.cpp.o.d"
+  "CMakeFiles/pio_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/pio_pfs.dir/pfs.cpp.o.d"
+  "CMakeFiles/pio_pfs.dir/stripe.cpp.o"
+  "CMakeFiles/pio_pfs.dir/stripe.cpp.o.d"
+  "libpio_pfs.a"
+  "libpio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

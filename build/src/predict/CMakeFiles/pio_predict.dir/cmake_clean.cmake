@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_predict.dir/evaluate.cpp.o"
+  "CMakeFiles/pio_predict.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pio_predict.dir/forest.cpp.o"
+  "CMakeFiles/pio_predict.dir/forest.cpp.o.d"
+  "CMakeFiles/pio_predict.dir/nn.cpp.o"
+  "CMakeFiles/pio_predict.dir/nn.cpp.o.d"
+  "CMakeFiles/pio_predict.dir/omnisio.cpp.o"
+  "CMakeFiles/pio_predict.dir/omnisio.cpp.o.d"
+  "libpio_predict.a"
+  "libpio_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_replay.dir/compress.cpp.o"
+  "CMakeFiles/pio_replay.dir/compress.cpp.o.d"
+  "CMakeFiles/pio_replay.dir/extrapolate.cpp.o"
+  "CMakeFiles/pio_replay.dir/extrapolate.cpp.o.d"
+  "CMakeFiles/pio_replay.dir/fidelity.cpp.o"
+  "CMakeFiles/pio_replay.dir/fidelity.cpp.o.d"
+  "CMakeFiles/pio_replay.dir/trace_workload.cpp.o"
+  "CMakeFiles/pio_replay.dir/trace_workload.cpp.o.d"
+  "libpio_replay.a"
+  "libpio_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

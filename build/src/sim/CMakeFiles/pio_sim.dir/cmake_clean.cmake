@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_sim.dir/engine.cpp.o"
+  "CMakeFiles/pio_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pio_sim.dir/resources.cpp.o"
+  "CMakeFiles/pio_sim.dir/resources.cpp.o.d"
+  "libpio_sim.a"
+  "libpio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

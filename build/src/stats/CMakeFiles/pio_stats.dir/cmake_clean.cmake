@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/pio_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/pio_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/pio_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/pio_stats.dir/markov.cpp.o"
+  "CMakeFiles/pio_stats.dir/markov.cpp.o.d"
+  "CMakeFiles/pio_stats.dir/regression.cpp.o"
+  "CMakeFiles/pio_stats.dir/regression.cpp.o.d"
+  "libpio_stats.a"
+  "libpio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

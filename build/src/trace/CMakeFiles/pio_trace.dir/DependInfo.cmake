@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/backend_shim.cpp" "src/trace/CMakeFiles/pio_trace.dir/backend_shim.cpp.o" "gcc" "src/trace/CMakeFiles/pio_trace.dir/backend_shim.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/pio_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/pio_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/profiler.cpp" "src/trace/CMakeFiles/pio_trace.dir/profiler.cpp.o" "gcc" "src/trace/CMakeFiles/pio_trace.dir/profiler.cpp.o.d"
+  "/root/repo/src/trace/server_stats.cpp" "src/trace/CMakeFiles/pio_trace.dir/server_stats.cpp.o" "gcc" "src/trace/CMakeFiles/pio_trace.dir/server_stats.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/pio_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/pio_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/pio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_trace.dir/backend_shim.cpp.o"
+  "CMakeFiles/pio_trace.dir/backend_shim.cpp.o.d"
+  "CMakeFiles/pio_trace.dir/event.cpp.o"
+  "CMakeFiles/pio_trace.dir/event.cpp.o.d"
+  "CMakeFiles/pio_trace.dir/profiler.cpp.o"
+  "CMakeFiles/pio_trace.dir/profiler.cpp.o.d"
+  "CMakeFiles/pio_trace.dir/server_stats.cpp.o"
+  "CMakeFiles/pio_trace.dir/server_stats.cpp.o.d"
+  "CMakeFiles/pio_trace.dir/tracer.cpp.o"
+  "CMakeFiles/pio_trace.dir/tracer.cpp.o.d"
+  "libpio_trace.a"
+  "libpio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

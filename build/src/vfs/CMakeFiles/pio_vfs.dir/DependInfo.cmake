@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/backend.cpp" "src/vfs/CMakeFiles/pio_vfs.dir/backend.cpp.o" "gcc" "src/vfs/CMakeFiles/pio_vfs.dir/backend.cpp.o.d"
+  "/root/repo/src/vfs/fault_injection.cpp" "src/vfs/CMakeFiles/pio_vfs.dir/fault_injection.cpp.o" "gcc" "src/vfs/CMakeFiles/pio_vfs.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/vfs/file_system.cpp" "src/vfs/CMakeFiles/pio_vfs.dir/file_system.cpp.o" "gcc" "src/vfs/CMakeFiles/pio_vfs.dir/file_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

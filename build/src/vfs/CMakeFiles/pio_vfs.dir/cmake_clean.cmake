@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_vfs.dir/backend.cpp.o"
+  "CMakeFiles/pio_vfs.dir/backend.cpp.o.d"
+  "CMakeFiles/pio_vfs.dir/fault_injection.cpp.o"
+  "CMakeFiles/pio_vfs.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/pio_vfs.dir/file_system.cpp.o"
+  "CMakeFiles/pio_vfs.dir/file_system.cpp.o.d"
+  "libpio_vfs.a"
+  "libpio_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dlio.cpp" "src/workload/CMakeFiles/pio_workload.dir/dlio.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/dlio.cpp.o.d"
+  "/root/repo/src/workload/dsl.cpp" "src/workload/CMakeFiles/pio_workload.dir/dsl.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/dsl.cpp.o.d"
+  "/root/repo/src/workload/facility_mix.cpp" "src/workload/CMakeFiles/pio_workload.dir/facility_mix.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/facility_mix.cpp.o.d"
+  "/root/repo/src/workload/from_profile.cpp" "src/workload/CMakeFiles/pio_workload.dir/from_profile.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/from_profile.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/pio_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/op.cpp" "src/workload/CMakeFiles/pio_workload.dir/op.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/op.cpp.o.d"
+  "/root/repo/src/workload/workflow.cpp" "src/workload/CMakeFiles/pio_workload.dir/workflow.cpp.o" "gcc" "src/workload/CMakeFiles/pio_workload.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/pio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio_workload.dir/dlio.cpp.o"
+  "CMakeFiles/pio_workload.dir/dlio.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/dsl.cpp.o"
+  "CMakeFiles/pio_workload.dir/dsl.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/facility_mix.cpp.o"
+  "CMakeFiles/pio_workload.dir/facility_mix.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/from_profile.cpp.o"
+  "CMakeFiles/pio_workload.dir/from_profile.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/kernels.cpp.o"
+  "CMakeFiles/pio_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/op.cpp.o"
+  "CMakeFiles/pio_workload.dir/op.cpp.o.d"
+  "CMakeFiles/pio_workload.dir/workflow.cpp.o"
+  "CMakeFiles/pio_workload.dir/workflow.cpp.o.d"
+  "libpio_workload.a"
+  "libpio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/pio_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/pio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pio_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/pio_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/mio/CMakeFiles/pio_mio.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/pio_h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/pio_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/pio_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pio_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pio_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pio_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

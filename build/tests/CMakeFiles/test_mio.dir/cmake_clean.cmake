@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mio.dir/test_mio.cpp.o"
+  "CMakeFiles/test_mio.dir/test_mio.cpp.o.d"
+  "test_mio"
+  "test_mio.pdb"
+  "test_mio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omnisio.dir/test_omnisio.cpp.o"
+  "CMakeFiles/test_omnisio.dir/test_omnisio.cpp.o.d"
+  "test_omnisio"
+  "test_omnisio.pdb"
+  "test_omnisio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omnisio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio-dsl.dir/pio_dsl_tool.cpp.o"
+  "CMakeFiles/pio-dsl.dir/pio_dsl_tool.cpp.o.d"
+  "pio-dsl"
+  "pio-dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio-dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pio-trace.dir/pio_trace_tool.cpp.o"
+  "CMakeFiles/pio-trace.dir/pio_trace_tool.cpp.o.d"
+  "pio-trace"
+  "pio-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pio-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
