@@ -29,11 +29,12 @@ std::string format_bytes(Bytes b) {
 }
 
 std::string format_time(SimTime t) {
-  const double ns = static_cast<double>(t.ns());
-  const double mag = std::abs(ns);
-  if (mag >= 1e9) return with_unit(t.sec(), "s", 3);
-  if (mag >= 1e6) return with_unit(t.ms(), "ms", 3);
-  if (mag >= 1e3) return with_unit(t.us(), "us", 3);
+  // Unit selection on exact integer nanoseconds; only the final display
+  // value goes through the floating-point accessors.
+  const std::int64_t mag = t.ns() < 0 ? -t.ns() : t.ns();
+  if (mag >= 1'000'000'000) return with_unit(t.sec(), "s", 3);
+  if (mag >= 1'000'000) return with_unit(t.ms(), "ms", 3);
+  if (mag >= 1'000) return with_unit(t.us(), "us", 3);
   return std::to_string(t.ns()) + " ns";
 }
 

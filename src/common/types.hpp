@@ -6,6 +6,7 @@
 // "rate = bytes / time" conversions appear in every model.
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
 #include <limits>
@@ -32,6 +33,11 @@ class SimTime {
   static constexpr SimTime from_us(double v) { return SimTime{static_cast<std::int64_t>(v * 1e3)}; }
   static constexpr SimTime from_ms(double v) { return SimTime{static_cast<std::int64_t>(v * 1e6)}; }
   static constexpr SimTime from_sec(double v) { return SimTime{static_cast<std::int64_t>(v * 1e9)}; }
+  /// Seconds rounded *up* to the next nanosecond. Use when a modelled
+  /// duration must never complete early (e.g. draining a transfer).
+  static SimTime from_sec_ceil(double v) {
+    return SimTime{static_cast<std::int64_t>(std::ceil(v * 1e9))};
+  }
 
   constexpr auto operator<=>(const SimTime&) const = default;
 

@@ -41,7 +41,11 @@ driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
   sim::Engine engine{seed};
   pfs::PfsModel model{engine, system};
   driver::ExecutionDrivenSimulator sim{engine, model};
-  return sim.run(workload, sink);
+  auto result = sim.run(workload, sink);
+  // A leftover event here would mean the model leaked state into the next
+  // measurement — exactly the kind of bug that corrupts replay fidelity.
+  engine.assert_drained();
+  return result;
 }
 
 CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep) {

@@ -94,12 +94,12 @@ class H5File {
   static constexpr std::uint64_t kHeaderSize = 256 * 1024;
 
   /// Collective create (truncates) / open (parses the header).
-  static Result<std::unique_ptr<H5File>> create_all(par::Comm& comm, vfs::Backend& backend,
+  [[nodiscard]] static Result<std::unique_ptr<H5File>> create_all(par::Comm& comm, vfs::Backend& backend,
                                                     const std::string& path,
                                                     const mio::Hints& hints = {},
                                                     trace::Sink* sink = nullptr,
                                                     const trace::Clock* clock = nullptr);
-  static Result<std::unique_ptr<H5File>> open_all(par::Comm& comm, vfs::Backend& backend,
+  [[nodiscard]] static Result<std::unique_ptr<H5File>> open_all(par::Comm& comm, vfs::Backend& backend,
                                                   const std::string& path,
                                                   const mio::Hints& hints = {},
                                                   trace::Sink* sink = nullptr,
@@ -110,14 +110,14 @@ class H5File {
   ~H5File();
 
   /// Collective: every rank applies the same deterministic metadata update.
-  Result<bool> create_group(const std::string& name);
+  [[nodiscard]] Result<bool> create_group(const std::string& name);
   [[nodiscard]] Result<Dataset> create_dataset(const std::string& name, std::uint32_t elem_size,
                                                Dataspace space,
                                                std::vector<std::uint64_t> chunk_dims = {});
   [[nodiscard]] Result<Dataset> open_dataset(const std::string& name);
 
   /// Attributes: string key/value pairs attached to a path ("/": the file).
-  Result<bool> set_attribute(const std::string& owner, const std::string& key,
+  [[nodiscard]] Result<bool> set_attribute(const std::string& owner, const std::string& key,
                              const std::string& value);
   [[nodiscard]] std::optional<std::string> attribute(const std::string& owner,
                                                      const std::string& key) const;
@@ -140,7 +140,7 @@ class H5File {
             bool ok);
   [[nodiscard]] SimTime now() const;
   [[nodiscard]] std::string serialize_header() const;
-  Result<bool> parse_header(const std::string& text);
+  [[nodiscard]] Result<bool> parse_header(const std::string& text);
 
   par::Comm& comm_;
   std::unique_ptr<mio::File> mio_;

@@ -54,7 +54,7 @@ class File {
  public:
   /// Collective open/create. Rank 0 creates the file (when `create`);
   /// everyone else opens after a barrier.
-  static Result<std::unique_ptr<File>> open_all(par::Comm& comm, vfs::Backend& backend,
+  [[nodiscard]] static Result<std::unique_ptr<File>> open_all(par::Comm& comm, vfs::Backend& backend,
                                                 const std::string& path, bool create,
                                                 const Hints& hints = {},
                                                 trace::Sink* sink = nullptr,

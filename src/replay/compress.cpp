@@ -56,10 +56,12 @@ Grammar Grammar::compress(std::vector<std::uint32_t> stream, std::uint32_t termi
     for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
       ++freq[{stream[i], stream[i + 1]}];
     }
-    // Most frequent pair; deterministic tie-break on symbol values.
+    // Most frequent pair. The selection below is order-independent — the
+    // (count, pair) comparison is a strict total order over all entries, so
+    // the same `best` wins whatever order the hash table yields.
     std::pair<std::uint32_t, std::uint32_t> best{0, 0};
     std::uint32_t best_count = 1;
-    for (const auto& [pair, count] : freq) {
+    for (const auto& [pair, count] : freq) {  // piolint: allow(D2)
       if (count > best_count ||
           (count == best_count && best_count > 1 && pair < best)) {
         best = pair;

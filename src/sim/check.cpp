@@ -1,0 +1,18 @@
+#include "sim/check.hpp"
+
+#include <stdexcept>
+
+namespace pio::sim::check {
+
+void fail(const char* invariant, const std::string& detail) {
+  std::string msg = "sim invariant violated [";
+  msg += invariant;
+  msg += "]";
+  if (!detail.empty()) {
+    msg += ": ";
+    msg += detail;
+  }
+  throw std::logic_error(msg);
+}
+
+}  // namespace pio::sim::check

@@ -1,0 +1,41 @@
+// PIOEval sim: runtime invariant checks for the deterministic engine.
+//
+// These guard the *internal* invariants the determinism contract rests on
+// (monotonic virtual clock, handler-map/heap agreement, fully drained queues
+// at campaign end). API-contract violations (scheduling into the past,
+// negative delays) always throw from the engine itself; the checks here are
+// belt-and-braces assertions that catch engine/model bugs early instead of
+// letting them surface as silently divergent replays.
+//
+// Enabled by default (each check is O(1) on top of O(log n) engine work).
+// Define PIO_SIM_NO_CHECKS (cmake -DPIO_SIM_CHECKS=OFF) to compile them out
+// for maximum-throughput production sweeps.
+#pragma once
+
+#include <string>
+
+namespace pio::sim::check {
+
+#if defined(PIO_SIM_NO_CHECKS)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Throws std::logic_error tagged with the violated invariant. Centralised
+/// so a debugger breakpoint on one symbol catches every invariant failure.
+[[noreturn]] void fail(const char* invariant, const std::string& detail);
+
+/// Assert `cond`; on failure, report `invariant` (a short stable name) and
+/// `detail` (context: sizes, times). Compiles to nothing when disabled.
+inline void that(bool cond, const char* invariant, const std::string& detail = {}) {
+  if constexpr (kEnabled) {
+    if (!cond) fail(invariant, detail);
+  } else {
+    (void)cond;
+    (void)invariant;
+    (void)detail;
+  }
+}
+
+}  // namespace pio::sim::check

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "sim/check.hpp"
 
 namespace pio::sim {
 
@@ -13,6 +16,9 @@ EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   queue_.push(Entry{t, next_seq_++, id});
   handlers_.emplace(id, std::move(fn));
   ++pending_;
+  check::that(handlers_.size() == pending_, "handler-map/pending agreement",
+              "handlers=" + std::to_string(handlers_.size()) +
+                  " pending=" + std::to_string(pending_));
   return id;
 }
 
@@ -42,12 +48,27 @@ bool Engine::step() {
     std::function<void()> fn = std::move(it->second);
     handlers_.erase(it);
     --pending_;
+    check::that(top.time >= now_, "monotonic clock",
+                "event at " + std::to_string(top.time.ns()) + "ns behind now=" +
+                    std::to_string(now_.ns()) + "ns");
+    check::that(handlers_.size() == pending_, "handler-map/pending agreement",
+                "handlers=" + std::to_string(handlers_.size()) +
+                    " pending=" + std::to_string(pending_));
+    check::that(queue_.size() >= pending_, "heap covers pending events",
+                "heap=" + std::to_string(queue_.size()) +
+                    " pending=" + std::to_string(pending_));
     now_ = top.time;
     ++executed_;
     fn();
     return true;
   }
   return false;
+}
+
+void Engine::assert_drained() const {
+  check::that(pending_ == 0 && handlers_.empty(), "queue drained at campaign end",
+              "pending=" + std::to_string(pending_) +
+                  " handlers=" + std::to_string(handlers_.size()));
 }
 
 std::uint64_t Engine::run(SimTime until) {

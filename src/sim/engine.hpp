@@ -59,6 +59,11 @@ class Engine {
   /// Pending (non-cancelled) events.
   [[nodiscard]] std::uint64_t events_pending() const { return pending_; }
 
+  /// Campaign-end invariant: every scheduled event fired or was cancelled.
+  /// A non-empty queue at the end of a run means a model leaked events —
+  /// throws via sim::check (no-op when checks are compiled out).
+  void assert_drained() const;
+
   /// Deterministic named random stream; same (seed, id) -> same draws
   /// regardless of when in the run the stream is first requested.
   [[nodiscard]] Rng rng_stream(std::uint64_t id) const { return Rng{seed_, id}; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "sim/check.hpp"
 
 namespace pio::sim {
 
@@ -88,8 +91,9 @@ void FairShareChannel::reschedule_completion() {
   const double rate = capacity_.bytes_per_sec() / static_cast<double>(flows_.size());
   // Round up to the next nanosecond so remaining bytes are always fully
   // drained by the time the completion fires.
-  const double secs = min_remaining / rate;
-  const auto delay = SimTime::from_ns(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
+  const auto delay = SimTime::from_sec_ceil(min_remaining / rate);
+  check::that(delay >= SimTime::zero(), "non-negative service delay",
+              "delay=" + std::to_string(delay.ns()) + "ns");
   pending_completion_ = engine_.schedule_after(delay, [this] {
     pending_completion_ = 0;
     complete_earliest();

@@ -48,13 +48,19 @@ bool is_metadata_op(OpKind op) {
   }
 }
 
+// WallClock is the one sanctioned wall-time source in the library: it exists
+// so *measured* (non-simulated) runs can timestamp trace events. Simulation
+// code must never use it — the engine's virtual clock is the only time base
+// there (see DESIGN.md, rule D1).
 WallClock::WallClock()
     : epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    // piolint: allow(D1)
                     std::chrono::steady_clock::now().time_since_epoch())
                     .count()) {}
 
 SimTime WallClock::now() const {
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      // piolint: allow(D1)
                       std::chrono::steady_clock::now().time_since_epoch())
                       .count();
   return SimTime::from_ns(ns - epoch_ns_);

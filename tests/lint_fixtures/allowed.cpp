@@ -1,0 +1,20 @@
+// piolint fixture: every violation below carries an allow directive, so the
+// file must lint clean.
+#include <cstdlib>
+#include <unordered_map>
+
+// piolint: allow-file(D2)
+
+int sanctioned_rand() {
+  return std::rand();  // piolint: allow(D1)
+}
+
+int sanctioned_walk() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += v;  // suppressed by allow-file(D2)
+  return sum;
+}
+
+// piolint: allow(D1)
+int sanctioned_rand_previous_line() { return std::rand(); }

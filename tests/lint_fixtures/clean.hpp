@@ -1,0 +1,21 @@
+// piolint fixture: fully compliant header — zero findings expected. Mentions
+// of banned identifiers inside strings and comments (std::rand, 1e9) must
+// not trip the lexer.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace fixture {
+
+// A comment naming std::rand() and steady_clock::now() is not a violation.
+inline const char* kBannedList = "std::rand, random_device, 1e9";
+
+[[nodiscard]] pio::Result<int> count_entries(const std::map<std::string, int>& m);
+
+[[nodiscard]] inline pio::SimTime double_time(pio::SimTime t) { return t + t; }
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// piolint fixture: exactly one D1 violation (std::rand in library-style code).
+#include <cstdlib>
+
+int noisy_seed() {
+  return std::rand();  // the one violation in this file
+}

@@ -1,0 +1,14 @@
+// piolint fixture: exactly one D2 violation (range-for over an unordered map).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> keys_in_hash_order() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  std::vector<std::string> out;
+  for (const auto& [key, value] : counts) {  // the one violation in this file
+    out.push_back(key);
+  }
+  return out;
+}

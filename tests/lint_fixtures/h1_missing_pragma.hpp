@@ -1,0 +1,6 @@
+// piolint fixture: exactly one H1 violation — this header has no
+// include guard of any kind.
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// piolint fixture: exactly one H1 violation (using-namespace at header scope).
+#pragma once
+
+#include <string>
+
+using namespace std;  // the one violation in this file
+
+namespace fixture {
+inline string shout(const string& s) { return s + "!"; }
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// piolint fixture: exactly one R1 violation (Result-returning function
+// without [[nodiscard]]).
+#pragma once
+
+#include "common/result.hpp"
+
+namespace fixture {
+
+pio::Result<int> parse_count(const char* text);  // the one violation in this file
+
+[[nodiscard]] pio::Result<int> parse_size(const char* text);  // compliant
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// piolint fixture: exactly one T1 violation (hand-scaled SimTime conversion).
+#include "common/types.hpp"
+
+double seconds_by_hand(pio::SimTime t) {
+  return static_cast<double>(t.ns()) / 1e9;  // the one violation in this file
+}

@@ -1,0 +1,136 @@
+// Unit tests for tools/piolint: each fixture file under tests/lint_fixtures/
+// carries exactly one deliberate violation of one rule (or none), so rule
+// regressions show up as changed counts, not vague diffs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "piolint/lint.hpp"
+
+namespace pio::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(PIO_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> rules;
+  rules.reserve(diags.size());
+  for (const auto& d : diags) rules.push_back(d.rule);
+  return rules;
+}
+
+TEST(PiolintRules, D1FlagsBannedNondeterminismSource) {
+  const auto diags = lint_file(fixture("d1_violation.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].line, 5);
+  EXPECT_NE(diags[0].message.find("std::rand"), std::string::npos);
+}
+
+TEST(PiolintRules, D2FlagsUnorderedIterationFeedingOutput) {
+  const auto diags = lint_file(fixture("d2_violation.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+  EXPECT_NE(diags[0].message.find("counts"), std::string::npos);
+}
+
+TEST(PiolintRules, T1FlagsHandScaledTimeConversion) {
+  const auto diags = lint_file(fixture("t1_violation.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "T1");
+}
+
+TEST(PiolintRules, T1ExemptsTypesHeaderItself) {
+  const auto diags =
+      lint_source("src/common/types.hpp",
+                  "#pragma once\n"
+                  "struct SimTime { double sec() const { return ns_ * 1e9; } };\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PiolintRules, R1FlagsMissingNodiscardOnResultApi) {
+  const auto diags = lint_file(fixture("r1_violation.hpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_NE(diags[0].message.find("parse_count"), std::string::npos);
+}
+
+TEST(PiolintRules, R1SkipsOutOfLineMemberDefinitions) {
+  const auto diags = lint_source(
+      "src/h5/h5.cpp", "#include \"h5/h5.hpp\"\nResult<bool> H5File::create_group() {}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PiolintRules, H1FlagsMissingPragmaOnce) {
+  const auto diags = lint_file(fixture("h1_missing_pragma.hpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "H1");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(PiolintRules, H1FlagsUsingNamespaceInHeader) {
+  const auto diags = lint_file(fixture("h1_using_namespace.hpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "H1");
+  EXPECT_EQ(diags[0].line, 6);
+}
+
+TEST(PiolintRules, CleanHeaderHasNoFindings) {
+  EXPECT_TRUE(lint_file(fixture("clean.hpp")).empty());
+}
+
+TEST(PiolintAllow, DirectivesSuppressSameLinePreviousLineAndFileWide) {
+  EXPECT_TRUE(lint_file(fixture("allowed.cpp")).empty());
+}
+
+TEST(PiolintAllow, DirectiveDoesNotLeakToUnrelatedLines) {
+  const auto diags = lint_source("x.cpp",
+                                 "// piolint: allow(D1)\n"
+                                 "int a() { return std::rand(); }\n"
+                                 "int b() { return std::rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(PiolintScan, CollectFilesFindsAllFixtures) {
+  const auto files = collect_files({std::string(PIO_LINT_FIXTURE_DIR)});
+  EXPECT_GE(files.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+}
+
+TEST(PiolintOutput, TextFormatIsFileLineRuleMessage) {
+  const Diagnostic d{"src/a.cpp", 12, "D1", "bad"};
+  EXPECT_EQ(to_text(d), "src/a.cpp:12:D1: bad");
+}
+
+TEST(PiolintOutput, JsonIsWellFormedAndEscaped) {
+  const std::vector<Diagnostic> diags = {{"a\"b.cpp", 3, "H1", "line1\nline2"}};
+  const std::string json = to_json(diags);
+  EXPECT_NE(json.find("\"file\": \"a\\\"b.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_EQ(to_json({}), "[]\n");
+}
+
+TEST(PiolintLexer, RawStringsAndCharLiteralsAreBlanked) {
+  const auto diags = lint_source("x.cpp",
+                                 "const char* s = R\"(std::rand() 1e9 .sec()\n"
+                                 "random_device)\";\n"
+                                 "char c = '\\'';\n");
+  EXPECT_TRUE(rules_of(diags).empty());
+}
+
+TEST(PiolintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  const auto diags = lint_source("x.cpp",
+                                 "constexpr long k = 1'000'000'000;\n"
+                                 "int bad() { return std::rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+}  // namespace
+}  // namespace pio::lint

@@ -195,7 +195,10 @@ TEST(ProfilerTest, SequentialityDetection) {
   profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 500, 100, 2, 3));
   // Backward jump: neither.
   profiler.record(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 100, 3, 4));
-  const auto& r = profiler.snapshot().records()[0];
+  // Keep the snapshot alive: records() returns a reference into it, so
+  // binding through the temporary dangles (caught by ASan).
+  const auto profile = profiler.snapshot();
+  const auto& r = profile.records()[0];
   EXPECT_EQ(r.writes, 4u);
   EXPECT_EQ(r.sequential_writes, 3u);
   EXPECT_EQ(r.consecutive_writes, 2u);

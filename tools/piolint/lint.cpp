@@ -1,0 +1,540 @@
+#include "piolint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace pio::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source stripping: replace comment bodies and string/char literal contents
+// with spaces (newlines preserved, so offsets and line numbers survive), and
+// collect the raw comment text per line for allow-directive parsing.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string code;                        // literals/comments blanked
+  std::vector<std::string> comment_text;   // per 1-based line, "" if none
+};
+
+Stripped strip(const std::string& src) {
+  Stripped out;
+  out.code.reserve(src.size());
+  out.comment_text.emplace_back();  // index 0 unused
+  out.comment_text.emplace_back();
+  std::size_t line = 1;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  auto emit = [&](char c) {
+    out.code.push_back(c);
+    if (c == '\n') {
+      ++line;
+      out.comment_text.emplace_back();
+    }
+  };
+  auto blank = [&](char c) { emit(c == '\n' ? '\n' : ' '); };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R / u8R / LR / uR / UR.
+          bool raw = false;
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t j = i - 1;
+            while (j > 0 && (std::isalnum(static_cast<unsigned char>(src[j - 1])) != 0 ||
+                             src[j - 1] == '_')) {
+              --j;
+            }
+            const std::string prefix = src.substr(j, i - j);
+            raw = prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
+                  prefix == "LR";
+          }
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(') raw_delim.push_back(src[j++]);
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          emit('"');
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of numeric tokens, not
+          // char literals: a quote directly after an alnum stays code.
+          if (i > 0 && (std::isalnum(static_cast<unsigned char>(src[i - 1])) != 0)) {
+            emit(c);
+          } else {
+            state = State::kChar;
+            emit('\'');
+          }
+        } else {
+          emit(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          emit('\n');
+        } else {
+          out.comment_text[line].push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          if (c != '\n') out.comment_text[line].push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          emit('"');
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit('\'');
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() && src[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) blank(src[i + k]);
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else {
+          blank(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives.
+// ---------------------------------------------------------------------------
+
+struct Allows {
+  std::set<std::string> file_wide;
+  std::vector<std::set<std::string>> per_line;  // 1-based
+
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
+    if (file_wide.count(rule) != 0) return true;
+    auto on = [&](int l) {
+      return l >= 1 && l < static_cast<int>(per_line.size()) &&
+             per_line[static_cast<std::size_t>(l)].count(rule) != 0;
+    };
+    // A directive suppresses its own line and the line directly below it.
+    return on(line) || on(line - 1);
+  }
+};
+
+Allows parse_allows(const Stripped& s) {
+  Allows a;
+  a.per_line.resize(s.comment_text.size());
+  static const std::regex kDirective(R"(piolint:\s*(allow|allow-file)\(([A-Za-z0-9_,\s]+)\))");
+  for (std::size_t line = 1; line < s.comment_text.size(); ++line) {
+    const std::string& text = s.comment_text[line];
+    if (text.find("piolint") == std::string::npos) continue;
+    for (std::sregex_iterator it(text.begin(), text.end(), kDirective), end; it != end; ++it) {
+      std::string rules = (*it)[2].str();
+      std::replace(rules.begin(), rules.end(), ',', ' ');
+      std::istringstream iss(rules);
+      std::string rule;
+      while (iss >> rule) {
+        if ((*it)[1].str() == "allow-file") {
+          a.file_wide.insert(rule);
+        } else {
+          a.per_line[line].insert(rule);
+        }
+      }
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Shared lexical helpers.
+// ---------------------------------------------------------------------------
+
+int line_of(const std::string& code, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(code.begin(), code.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t pos) {
+  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
+  return pos;
+}
+
+/// Starting at an opening '<', return the index just past its matching '>',
+/// or std::string::npos if unbalanced.
+std::size_t balance_angles(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (i > 0 && code[i - 1] == '-') continue;  // operator->
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{') {
+      return std::string::npos;  // gave up: not a template argument list
+    }
+  }
+  return std::string::npos;
+}
+
+bool header_path(const std::string& path) {
+  const auto ext_at = path.find_last_of('.');
+  if (ext_at == std::string::npos) return false;
+  const std::string ext = path.substr(ext_at);
+  return ext == ".hpp" || ext == ".h" || ext == ".hxx";
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+struct Sink {
+  const std::string& path;
+  const Allows& allows;
+  std::vector<Diagnostic>& out;
+
+  void report(int line, const char* rule, std::string message) const {
+    if (allows.allowed(rule, line)) return;
+    out.push_back(Diagnostic{path, line, rule, std::move(message)});
+  }
+};
+
+// D1: nondeterminism sources. Everything stochastic or time-like in library
+// code must flow through pio::Rng substreams / the simulated clock.
+void rule_d1(const std::string& code, const Sink& sink) {
+  static const std::regex kBanned(
+      R"(\bstd::rand\b|\brand\s*\(|\bsrand\s*\(|\brandom_device\b)"
+      R"(|\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b)"
+      R"(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\))"
+      R"(|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bgetpid\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kBanned), end; it != end; ++it) {
+    std::string tok = it->str();
+    tok.erase(std::remove_if(tok.begin(), tok.end(),
+                             [](char c) { return c == '(' || std::isspace(static_cast<unsigned char>(c)) != 0; }),
+              tok.end());
+    sink.report(line_of(code, static_cast<std::size_t>(it->position())), "D1",
+                "nondeterminism source '" + tok +
+                    "': route randomness through pio::Rng substreams and time through the "
+                    "sim clock");
+  }
+}
+
+// D2: iteration over unordered containers declared in this file. Iteration
+// order is implementation-defined; it must never feed ordered output.
+void rule_d2(const std::string& code, const Sink& sink) {
+  std::set<std::string> unordered_vars;
+  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kDecl), end; it != end; ++it) {
+    const auto open = static_cast<std::size_t>(it->position() + it->length() - 1);
+    const std::size_t after = balance_angles(code, open);
+    if (after == std::string::npos) continue;
+    std::size_t p = skip_ws(code, after);
+    if (p < code.size() && code[p] == '&') p = skip_ws(code, p + 1);  // references
+    const std::size_t name_start = p;
+    while (p < code.size() && is_ident(code[p])) ++p;
+    if (p == name_start) continue;
+    const std::size_t q = skip_ws(code, p);
+    // A variable/member/parameter name is followed by ; = , ) { or newline;
+    // an identifier followed by '(' is a function returning the container.
+    if (q < code.size() && code[q] == '(') continue;
+    unordered_vars.insert(code.substr(name_start, p - name_start));
+  }
+  if (unordered_vars.empty()) return;
+
+  // Range-for whose range expression ends in one of the collected names.
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;()]*:\s*([^)]*)\))");
+  for (std::sregex_iterator it(code.begin(), code.end(), kRangeFor), end; it != end; ++it) {
+    std::string range = (*it)[1].str();
+    while (!range.empty() && std::isspace(static_cast<unsigned char>(range.back())) != 0) {
+      range.pop_back();
+    }
+    std::size_t tail = range.size();
+    while (tail > 0 && is_ident(range[tail - 1])) --tail;
+    const std::string name = range.substr(tail);
+    if (unordered_vars.count(name) == 0) continue;
+    sink.report(line_of(code, static_cast<std::size_t>(it->position())), "D2",
+                "iteration over unordered container '" + name +
+                    "': order is implementation-defined and must not feed ordered output "
+                    "(sort keys first, or justify with piolint: allow(D2))");
+  }
+  // Explicit iterator walks: name.begin() / name.cbegin().
+  for (const auto& name : unordered_vars) {
+    const std::regex begin_call("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
+    for (std::sregex_iterator it(code.begin(), code.end(), begin_call), end; it != end; ++it) {
+      sink.report(line_of(code, static_cast<std::size_t>(it->position())), "D2",
+                  "iterator walk over unordered container '" + name +
+                      "': order is implementation-defined and must not feed ordered output");
+    }
+  }
+}
+
+// T1: manual float time-unit conversion. A power-of-ten scale literal next to
+// SimTime accessors means hand-rolled ns<->us/ms/s math; all conversions
+// belong in common/types.hpp (SimTime::from_* / .sec()/.ms()/.us()).
+void rule_t1(const std::string& path, const std::vector<std::string>& lines, const Sink& sink) {
+  if (path.size() >= 16 && path.rfind("common/types.hpp") == path.size() - 16) return;
+  static const std::regex kScale(R"(\b1\.?0?e[-+]?0*[369]\b)");
+  static const std::regex kSimTimeToken(
+      R"(\bSimTime\b|\.\s*(?:ns|us|ms|sec)\s*\(|\b\w+_ns\b|\bns_\b)");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (!std::regex_search(l, kScale)) continue;
+    if (!std::regex_search(l, kSimTimeToken)) continue;
+    sink.report(static_cast<int>(i), "T1",
+                "raw float time-unit arithmetic: use SimTime::from_* / accessor methods "
+                "from common/types.hpp instead of hand-scaling by 1e3/1e6/1e9");
+  }
+}
+
+// R1: functions returning pio::Result<T> must be [[nodiscard]] — a silently
+// dropped Result is a swallowed I/O error.
+void rule_r1(const std::string& code, const Sink& sink) {
+  static const std::regex kResult(R"(\b(?:pio\s*::\s*)?Result\s*<)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kResult), end; it != end; ++it) {
+    const auto match_pos = static_cast<std::size_t>(it->position());
+    // Skip when this Result<...> is itself nested in a larger template
+    // argument list or preceded by '<' (e.g. vector<Result<T>>).
+    const std::size_t open = match_pos + static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t after = balance_angles(code, open);
+    if (after == std::string::npos) continue;
+    std::size_t p = skip_ws(code, after);
+    // Function declarator: [qualified] identifier followed by '('.
+    const std::size_t name_start = p;
+    bool qualified = false;
+    while (p < code.size()) {
+      if (is_ident(code[p])) {
+        ++p;
+      } else if (code[p] == ':' && p + 1 < code.size() && code[p + 1] == ':') {
+        qualified = true;
+        p += 2;
+      } else {
+        break;
+      }
+    }
+    if (p == name_start) continue;            // not a declarator (value/temporary)
+    const std::size_t q = skip_ws(code, p);
+    if (q >= code.size() || code[q] != '(') continue;  // variable, member, etc.
+    if (qualified) continue;  // out-of-line definition; attribute lives on the declaration
+    const std::string name = code.substr(name_start, p - name_start);
+    if (name == "if" || name == "while" || name == "for" || name == "switch" ||
+        name == "return") {
+      continue;
+    }
+    // Scan back to the start of this declaration (previous ; { } or access
+    // specifier colon) and look for [[nodiscard]].
+    std::size_t begin = match_pos;
+    while (begin > 0) {
+      const char c = code[begin - 1];
+      if (c == ';' || c == '{' || c == '}' || c == '(') break;
+      if (c == ':') {
+        if (begin >= 2 && code[begin - 2] == ':') {
+          begin -= 2;
+          continue;
+        }
+        break;
+      }
+      --begin;
+    }
+    if (code.substr(begin, match_pos - begin).find("[[nodiscard]]") != std::string::npos) {
+      continue;
+    }
+    sink.report(line_of(code, match_pos), "R1",
+                "function '" + name +
+                    "' returns pio::Result but is not [[nodiscard]]; a dropped Result is a "
+                    "swallowed I/O error");
+  }
+}
+
+// H1: header hygiene.
+void rule_h1(const std::string& path, const std::string& code,
+             const std::vector<std::string>& lines, const Sink& sink) {
+  if (!header_path(path)) return;
+  static const std::regex kPragmaOnce(R"(#\s*pragma\s+once\b)");
+  if (!std::regex_search(code, kPragmaOnce)) {
+    sink.report(1, "H1", "header is missing #pragma once");
+  }
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], kUsingNamespace)) {
+      sink.report(static_cast<int>(i), "H1",
+                  "using-namespace in a header leaks into every includer");
+    }
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& code) {
+  std::vector<std::string> lines;
+  lines.emplace_back();  // index 0 unused; lines are 1-based
+  std::string current;
+  for (const char c : code) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "banned nondeterminism source (rand/random_device/wall clocks)"},
+      {"D2", "iteration over std::unordered_{map,set} (order feeds output)"},
+      {"T1", "raw float time-unit arithmetic outside common/types.hpp"},
+      {"R1", "pio::Result-returning function missing [[nodiscard]]"},
+      {"H1", "header hygiene (#pragma once, no using-namespace)"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
+  const Stripped stripped = strip(content);
+  const Allows allows = parse_allows(stripped);
+  const std::vector<std::string> lines = split_lines(stripped.code);
+
+  std::vector<Diagnostic> diags;
+  const Sink sink{path, allows, diags};
+  rule_d1(stripped.code, sink);
+  rule_d2(stripped.code, sink);
+  rule_t1(path, lines, sink);
+  rule_r1(stripped.code, sink);
+  rule_h1(path, stripped.code, lines, sink);
+
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return diags;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Diagnostic{path, 0, "IO", "cannot open file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str());
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".hpp", ".h", ".hxx", ".cpp", ".cc", ".cxx"};
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p, ec)) continue;
+    for (fs::recursive_directory_iterator it(p, ec), end; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      if (kExts.count(it->path().extension().string()) != 0) {
+        files.push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string to_text(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ":" + d.rule + ": " + d.message;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n  {\"file\": \"";
+    json_escape(out, diags[i].file);
+    out += "\", \"line\": " + std::to_string(diags[i].line) + ", \"rule\": \"";
+    json_escape(out, diags[i].rule);
+    out += "\", \"message\": \"";
+    json_escape(out, diags[i].message);
+    out += "\"}";
+  }
+  out += diags.empty() ? "]" : "\n]";
+  out += "\n";
+  return out;
+}
+
+}  // namespace pio::lint

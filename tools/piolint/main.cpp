@@ -1,0 +1,77 @@
+// piolint CLI: scan sources for PIOEval determinism/hygiene violations.
+//
+//   piolint [--json] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "piolint/lint.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: piolint [--json] [--list-rules] <file-or-dir>...\n"
+               "  --json        emit diagnostics as a JSON array\n"
+               "  --list-rules  print the rule table and exit\n"
+               "Suppress with '// piolint: allow(RULE)' (same or previous line)\n"
+               "or '// piolint: allow-file(RULE)' (whole file).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : pio::lint::rules()) {
+        std::printf("%-4s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "piolint: unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::vector<std::string> files = pio::lint::collect_files(paths);
+  if (files.empty()) {
+    std::cerr << "piolint: no lintable files under the given paths\n";
+    return 2;
+  }
+
+  std::vector<pio::lint::Diagnostic> all;
+  bool io_error = false;
+  for (const auto& f : files) {
+    for (auto& d : pio::lint::lint_file(f)) {
+      if (d.rule == "IO") io_error = true;
+      all.push_back(std::move(d));
+    }
+  }
+
+  if (json) {
+    std::cout << pio::lint::to_json(all);
+  } else {
+    for (const auto& d : all) std::cout << pio::lint::to_text(d) << "\n";
+    std::cout << "piolint: " << files.size() << " files, " << all.size() << " finding"
+              << (all.size() == 1 ? "" : "s") << "\n";
+  }
+  if (io_error) return 2;
+  return all.empty() ? 0 : 1;
+}
