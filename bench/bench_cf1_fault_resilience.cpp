@@ -1,0 +1,115 @@
+// C-F1 — straggler OST tail-latency amplification and retry recovery.
+//
+// Paper §V: evaluation techniques must cover degraded operation, not just
+// fair weather — "the main challenge remains in the lack of understanding
+// [of] the expected I/O behavior" when components misbehave. This bench
+// exercises pio::fault end to end on the reference testbed:
+//
+//   part A  — one straggling OST (8x service time) amplifies the p99 data-op
+//             latency far more than the p50: stripes touching the slow OST
+//             pay the full penalty while the median op is barely moved.
+//   part B  — a dead OST under the default fail-fast policy surfaces as
+//             failed operations (no silent corruption, no hangs).
+//   part C  — the same outage with retries + failover enabled completes
+//             cleanly; the resilience counters record the work it took.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/tracer.hpp"
+#include "workload/kernels.hpp"
+
+using namespace pio;
+
+namespace {
+
+struct Tail {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// p50/p99 over the POSIX-layer data ops of one traced run.
+Tail data_op_tail(const trace::Trace& trace) {
+  std::vector<double> latencies;
+  for (const auto& e : trace.events()) {
+    if (e.layer != trace::Layer::kPosix || !trace::is_data_op(e.op)) continue;
+    latencies.push_back(e.duration().ms());
+  }
+  return Tail{stats::quantile(latencies, 0.5), stats::quantile(latencies, 0.99)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C-F1",
+                "straggler OST tail-latency amplification and retry recovery (pio::fault)");
+  workload::IorConfig ior;
+  ior.ranks = 16;
+  ior.block_size = Bytes::from_mib(8);
+  ior.transfer_size = Bytes::from_mib(1);
+  const auto workload = workload::ior_like(ior);
+  const auto base_config = bench::reference_testbed(pfs::DiskKind::kSsd);
+  const SimTime forever = SimTime::from_sec(3600.0);
+
+  // Part A: one straggling OST stretches the tail, not the median.
+  trace::Tracer healthy_tracer;
+  const auto healthy = bench::simulate(base_config, *workload, &healthy_tracer);
+  const Tail healthy_tail = data_op_tail(healthy_tracer.snapshot());
+
+  auto straggling = base_config;
+  straggling.faults.ost_straggler(0, SimTime::zero(), forever, 8.0);
+  trace::Tracer straggler_tracer;
+  const auto straggled = bench::simulate(straggling, *workload, &straggler_tracer);
+  const Tail straggler_tail = data_op_tail(straggler_tracer.snapshot());
+
+  const double p50_amp = straggler_tail.p50_ms / healthy_tail.p50_ms;
+  const double p99_amp = straggler_tail.p99_ms / healthy_tail.p99_ms;
+
+  TextTable tail_table{{"run", "p50 latency", "p99 latency", "makespan"}};
+  tail_table.add_row({"healthy", format_double(healthy_tail.p50_ms, 3) + " ms",
+                      format_double(healthy_tail.p99_ms, 3) + " ms",
+                      format_time(healthy.makespan)});
+  tail_table.add_row({"1 OST straggling 8x", format_double(straggler_tail.p50_ms, 3) + " ms",
+                      format_double(straggler_tail.p99_ms, 3) + " ms",
+                      format_time(straggled.makespan)});
+  std::cout << tail_table.to_string();
+  std::cout << "amplification: p50 x" << format_double(p50_amp, 2) << ", p99 x"
+            << format_double(p99_amp, 2) << "\n\n";
+  bench::emit_row(Record{{"part", std::string("straggler")},
+                         {"p50_amplification", p50_amp},
+                         {"p99_amplification", p99_amp}});
+
+  // Parts B + C: a dead OST, fail-fast vs resilient.
+  auto dead_ost = base_config;
+  dead_ost.faults.ost_down(0, SimTime::zero(), forever);
+  const auto fail_fast = bench::simulate(dead_ost, *workload);
+
+  auto resilient_config = dead_ost;
+  resilient_config.retry.max_attempts = 4;
+  resilient_config.retry.failover = true;
+  resilient_config.retry.op_timeout = SimTime::from_ms(250.0);
+  const auto resilient = bench::simulate(resilient_config, *workload);
+
+  TextTable outage_table{
+      {"policy", "failed ops", "retries", "timeouts", "failovers", "makespan"}};
+  outage_table.add_row({"fail-fast (default)", std::to_string(fail_fast.failed_ops),
+                        std::to_string(fail_fast.retries), std::to_string(fail_fast.timeouts),
+                        std::to_string(fail_fast.failovers), format_time(fail_fast.makespan)});
+  outage_table.add_row({"retry+failover", std::to_string(resilient.failed_ops),
+                        std::to_string(resilient.retries), std::to_string(resilient.timeouts),
+                        std::to_string(resilient.failovers), format_time(resilient.makespan)});
+  std::cout << outage_table.to_string();
+  bench::emit_row(Record{{"part", std::string("outage")},
+                         {"fail_fast_failed_ops", fail_fast.failed_ops},
+                         {"resilient_failed_ops", resilient.failed_ops},
+                         {"resilient_failovers", resilient.failovers}});
+
+  const bool shape_holds = p99_amp > 1.5 && p99_amp > p50_amp && fail_fast.failed_ops > 0 &&
+                           fail_fast.retries == 0 && resilient.failed_ops == 0 &&
+                           resilient.failovers > 0;
+  std::cout << "shape check: " << (shape_holds ? "HOLDS" : "VIOLATED")
+            << " (p99 amplified above p50; outage fails fast by default, completes with "
+              "retry+failover)\n";
+  return shape_holds ? 0 : 1;
+}

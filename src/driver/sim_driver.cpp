@@ -53,6 +53,7 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   ranks_.resize(n);
   result_.rank_finish.assign(n, SimTime::zero());
   active_ranks_ = n;
+  const pfs::ResilienceStats res_before = model_.resilience_stats();
   const SimTime start_time = engine_.now();
   for (std::size_t r = 0; r < n; ++r) {
     ranks_[r].stream = workload.stream(static_cast<std::int32_t>(r));
@@ -73,6 +74,11 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   for (std::size_t r = 0; r < n; ++r) {
     result_.rank_finish[r] = ranks_[r].finish - start_time;
   }
+  const pfs::ResilienceStats& res_after = model_.resilience_stats();
+  result_.retries = res_after.retries - res_before.retries;
+  result_.timeouts = res_after.timeouts - res_before.timeouts;
+  result_.giveups = res_after.giveups - res_before.giveups;
+  result_.failovers = res_after.failovers - res_before.failovers;
   return result_;
 }
 

@@ -40,6 +40,12 @@ struct SimRunResult {
   std::uint64_t data_ops = 0;
   std::uint64_t meta_ops = 0;
   std::uint64_t failed_ops = 0;
+  // Client-side resilience activity during this run (deltas of the model's
+  // ResilienceStats; all zero on fault-free runs with the default policy).
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t failovers = 0;
   Bytes bytes_read = Bytes::zero();
   Bytes bytes_written = Bytes::zero();
   SimTime read_time = SimTime::zero();     ///< summed per-op read latency

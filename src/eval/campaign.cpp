@@ -32,6 +32,21 @@ std::string CampaignResult::to_string() const {
   }
   out << table.to_string();
   out << "final calibration factor: " << format_double(final_calibration, 4) << "\n";
+  std::uint64_t failed = 0, retries = 0, timeouts = 0, giveups = 0, failovers = 0;
+  for (const auto& it : iterations) {
+    for (const auto& p : it.points) {
+      failed += p.failed_ops;
+      retries += p.retries;
+      timeouts += p.timeouts;
+      giveups += p.giveups;
+      failovers += p.failovers;
+    }
+  }
+  if (failed + retries + timeouts + giveups + failovers > 0) {
+    out << "resilience (measured runs): failed_ops=" << failed << " retries=" << retries
+        << " timeouts=" << timeouts << " giveups=" << giveups << " failovers=" << failovers
+        << "\n";
+  }
   return out.str();
 }
 
@@ -45,6 +60,8 @@ driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
   // A leftover event here would mean the model leaked state into the next
   // measurement — exactly the kind of bug that corrupts replay fidelity.
   engine.assert_drained();
+  // Invariant F2: every op abandoned by a retry timeout drained cleanly.
+  model.assert_quiescent();
   return result;
 }
 
@@ -84,6 +101,11 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.workload = workload->name();
       point.measured = measured.makespan;
       point.simulated_raw = simulated.makespan;
+      point.failed_ops = measured.failed_ops;
+      point.retries = measured.retries;
+      point.timeouts = measured.timeouts;
+      point.giveups = measured.giveups;
+      point.failovers = measured.failovers;
       point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
           static_cast<double>(simulated.makespan.ns()) * calibration));
       iteration.points.push_back(point);

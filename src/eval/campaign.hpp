@@ -52,6 +52,13 @@ struct CampaignPoint {
   SimTime measured = SimTime::zero();
   SimTime simulated_raw = SimTime::zero();   ///< model output before calibration
   SimTime predicted = SimTime::zero();       ///< calibrated prediction
+  // Fault/resilience activity on the measurement (testbed) run. All zero on
+  // fault-free campaigns.
+  std::uint64_t failed_ops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t failovers = 0;
   [[nodiscard]] double abs_pct_error() const {
     if (measured <= SimTime::zero()) return 0.0;
     return std::abs(predicted.sec() - measured.sec()) / measured.sec();

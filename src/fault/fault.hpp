@@ -1,0 +1,136 @@
+// PIOEval fault: deterministic fault injection for the PFS/net/sim stack.
+//
+// Real campaigns are shaped by slow servers, dead OSTs, and degraded
+// fabrics — the anomalous traces the paper's evaluation loop (Fig. 4) exists
+// to analyze. This module scripts that weather: a `FaultPlan` is a list of
+// component-scoped events (down intervals and service-time slowdowns) pinned
+// to *simulated* time, and a `Timeline` answers point-in-time queries for the
+// models ("is OST 3 down now?", "how slow is the MDS now?"). Everything is
+// materialized before the run from the campaign seed, so two same-seed runs
+// see byte-identical weather (piolint rule D1 bans wall-clock seeding).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pio::fault {
+
+/// Engine Rng stream id reserved for materializing stochastic fault plans.
+inline constexpr std::uint64_t kFaultRngStream = 0xFA017000ULL;
+
+enum class ComponentKind : std::uint8_t {
+  kOst,
+  kMds,
+  kComputeFabric,
+  kStorageFabric,
+  kBurstBuffer,
+};
+
+[[nodiscard]] const char* to_string(ComponentKind kind);
+
+/// A fault-addressable piece of the modelled system. `index` is the OST /
+/// burst-buffer position; singleton components (MDS, fabrics) use index 0.
+struct ComponentId {
+  ComponentKind kind = ComponentKind::kOst;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(kind) << 32) | index;
+  }
+  friend bool operator==(const ComponentId&, const ComponentId&) = default;
+};
+
+[[nodiscard]] std::string to_string(const ComponentId& id);
+
+enum class FaultKind : std::uint8_t {
+  kDown,      ///< component rejects work during [start, end)
+  kSlowdown,  ///< service times multiply by `factor` during [start, end)
+};
+
+/// One scripted event. Intervals are half-open [start, end) in sim time.
+struct FaultEvent {
+  ComponentId component{};
+  FaultKind kind = FaultKind::kDown;
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  double factor = 1.0;  ///< service-time multiplier (> 1 = slower), kSlowdown only
+};
+
+/// A scripted fault scenario. Build with the fluent helpers, merge with a
+/// stochastic injector's events (fault/injector.hpp), hand to a Timeline.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// OST `ost` crashes at `start` and recovers at `end`.
+  FaultPlan& ost_down(std::uint32_t ost, SimTime start, SimTime end);
+  /// OST `ost` (its disk) serves `factor`x slower during the interval.
+  FaultPlan& ost_straggler(std::uint32_t ost, SimTime start, SimTime end, double factor);
+  /// The MDS is unreachable during the interval.
+  FaultPlan& mds_down(SimTime start, SimTime end);
+  /// Metadata service costs multiply by `factor` during the interval.
+  FaultPlan& mds_slowdown(SimTime start, SimTime end, double factor);
+  /// Fabric brownout: message volume effectively multiplies by `factor`.
+  FaultPlan& fabric_brownout(ComponentKind fabric, SimTime start, SimTime end, double factor);
+  /// Burst buffer `buffer` stalls (stops absorbing/serving) during the interval.
+  FaultPlan& bb_stall(std::uint32_t buffer, SimTime start, SimTime end);
+};
+
+/// Immutable point-in-time query view over a set of fault events. Down
+/// intervals are merged per component at construction so queries are a
+/// binary search; slowdown factors of overlapping events compose by
+/// multiplication.
+class Timeline {
+ public:
+  /// Fault-free timeline (every query says "healthy").
+  Timeline() = default;
+
+  /// Validates events (end > start, factor > 0 for slowdowns) and indexes
+  /// them per component. Throws std::invalid_argument on a malformed event.
+  explicit Timeline(std::vector<FaultEvent> events);
+
+  [[nodiscard]] bool empty() const { return components_.empty(); }
+  [[nodiscard]] std::size_t event_count() const { return event_count_; }
+
+  /// True iff `id` is inside a down interval at `t`.
+  [[nodiscard]] bool down(ComponentId id, SimTime t) const;
+
+  /// Recovery time: end of the merged down interval containing `t`.
+  /// Precondition: down(id, t).
+  [[nodiscard]] SimTime down_until(ComponentId id, SimTime t) const;
+
+  /// Product of all slowdown factors active on `id` at `t` (1.0 = healthy).
+  [[nodiscard]] double slowdown(ComponentId id, SimTime t) const;
+
+  /// `service` scaled by the slowdown active at `t`, rounded up so a
+  /// degraded op never completes early.
+  [[nodiscard]] SimTime scaled(ComponentId id, SimTime t, SimTime service) const;
+
+  /// Fault-era invariant F1 (sim::check): completion handlers must never
+  /// fire on a component inside its down interval — a handler that does
+  /// means a model leaked work across a crash. No-op when checks are off.
+  void check_handler_allowed(ComponentId id, SimTime now) const;
+
+ private:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+  };
+  struct Component {
+    std::vector<Interval> down;      ///< merged, disjoint, sorted by start
+    std::vector<FaultEvent> slow;    ///< sorted by start
+  };
+
+  [[nodiscard]] const Component* find(ComponentId id) const;
+
+  // Ordered map: iteration order (used nowhere yet) stays deterministic.
+  std::map<std::uint64_t, Component> components_;
+  std::size_t event_count_ = 0;
+};
+
+}  // namespace pio::fault

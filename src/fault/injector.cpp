@@ -1,0 +1,78 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace pio::fault {
+
+namespace {
+
+/// Substream keys: one per (fault class, component) so schedules are
+/// independent of each other and of generation order.
+enum class StreamClass : std::uint64_t {
+  kOstCrash = 1,
+  kOstStraggler = 2,
+  kStorageBrownout = 3,
+  kMdsSlowdown = 4,
+};
+
+[[nodiscard]] std::uint64_t stream_key(StreamClass cls, std::uint32_t index) {
+  return (static_cast<std::uint64_t>(cls) << 32) | index;
+}
+
+/// Poisson arrivals with exponential durations over [0, horizon). The
+/// interval is clipped at the horizon so no event outlives the schedule.
+void poisson_intervals(Rng rng, double rate_hz, SimTime mean_duration, SimTime horizon,
+                       const std::function<void(SimTime, SimTime)>& emit) {
+  if (rate_hz <= 0.0 || horizon <= SimTime::zero()) return;
+  double t = rng.exponential(1.0 / rate_hz);
+  while (t < horizon.sec()) {
+    const double duration = rng.exponential(mean_duration.sec());
+    const SimTime start = SimTime::from_sec(t);
+    const SimTime end = std::min(SimTime::from_sec_ceil(t + duration), horizon);
+    if (end > start) emit(start, end);
+    t += duration + rng.exponential(1.0 / rate_hz);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultEvent> inject(const InjectorConfig& config, Rng rng) {
+  if (config.ost_straggler_factor_lo < 1.0 ||
+      config.ost_straggler_factor_hi < config.ost_straggler_factor_lo) {
+    throw std::invalid_argument("fault::inject: straggler factor range must be [lo>=1, hi>=lo]");
+  }
+  std::vector<FaultEvent> events;
+  FaultPlan plan;
+  for (std::uint32_t ost = 0; ost < config.osts; ++ost) {
+    poisson_intervals(rng.substream(stream_key(StreamClass::kOstCrash, ost)),
+                      config.ost_crash_rate_hz, config.ost_outage_mean, config.horizon,
+                      [&](SimTime start, SimTime end) { plan.ost_down(ost, start, end); });
+    // The factor stream is forked from the arrival stream's key so factor
+    // draws cannot shift the arrival process.
+    Rng factors = rng.substream(stream_key(StreamClass::kOstStraggler, ost)).substream(1);
+    poisson_intervals(rng.substream(stream_key(StreamClass::kOstStraggler, ost)),
+                      config.ost_straggler_rate_hz, config.ost_straggler_mean, config.horizon,
+                      [&](SimTime start, SimTime end) {
+                        plan.ost_straggler(ost, start, end,
+                                           factors.uniform(config.ost_straggler_factor_lo,
+                                                           config.ost_straggler_factor_hi));
+                      });
+  }
+  poisson_intervals(rng.substream(stream_key(StreamClass::kStorageBrownout, 0)),
+                    config.storage_brownout_rate_hz, config.storage_brownout_mean,
+                    config.horizon, [&](SimTime start, SimTime end) {
+                      plan.fabric_brownout(ComponentKind::kStorageFabric, start, end,
+                                           config.storage_brownout_factor);
+                    });
+  poisson_intervals(rng.substream(stream_key(StreamClass::kMdsSlowdown, 0)),
+                    config.mds_slowdown_rate_hz, config.mds_slowdown_mean, config.horizon,
+                    [&](SimTime start, SimTime end) {
+                      plan.mds_slowdown(start, end, config.mds_slowdown_factor);
+                    });
+  events = std::move(plan.events);
+  return events;
+}
+
+}  // namespace pio::fault

@@ -1,0 +1,50 @@
+// PIOEval fault: seeded-stochastic fault injector.
+//
+// Materializes Poisson-arrival fault events (OST crashes, disk stragglers,
+// storage-fabric brownouts, MDS slowdowns) over a fixed sim-time horizon
+// *before* the run, from a `pio::Rng` stream keyed off the campaign seed.
+// Per-component substreams keep each component's weather independent of the
+// others and of pool size, so adding an OST never perturbs the faults the
+// existing ones see — the same stream-splitting discipline the disk jitter
+// models use. Never seed this from wall time (piolint D1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+
+namespace pio::fault {
+
+/// Rates are expected events per component per simulated second; durations
+/// draw from exponentials with the given means. A rate of 0 disables that
+/// fault class. `osts` is filled in by the PFS facade with the actual pool
+/// size when the injector is attached to a PfsConfig.
+struct InjectorConfig {
+  SimTime horizon = SimTime::from_sec(60.0);  ///< events generated in [0, horizon)
+  std::uint32_t osts = 0;
+
+  double ost_crash_rate_hz = 0.0;
+  SimTime ost_outage_mean = SimTime::from_sec(2.0);
+
+  double ost_straggler_rate_hz = 0.0;
+  SimTime ost_straggler_mean = SimTime::from_sec(5.0);
+  double ost_straggler_factor_lo = 2.0;  ///< uniform factor range, >= 1
+  double ost_straggler_factor_hi = 8.0;
+
+  double storage_brownout_rate_hz = 0.0;
+  SimTime storage_brownout_mean = SimTime::from_sec(3.0);
+  double storage_brownout_factor = 4.0;
+
+  double mds_slowdown_rate_hz = 0.0;
+  SimTime mds_slowdown_mean = SimTime::from_sec(3.0);
+  double mds_slowdown_factor = 6.0;
+};
+
+/// Materialize the stochastic schedule. Deterministic in (config, rng key);
+/// events are emitted in a stable order (by component, then time).
+[[nodiscard]] std::vector<FaultEvent> inject(const InjectorConfig& config, Rng rng);
+
+}  // namespace pio::fault

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace pio::net {
@@ -30,11 +31,22 @@ void Fabric::send(EndpointId src, EndpointId dst, Bytes size,
   }
   ++stats_.messages;
   stats_.bytes += size;
+  // During a brownout the message occupies factor× its real size on every
+  // stage (stats above still record the true payload). The factor is latched
+  // at send time so one message sees one consistent weather report.
+  Bytes wire = size;
+  if (timeline_ != nullptr) {
+    const double factor = timeline_->slowdown(fault_id_, engine_.now());
+    if (factor != 1.0) {
+      ++stats_.degraded_messages;
+      wire = Bytes{static_cast<std::uint64_t>(std::ceil(size.as_double() * factor))};
+    }
+  }
   // Store-and-forward through the three stages. Each stage is itself a
   // fair-shared fluid channel, so concurrent senders contend realistically.
-  inject_[src]->transfer(size, [this, dst, size, done = std::move(on_delivered)]() mutable {
-    core_->transfer(size, [this, dst, size, done = std::move(done)]() mutable {
-      eject_[dst]->transfer(size, std::move(done));
+  inject_[src]->transfer(wire, [this, dst, wire, done = std::move(on_delivered)]() mutable {
+    core_->transfer(wire, [this, dst, wire, done = std::move(done)]() mutable {
+      eject_[dst]->transfer(wire, std::move(done));
     });
   });
 }

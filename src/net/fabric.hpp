@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 
@@ -40,6 +41,7 @@ struct FabricConfig {
 struct FabricStats {
   std::uint64_t messages = 0;
   Bytes bytes = Bytes::zero();
+  std::uint64_t degraded_messages = 0;  ///< sent during a brownout interval
 };
 
 /// Three-stage fluid fabric between `endpoints` numbered [0, n).
@@ -62,6 +64,15 @@ class Fabric {
   /// One-way zero-load latency (three hops); used by models for cost floors.
   [[nodiscard]] SimTime base_latency() const;
 
+  /// Attach the fault timeline (owned by the caller; must outlive the
+  /// fabric's use) and this fabric's identity on it. During a brownout
+  /// (slowdown factor m > 1) messages occupy m× their size on every stage,
+  /// modelling the lost effective bandwidth of a degraded link set.
+  void set_fault_timeline(const fault::Timeline* timeline, fault::ComponentId id) {
+    timeline_ = timeline;
+    fault_id_ = id;
+  }
+
  private:
   sim::Engine& engine_;
   FabricConfig config_;
@@ -69,6 +80,8 @@ class Fabric {
   std::vector<std::unique_ptr<sim::FairShareChannel>> eject_;
   std::unique_ptr<sim::FairShareChannel> core_;
   FabricStats stats_;
+  const fault::Timeline* timeline_ = nullptr;
+  fault::ComponentId fault_id_{fault::ComponentKind::kComputeFabric, 0};
 };
 
 }  // namespace pio::net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/check.hpp"
+
 namespace pio::pfs {
 
 const char* to_string(MetaOp op) {
@@ -34,10 +36,57 @@ void MetadataServer::request(MetaOp op, const std::string& path,
     throw std::invalid_argument("MetadataServer::request: path must be absolute");
   }
   const SimTime enqueued = engine_.now();
+
+  // A request that arrives while the MDS is down bounces at the door: no
+  // thread is consumed and no namespace mutation occurs.
+  if (timeline_ != nullptr && timeline_->down(component_id(), enqueued)) {
+    engine_.schedule_after(SimTime::zero(),
+                           [this, op, path, enqueued, done = std::move(on_done)]() mutable {
+                             ++stats_.ops_total;
+                             ++stats_.ops_by_type[op];
+                             ++stats_.errors;
+                             if (observer_) {
+                               observer_(MdsOpRecord{op, enqueued, engine_.now(),
+                                                     MetaStatus::kUnavailable, path});
+                             }
+                             MetaResult result;
+                             result.status = MetaStatus::kUnavailable;
+                             if (done) done(std::move(result));
+                           });
+    return;
+  }
+
   threads_.acquire(1, [this, op, path, layout, enqueued, done = std::move(on_done)]() mutable {
-    const SimTime cost = cost_of(op, path);
+    // A slowdown (e.g. lock-contention storm) in effect at service start
+    // stretches this op's cost by the active factor.
+    SimTime cost = cost_of(op, path);
+    if (timeline_ != nullptr) cost = timeline_->scaled(component_id(), engine_.now(), cost);
     engine_.schedule_after(cost, [this, op, path, layout, enqueued, cost,
                                   done = std::move(done)]() mutable {
+      // A crash that hit mid-service loses the op: its failure (and the
+      // service thread it held) surfaces at recovery, never inside the down
+      // interval (invariant F1), and the namespace mutation is NOT applied.
+      if (timeline_ != nullptr && timeline_->down(component_id(), engine_.now())) {
+        const SimTime recovery = timeline_->down_until(component_id(), engine_.now());
+        engine_.schedule_at(recovery,
+                            [this, op, path, enqueued, cost, done = std::move(done)]() mutable {
+                              timeline_->check_handler_allowed(component_id(), engine_.now());
+                              ++stats_.ops_total;
+                              ++stats_.ops_by_type[op];
+                              stats_.busy_time += cost;
+                              ++stats_.errors;
+                              if (observer_) {
+                                observer_(MdsOpRecord{op, enqueued, engine_.now(),
+                                                      MetaStatus::kUnavailable, path});
+                              }
+                              threads_.release(1);
+                              MetaResult result;
+                              result.status = MetaStatus::kUnavailable;
+                              if (done) done(std::move(result));
+                            });
+        return;
+      }
+      if (timeline_ != nullptr) timeline_->check_handler_allowed(component_id(), engine_.now());
       MetaResult result = apply(op, path, layout);
       ++stats_.ops_total;
       ++stats_.ops_by_type[op];

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "pfs/stripe.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
@@ -34,7 +35,14 @@ enum class MetaOp : std::uint8_t {
 
 [[nodiscard]] const char* to_string(MetaOp op);
 
-enum class MetaStatus : std::uint8_t { kOk, kNotFound, kExists, kNotDir, kNotEmpty };
+enum class MetaStatus : std::uint8_t {
+  kOk,
+  kNotFound,
+  kExists,
+  kNotDir,
+  kNotEmpty,
+  kUnavailable,  ///< MDS down (fault timeline); no namespace mutation applied
+};
 
 /// Inode as stored by the MDS.
 struct Inode {
@@ -107,6 +115,15 @@ class MetadataServer {
     observer_ = std::move(observer);
   }
 
+  /// Attach the fault timeline (owned by the PFS facade; must outlive the
+  /// MDS's use). Requests during a down interval fail with kUnavailable;
+  /// slowdown intervals scale per-op service costs.
+  void set_fault_timeline(const fault::Timeline* timeline) { timeline_ = timeline; }
+
+  [[nodiscard]] static fault::ComponentId component_id() {
+    return {fault::ComponentKind::kMds, 0};
+  }
+
   [[nodiscard]] const MdsStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t namespace_size() const { return namespace_.size(); }
   [[nodiscard]] std::uint64_t queued_requests() const { return threads_.waiters(); }
@@ -124,6 +141,7 @@ class MetadataServer {
   // Sorted map so Readdir can range-scan children of a directory prefix.
   std::map<std::string, Inode> namespace_;
   MdsStats stats_;
+  const fault::Timeline* timeline_ = nullptr;
   std::function<void(const MdsOpRecord&)> observer_;
 };
 

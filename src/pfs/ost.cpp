@@ -1,5 +1,7 @@
 #include "pfs/ost.hpp"
 
+#include "sim/check.hpp"
+
 namespace pio::pfs {
 
 OstServer::OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<DiskModel> disk)
@@ -10,19 +12,45 @@ OstServer::OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<D
   if (!disk_) throw std::invalid_argument("OstServer: null disk model");
 }
 
+void OstServer::finish(OstOpRecord record, bool ok, std::function<void(bool)> done) {
+  record.completed = engine_.now();
+  record.ok = ok;
+  // Invariant F1 applies to *successful* completions only: a rejection is the
+  // "connection refused" notice and legitimately fires while the OST is down.
+  if (ok && timeline_) {
+    timeline_->check_handler_allowed(component_id(), engine_.now());
+  }
+  if (observer_) observer_(record);
+  if (done) done(ok);
+}
+
 void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
-                       std::function<void()> on_done) {
-  // The device model is consulted at enqueue time in queue order, which is
-  // also service order for a FIFO queue, so head-position state stays
-  // consistent with the order requests actually hit the platter.
-  const SimTime service = disk_->service_time(DiskRequest{object_offset, size, is_write});
+                       std::function<void(bool ok)> on_done) {
+  const SimTime now = engine_.now();
   OstOpRecord record;
   record.ost = index_;
-  record.enqueued = engine_.now();
+  record.enqueued = now;
   record.offset = object_offset;
   record.size = size;
   record.is_write = is_write;
   record.queue_depth_at_enqueue = queue_.queue_depth();
+
+  // A request that arrives while the OST is down bounces at the door: no
+  // device work, no byte accounting, an immediate (next-delta) failure.
+  if (timeline_ && timeline_->down(component_id(), now)) {
+    ++stats_.rejected_ops;
+    engine_.schedule_after(SimTime::zero(), [this, record, done = std::move(on_done)]() mutable {
+      finish(record, false, std::move(done));
+    });
+    return;
+  }
+
+  // The device model is consulted at enqueue time in queue order, which is
+  // also service order for a FIFO queue, so head-position state stays
+  // consistent with the order requests actually hit the platter. Straggler
+  // slowdowns scale the device estimate by the factor in effect now.
+  SimTime service = disk_->service_time(DiskRequest{object_offset, size, is_write});
+  if (timeline_) service = timeline_->scaled(component_id(), now, service);
   if (is_write) {
     ++stats_.write_ops;
     stats_.bytes_written += size;
@@ -31,9 +59,17 @@ void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
     stats_.bytes_read += size;
   }
   queue_.submit(service, [this, record, done = std::move(on_done)]() mutable {
-    record.completed = engine_.now();
-    if (observer_) observer_(record);
-    if (done) done();
+    // If a crash hit while this op was queued or in service, the op is lost:
+    // its failure surfaces at recovery, never inside the down interval (F1).
+    if (timeline_ && timeline_->down(component_id(), engine_.now())) {
+      ++stats_.interrupted_ops;
+      const SimTime recovery = timeline_->down_until(component_id(), engine_.now());
+      engine_.schedule_at(recovery, [this, record, done = std::move(done)]() mutable {
+        finish(record, false, std::move(done));
+      });
+      return;
+    }
+    finish(record, true, std::move(done));
   });
 }
 

@@ -3,6 +3,9 @@
 // An OST is a FIFO service queue in front of one device model. Per-op
 // completion records feed the server-side monitoring path of §IV.A.2
 // ("server-side statistics ... load on the servers and storage devices").
+// With a fault timeline attached, the OST honors down intervals (requests
+// arriving while down are rejected; in-service ops interrupted by a crash
+// fail at recovery) and straggler slowdown multipliers on service times.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "pfs/disk.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
@@ -26,6 +30,7 @@ struct OstOpRecord {
   Bytes size = Bytes::zero();
   bool is_write = false;
   std::uint64_t queue_depth_at_enqueue = 0;
+  bool ok = true;  ///< false: rejected while down, or interrupted by a crash
 };
 
 /// Aggregate OST counters.
@@ -34,6 +39,8 @@ struct OstStats {
   std::uint64_t write_ops = 0;
   Bytes bytes_read = Bytes::zero();
   Bytes bytes_written = Bytes::zero();
+  std::uint64_t rejected_ops = 0;     ///< arrived during a down interval
+  std::uint64_t interrupted_ops = 0;  ///< in service when a crash hit
 };
 
 class OstServer {
@@ -44,9 +51,14 @@ class OstServer {
   OstServer(const OstServer&) = delete;
   OstServer& operator=(const OstServer&) = delete;
 
-  /// Enqueue a device op; `on_done` fires when the device completes it.
+  /// Enqueue a device op; `on_done(ok)` fires when the device completes it
+  /// (ok) or the fault timeline rejects/interrupts it (not ok).
   void submit(std::uint64_t object_offset, Bytes size, bool is_write,
-              std::function<void()> on_done);
+              std::function<void(bool ok)> on_done);
+
+  /// Attach the fault timeline (owned by the PFS facade; must outlive the
+  /// OST's use). Null detaches — fair-weather behaviour.
+  void set_fault_timeline(const fault::Timeline* timeline) { timeline_ = timeline; }
 
   /// Subscribe to per-op completion records (server-side monitor hook).
   void set_op_observer(std::function<void(const OstOpRecord&)> observer) {
@@ -58,13 +70,19 @@ class OstServer {
   [[nodiscard]] std::uint64_t queue_depth() const { return queue_.queue_depth(); }
   [[nodiscard]] std::uint32_t index() const { return index_; }
   [[nodiscard]] const DiskModel& disk() const { return *disk_; }
+  [[nodiscard]] fault::ComponentId component_id() const {
+    return {fault::ComponentKind::kOst, index_};
+  }
 
  private:
+  void finish(OstOpRecord record, bool ok, std::function<void(bool)> done);
+
   sim::Engine& engine_;
   std::uint32_t index_;
   std::unique_ptr<DiskModel> disk_;
   sim::FifoServer queue_;
   OstStats stats_;
+  const fault::Timeline* timeline_ = nullptr;
   std::function<void(const OstOpRecord&)> observer_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace pio::pfs {
 
@@ -19,11 +20,43 @@ std::unique_ptr<DiskModel> make_disk(const PfsConfig& config, sim::Engine& engin
 
 }  // namespace
 
+/// One logical io() op across its (possibly many) attempts.
+struct PfsModel::IoOpState {
+  ClientId client = 0;
+  std::string path;
+  StripeLayout layout{};
+  std::uint64_t offset = 0;
+  Bytes size = Bytes::zero();
+  bool is_write = false;
+  SimTime issued = SimTime::zero();
+  std::uint32_t attempt = 0;  ///< attempts started so far
+  std::function<void(IoResult)> done;
+};
+
+/// Settle latch shared between an attempt's completion path and its timeout
+/// event: whichever fires first wins; the loser becomes a no-op (completion)
+/// or is cancelled (timeout).
+struct PfsModel::AttemptState {
+  bool settled = false;
+  sim::EventId timeout_event = 0;
+};
+
 PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
-    : engine_(engine), config_(config) {
+    : engine_(engine), config_(config), retry_rng_(engine.rng_stream(kRetryRngStream)) {
   if (config.clients == 0 || config.io_nodes == 0 || config.osts == 0) {
     throw std::invalid_argument("PfsModel: clients, io_nodes, osts must all be > 0");
   }
+  // Materialize the run's fault weather up front: scripted events verbatim,
+  // plus the stochastic injector's schedule drawn from the engine seed.
+  std::vector<fault::FaultEvent> fault_events = config.faults.events;
+  if (config.fault_injector.has_value()) {
+    fault::InjectorConfig injector = *config.fault_injector;
+    injector.osts = config.osts;
+    auto injected = fault::inject(injector, engine.rng_stream(fault::kFaultRngStream));
+    fault_events.insert(fault_events.end(), injected.begin(), injected.end());
+  }
+  timeline_ = fault::Timeline{std::move(fault_events)};
+
   compute_fabric_ = std::make_unique<net::Fabric>(engine, config.compute_fabric,
                                                   config.clients + config.io_nodes);
   storage_fabric_ = std::make_unique<net::Fabric>(engine, config.storage_fabric,
@@ -33,13 +66,25 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
   for (std::uint32_t i = 0; i < config.osts; ++i) {
     osts_.push_back(std::make_unique<OstServer>(engine, i, make_disk(config, engine, i)));
   }
+  if (!timeline_.empty()) {
+    // Attach the weather only when there is any: the fair-weather hot path
+    // stays free of per-op timeline queries.
+    compute_fabric_->set_fault_timeline(&timeline_,
+                                        {fault::ComponentKind::kComputeFabric, 0});
+    storage_fabric_->set_fault_timeline(&timeline_,
+                                        {fault::ComponentKind::kStorageFabric, 0});
+    mds_->set_fault_timeline(&timeline_);
+    for (auto& ost : osts_) ost->set_fault_timeline(&timeline_);
+  }
   const std::uint32_t buffer_count = config.bb_placement == BbPlacement::kNone ? 0
                                      : config.bb_placement == BbPlacement::kShared
                                          ? 1
                                          : config.io_nodes;
   for (std::uint32_t b = 0; b < buffer_count; ++b) {
     // Drains re-enter the normal backend path from the owning I/O node, so
-    // they contend with foreground traffic on the storage fabric.
+    // they contend with foreground traffic on the storage fabric. A drain
+    // whose backend write fails (OST crash) completes anyway: the staged
+    // data is dropped, mirroring a write-back cache losing dirty blocks.
     const std::uint32_t drain_ion = config.bb_placement == BbPlacement::kShared ? 0 : b;
     buffers_.push_back(std::make_unique<BurstBuffer>(
         engine, config.bb,
@@ -48,7 +93,9 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
           const auto it = token_info_.find(file);
           if (it == token_info_.end()) throw std::logic_error("BB drain: unknown file token");
           backend_io(drain_ion, it->second.second, offset, size, /*is_write=*/true,
-                     std::move(on_done));
+                     [done = std::move(on_done)](bool /*ok*/) mutable {
+                       if (done) done();
+                     });
         },
         "bb" + std::to_string(b)));
   }
@@ -76,6 +123,11 @@ BurstBuffer* PfsModel::buffer_for_ion(std::uint32_t ion) {
   return buffers_.at(ion).get();
 }
 
+fault::ComponentId PfsModel::bb_id_for_ion(std::uint32_t ion) const {
+  const std::uint32_t index = config_.bb_placement == BbPlacement::kShared ? 0 : ion;
+  return {fault::ComponentKind::kBurstBuffer, index};
+}
+
 std::uint64_t PfsModel::file_token(const std::string& path) {
   const auto it = file_tokens_.find(path);
   if (it != file_tokens_.end()) return it->second;
@@ -90,6 +142,8 @@ void PfsModel::meta(ClientId client, MetaOp op, const std::string& path,
   if (client >= config_.clients) throw std::out_of_range("PfsModel::meta: bad client");
   const std::uint32_t ion = ion_of(client);
   // Request header: client -> ION (compute fabric) -> MDS (storage fabric).
+  // An MDS down interval surfaces as MetaStatus::kUnavailable from the
+  // server itself; the response header still travels back normally.
   compute_fabric_->send(client, compute_ep_of_ion(ion), kHeader, [this, client, ion, op, path,
                                                                   layout,
                                                                   done = std::move(on_done)]() mutable {
@@ -115,42 +169,197 @@ void PfsModel::meta(ClientId client, MetaOp op, const std::string& path,
   });
 }
 
+OstIndex PfsModel::route_chunk(OstIndex home, SimTime now) {
+  if (!config_.retry.failover || timeline_.empty()) return home;
+  const fault::ComponentId home_id{fault::ComponentKind::kOst, home};
+  if (!timeline_.down(home_id, now)) return home;
+  for (std::uint32_t k = 1; k < config_.osts; ++k) {
+    const OstIndex candidate = (home + k) % config_.osts;
+    if (!timeline_.down({fault::ComponentKind::kOst, candidate}, now)) {
+      ++res_stats_.failovers;
+      emit_resilience(ResilienceEventKind::kFailover, 0, IoError::kOstDown);
+      return candidate;
+    }
+  }
+  return home;  // whole pool down: let the op fail at its home OST
+}
+
 void PfsModel::backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
-                          Bytes size, bool is_write, std::function<void()> on_done) {
+                          Bytes size, bool is_write, std::function<void(bool ok)> on_done) {
   const auto chunks = decompose(layout, config_.osts, offset, size);
   if (chunks.empty()) {
-    engine_.schedule_after(SimTime::zero(), std::move(on_done));
+    engine_.schedule_after(SimTime::zero(), [done = std::move(on_done)]() mutable {
+      if (done) done(true);
+    });
     return;
   }
-  // Fan out all chunks; complete when the last response arrives.
+  // Fan out all chunks; complete when the last response arrives. The op
+  // succeeds only if every chunk did.
   auto remaining = std::make_shared<std::size_t>(chunks.size());
-  auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  auto all_ok = std::make_shared<bool>(true);
+  auto done = std::make_shared<std::function<void(bool)>>(std::move(on_done));
+  const SimTime dispatched = engine_.now();
   for (const auto& chunk : chunks) {
-    const net::EndpointId ost_ep = storage_ep_of_ost(chunk.ost);
-    auto finish_one = [remaining, done] {
-      if (--*remaining == 0 && *done) (*done)();
+    // Degraded-mode striping routes around OSTs known down at dispatch.
+    const OstIndex target = route_chunk(chunk.ost, dispatched);
+    const net::EndpointId ost_ep = storage_ep_of_ost(target);
+    auto finish_one = [remaining, all_ok, done](bool ok) {
+      if (!ok) *all_ok = false;
+      if (--*remaining == 0 && *done) (*done)(*all_ok);
     };
     if (is_write) {
-      // Ship data to the OST, write it, then a small ack returns.
-      storage_fabric_->send(ion, ost_ep, chunk.length, [this, chunk, ion, ost_ep,
+      // Ship data to the OST, write it, then a small ack (or error) returns.
+      storage_fabric_->send(ion, ost_ep, chunk.length, [this, chunk, target, ion, ost_ep,
                                                         finish_one]() mutable {
-        osts_[chunk.ost]->submit(chunk.object_offset, chunk.length, true,
-                                 [this, ion, ost_ep, finish_one]() mutable {
-                                   storage_fabric_->send(ost_ep, ion, kHeader,
-                                                         std::move(finish_one));
-                                 });
+        osts_[target]->submit(chunk.object_offset, chunk.length, true,
+                              [this, ion, ost_ep, finish_one](bool ok) mutable {
+                                storage_fabric_->send(ost_ep, ion, kHeader,
+                                                      [finish_one, ok]() mutable {
+                                                        finish_one(ok);
+                                                      });
+                              });
       });
     } else {
-      // Small request travels to the OST; data travels back.
-      storage_fabric_->send(ion, ost_ep, kHeader, [this, chunk, ion, ost_ep,
+      // Small request travels to the OST; data (or a short error) returns.
+      storage_fabric_->send(ion, ost_ep, kHeader, [this, chunk, target, ion, ost_ep,
                                                    finish_one]() mutable {
-        osts_[chunk.ost]->submit(chunk.object_offset, chunk.length, false,
-                                 [this, chunk, ion, ost_ep, finish_one]() mutable {
-                                   storage_fabric_->send(ost_ep, ion, chunk.length,
-                                                         std::move(finish_one));
-                                 });
+        osts_[target]->submit(chunk.object_offset, chunk.length, false,
+                              [this, chunk, ion, ost_ep, finish_one](bool ok) mutable {
+                                const Bytes payload = ok ? chunk.length : kHeader;
+                                storage_fabric_->send(ost_ep, ion, payload,
+                                                      [finish_one, ok]() mutable {
+                                                        finish_one(ok);
+                                                      });
+                              });
       });
     }
+  }
+}
+
+void PfsModel::emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error) {
+  if (res_observer_) res_observer_(ResilienceRecord{kind, engine_.now(), attempt, error});
+}
+
+void PfsModel::settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError error) {
+  IoResult result;
+  result.ok = ok;
+  result.error = ok ? IoError::kNone : error;
+  result.attempts = op->attempt;
+  result.issued = op->issued;
+  result.completed = engine_.now();
+  result.size = op->size;
+  if (ok && op->is_write) {
+    mds_->grow_file(op->path, Bytes{op->offset} + op->size, engine_.now());
+  }
+  if (!ok) ++res_stats_.failed_ops;
+  if (op->done) op->done(result);
+}
+
+void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, IoError error) {
+  if (ok) {
+    settle(op, true, IoError::kNone);
+    return;
+  }
+  const RetryPolicy& retry = config_.retry;
+  if (op->attempt < retry.max_attempts) {
+    ++res_stats_.retries;
+    emit_resilience(ResilienceEventKind::kRetry, op->attempt, error);
+    const SimTime delay = backoff_delay(retry, op->attempt, retry_rng_);
+    engine_.schedule_after(delay, [this, op] { start_attempt(op); });
+    return;
+  }
+  if (retry.retries_enabled()) {
+    ++res_stats_.giveups;
+    emit_resilience(ResilienceEventKind::kGiveUp, op->attempt, error);
+  }
+  settle(op, false, error);
+}
+
+void PfsModel::start_attempt(const std::shared_ptr<IoOpState>& op) {
+  ++op->attempt;
+  ++res_stats_.attempts;
+  auto attempt = std::make_shared<AttemptState>();
+  if (config_.retry.op_timeout > SimTime::zero()) {
+    attempt->timeout_event =
+        engine_.schedule_after(config_.retry.op_timeout, [this, op, attempt] {
+          if (attempt->settled) return;
+          // Abandon the attempt: whatever it still has in flight will drain
+          // through the model as counted orphans (invariant F2).
+          attempt->settled = true;
+          ++res_stats_.timeouts;
+          ++abandoned_in_flight_;
+          emit_resilience(ResilienceEventKind::kTimeout, op->attempt, IoError::kTimeout);
+          attempt_finished(op, false, IoError::kTimeout);
+        });
+  }
+  run_attempt(op, attempt);
+}
+
+void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
+                           const std::shared_ptr<AttemptState>& attempt) {
+  const std::uint32_t ion = ion_of(op->client);
+
+  // Exactly-once completion funnel for this attempt. A completion arriving
+  // after the timeout settled the attempt is an orphan draining out.
+  auto complete = [this, op, attempt](bool ok, IoError error) {
+    if (attempt->settled) {
+      sim::check::that(abandoned_in_flight_ > 0, "fault.abandoned-op-leak",
+                       "orphan completion without a matching abandonment");
+      --abandoned_in_flight_;
+      return;
+    }
+    attempt->settled = true;
+    if (attempt->timeout_event != 0) engine_.cancel(attempt->timeout_event);
+    attempt_finished(op, ok, error);
+  };
+
+  if (op->is_write) {
+    // Data travels client -> ION over the compute fabric.
+    compute_fabric_->send(op->client, compute_ep_of_ion(ion), op->size,
+                          [this, op, ion, complete]() mutable {
+      auto backend_done = [this, op, ion, complete](bool ok) mutable {
+        // Ack (or error) header back to the client.
+        compute_fabric_->send(compute_ep_of_ion(ion), op->client, kHeader,
+                              [complete, ok]() mutable {
+                                complete(ok, ok ? IoError::kNone : IoError::kOstDown);
+                              });
+      };
+      BurstBuffer* bb = buffer_for_ion(ion);
+      const bool bb_stalled =
+          bb != nullptr && timeline_.down(bb_id_for_ion(ion), engine_.now());
+      if (bb != nullptr && !bb_stalled && bb->can_absorb(op->size)) {
+        const std::uint64_t token = file_token(op->path);
+        bb->write(token, op->offset, op->size,
+                  [backend_done]() mutable { backend_done(true); });
+        return;  // absorbed; drain happens in the background
+      }
+      // No buffer (or full, or stalled): write through to the OSTs.
+      if (bb != nullptr) bb->note_bypass(op->size);
+      backend_io(ion, op->layout, op->offset, op->size, true, std::move(backend_done));
+    });
+  } else {
+    // Small read request to the ION; data returns over the compute fabric.
+    compute_fabric_->send(op->client, compute_ep_of_ion(ion), kHeader,
+                          [this, op, ion, complete]() mutable {
+      auto backend_done = [this, op, ion, complete](bool ok) mutable {
+        const Bytes payload = ok ? op->size : kHeader;  // errors return small
+        compute_fabric_->send(compute_ep_of_ion(ion), op->client, payload,
+                              [complete, ok]() mutable {
+                                complete(ok, ok ? IoError::kNone : IoError::kOstDown);
+                              });
+      };
+      BurstBuffer* bb = buffer_for_ion(ion);
+      const bool bb_stalled =
+          bb != nullptr && timeline_.down(bb_id_for_ion(ion), engine_.now());
+      const std::uint64_t token = file_token(op->path);
+      if (bb != nullptr && !bb_stalled && bb->resident(token, op->offset, op->size)) {
+        bb->read(token, op->offset, op->size,
+                 [backend_done]() mutable { backend_done(true); });
+        return;  // served from the staging tier
+      }
+      if (bb != nullptr) bb->note_miss(op->size);
+      backend_io(ion, op->layout, op->offset, op->size, false, std::move(backend_done));
+    });
   }
 }
 
@@ -159,53 +368,36 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
                   std::function<void(IoResult)> on_done) {
   if (client >= config_.clients) throw std::out_of_range("PfsModel::io: bad client");
   const SimTime issued = engine_.now();
-  const std::uint32_t ion = ion_of(client);
+
+  // Data ops against a path that was never created (or names a directory)
+  // fail fast with a distinct error: there is no layout to ship chunks with.
+  // No retries — the namespace will not change by waiting.
+  const Inode* inode = mds_->find_inode(path);
+  if (inode == nullptr || inode->is_dir) {
+    engine_.schedule_after(SimTime::zero(),
+                           [this, issued, size, done = std::move(on_done)]() mutable {
+                             ++res_stats_.failed_ops;
+                             if (done) {
+                               done(IoResult{false, IoError::kNoEntry, 1, issued,
+                                             engine_.now(), size});
+                             }
+                           });
+    return;
+  }
+
   const std::uint64_t token = file_token(path);
   token_info_[token] = {path, layout};
 
-  auto complete = [this, issued, size, path, offset, is_write,
-                   done = std::move(on_done)]() mutable {
-    if (is_write) {
-      mds_->grow_file(path, Bytes{offset} + size, engine_.now());
-    }
-    if (done) done(IoResult{true, issued, engine_.now(), size});
-  };
-
-  if (is_write) {
-    // Data travels client -> ION over the compute fabric.
-    compute_fabric_->send(client, compute_ep_of_ion(ion), size,
-                          [this, client, ion, token, layout, offset, size,
-                           complete = std::move(complete)]() mutable {
-      auto ack_client = [this, client, ion, complete = std::move(complete)]() mutable {
-        compute_fabric_->send(compute_ep_of_ion(ion), client, kHeader, std::move(complete));
-      };
-      BurstBuffer* bb = buffer_for_ion(ion);
-      if (bb != nullptr && bb->can_absorb(size)) {
-        bb->write(token, offset, size, std::move(ack_client));
-        return;  // absorbed; drain happens in the background
-      }
-      // No buffer (or full): write through to the OSTs.
-      if (bb != nullptr) bb->note_bypass(size);
-      backend_io(ion, layout, offset, size, true, std::move(ack_client));
-    });
-  } else {
-    // Small read request to the ION; data returns over the compute fabric.
-    compute_fabric_->send(client, compute_ep_of_ion(ion), kHeader,
-                          [this, client, ion, token, layout, offset, size,
-                           complete = std::move(complete)]() mutable {
-      auto data_to_client = [this, client, ion, size,
-                             complete = std::move(complete)]() mutable {
-        compute_fabric_->send(compute_ep_of_ion(ion), client, size, std::move(complete));
-      };
-      BurstBuffer* bb = buffer_for_ion(ion);
-      if (bb != nullptr && bb->resident(token, offset, size)) {
-        bb->read(token, offset, size, std::move(data_to_client));
-        return;  // served from the staging tier
-      }
-      if (bb != nullptr) bb->note_miss(size);
-      backend_io(ion, layout, offset, size, false, std::move(data_to_client));
-    });
-  }
+  auto op = std::make_shared<IoOpState>();
+  op->client = client;
+  op->path = path;
+  op->layout = layout;
+  op->offset = offset;
+  op->size = size;
+  op->is_write = is_write;
+  op->issued = issued;
+  op->done = std::move(on_done);
+  start_attempt(op);
 }
 
 bool PfsModel::buffers_quiescent() const {

@@ -7,6 +7,12 @@
 // traverses the full path, so the delivered performance exhibits the
 // contention, queueing, and tiering effects the paper's evaluation
 // techniques are built to observe.
+//
+// With a fault plan/injector configured the facade also owns the run's
+// fault::Timeline and the client-side resilience layer: failed attempts are
+// retried with capped exponential backoff, stuck attempts time out and are
+// abandoned (their in-flight events drain as counted orphans), and degraded-
+// mode striping can route chunks around down OSTs.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +20,21 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "pfs/burst_buffer.hpp"
 #include "pfs/disk.hpp"
 #include "pfs/mds.hpp"
 #include "pfs/ost.hpp"
+#include "pfs/resilience.hpp"
 #include "pfs/stripe.hpp"
+#include "sim/check.hpp"
 #include "sim/engine.hpp"
 
 namespace pio::pfs {
@@ -62,15 +74,33 @@ struct PfsConfig {
   SsdConfig ssd{};
   BbPlacement bb_placement = BbPlacement::kNone;
   BurstBufferConfig bb{};
+  /// Client-side retry/degraded-mode policy (default: fail-fast).
+  RetryPolicy retry{};
+  /// Scripted fault events, applied verbatim.
+  fault::FaultPlan faults{};
+  /// Optional stochastic injector; its events (materialized from the engine
+  /// seed at construction) merge with the scripted plan. `osts` is filled in
+  /// from this config automatically.
+  std::optional<fault::InjectorConfig> fault_injector;
 };
 
 /// Result of a data-path operation.
 struct IoResult {
   bool ok = false;
+  IoError error = IoError::kNone;  ///< why ok == false (kNone on success)
+  std::uint32_t attempts = 1;      ///< attempts consumed (1 = first try)
   SimTime issued = SimTime::zero();
   SimTime completed = SimTime::zero();
   Bytes size = Bytes::zero();
-  [[nodiscard]] SimTime latency() const { return completed - issued; }
+
+  /// Client-observed latency. Well-defined for failed ops too: `completed`
+  /// is the time the failure was *reported* to the client (>= issued), so
+  /// this never underflows; sim::check guards the invariant.
+  [[nodiscard]] SimTime latency() const {
+    sim::check::that(completed >= issued, "pfs.ioresult-latency",
+                     "completed precedes issued");
+    return completed - issued;
+  }
 };
 
 /// The assembled system model.
@@ -92,7 +122,10 @@ class PfsModel {
   // -- data path -----------------------------------------------------------
 
   /// Read or write `size` bytes at `offset` of `path` using `layout` (as
-  /// returned by a create/open). The file must exist at the MDS.
+  /// returned by a create/open). A path that was never created (or is a
+  /// directory) fails immediately with IoError::kNoEntry. Under a fault
+  /// timeline the op may fail with kOstDown/kMdsDown/kTimeout; the
+  /// configured RetryPolicy governs retries, timeouts and failover.
   void io(ClientId client, const std::string& path, const StripeLayout& layout,
           std::uint64_t offset, Bytes size, bool is_write,
           std::function<void(IoResult)> on_done);
@@ -114,9 +147,26 @@ class PfsModel {
   /// True when every burst buffer has fully drained.
   [[nodiscard]] bool buffers_quiescent() const;
 
+  /// The run's fault weather (empty timeline when no faults configured).
+  [[nodiscard]] const fault::Timeline& fault_timeline() const { return timeline_; }
+
+  /// Aggregate client-side resilience counters.
+  [[nodiscard]] const ResilienceStats& resilience_stats() const { return res_stats_; }
+
+  /// Campaign-end invariant F2 (sim::check): every op abandoned by a retry
+  /// timeout must have drained its orphan completions. Call after
+  /// Engine::assert_drained().
+  void assert_quiescent() const {
+    sim::check::abandoned_ops_drained(abandoned_in_flight_);
+  }
+
   /// Subscribe to every OST + MDS op record (server-side monitoring).
   void set_ost_observer(std::function<void(const OstOpRecord&)> observer);
   void set_mds_observer(std::function<void(const MdsOpRecord&)> observer);
+  /// Subscribe to client-side resilience events (retries/timeouts/...).
+  void set_resilience_observer(std::function<void(const ResilienceRecord&)> observer) {
+    res_observer_ = std::move(observer);
+  }
 
  private:
   // Endpoint numbering. Compute fabric: [0, clients) are clients,
@@ -127,22 +177,48 @@ class PfsModel {
   [[nodiscard]] net::EndpointId storage_ep_of_ost(OstIndex ost) const;
   [[nodiscard]] net::EndpointId storage_ep_of_mds() const;
   [[nodiscard]] BurstBuffer* buffer_for_ion(std::uint32_t ion);
+  /// Fault identity of the burst buffer serving `ion` (index 0 when shared).
+  [[nodiscard]] fault::ComponentId bb_id_for_ion(std::uint32_t ion) const;
+
+  /// Degraded-mode striping: the OST a chunk should be shipped to. With
+  /// failover enabled and the home OST down, scans forward (mod pool size)
+  /// for the first healthy OST; falls back to the home OST if all are down.
+  [[nodiscard]] OstIndex route_chunk(OstIndex home, SimTime now);
 
   /// The stripe-and-ship path from an I/O node to the OSTs (used both by
-  /// foreground I/O and burst-buffer drains).
+  /// foreground I/O and burst-buffer drains). `on_done(ok)` reports whether
+  /// every chunk completed (a chunk rejected by a down OST reports false).
   void backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
-                  Bytes size, bool is_write, std::function<void()> on_done);
+                  Bytes size, bool is_write, std::function<void(bool ok)> on_done);
+
+  // One logical io() op across its (possibly many) attempts.
+  struct IoOpState;
+  // One attempt's shared settle latch (attempt completion vs. timeout race).
+  struct AttemptState;
+
+  void start_attempt(const std::shared_ptr<IoOpState>& op);
+  void run_attempt(const std::shared_ptr<IoOpState>& op,
+                   const std::shared_ptr<AttemptState>& attempt);
+  void attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, IoError error);
+  void settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError error);
+  void emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error);
 
   /// Small fixed header size used for request/ack messages.
   static constexpr Bytes kHeader = Bytes{256};
 
   sim::Engine& engine_;
   PfsConfig config_;
+  fault::Timeline timeline_;
   std::unique_ptr<net::Fabric> compute_fabric_;
   std::unique_ptr<net::Fabric> storage_fabric_;
   std::unique_ptr<MetadataServer> mds_;
   std::vector<std::unique_ptr<OstServer>> osts_;
   std::vector<std::unique_ptr<BurstBuffer>> buffers_;
+  Rng retry_rng_;
+  ResilienceStats res_stats_;
+  std::function<void(const ResilienceRecord&)> res_observer_;
+  /// Ops abandoned by a timeout whose in-flight events have not yet drained.
+  std::uint64_t abandoned_in_flight_ = 0;
   std::uint64_t next_file_token_ = 1;
   std::unordered_map<std::string, std::uint64_t> file_tokens_;  // path -> BB file id
   std::uint64_t file_token(const std::string& path);

@@ -1,0 +1,40 @@
+#include "pfs/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pio::pfs {
+
+const char* to_string(IoError error) {
+  switch (error) {
+    case IoError::kNone: return "none";
+    case IoError::kNoEntry: return "no-entry";
+    case IoError::kOstDown: return "ost-down";
+    case IoError::kMdsDown: return "mds-down";
+    case IoError::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+const char* to_string(ResilienceEventKind kind) {
+  switch (kind) {
+    case ResilienceEventKind::kRetry: return "retry";
+    case ResilienceEventKind::kTimeout: return "timeout";
+    case ResilienceEventKind::kGiveUp: return "giveup";
+    case ResilienceEventKind::kFailover: return "failover";
+  }
+  return "?";
+}
+
+SimTime backoff_delay(const RetryPolicy& policy, std::uint32_t attempt, Rng& rng) {
+  if (attempt == 0) attempt = 1;
+  const double exponent = static_cast<double>(attempt - 1);
+  double delay_sec = policy.base_backoff.sec() * std::pow(policy.backoff_multiplier, exponent);
+  delay_sec = std::min(delay_sec, policy.max_backoff.sec());
+  if (policy.jitter_fraction > 0.0) {
+    delay_sec *= 1.0 + rng.uniform(-policy.jitter_fraction, policy.jitter_fraction);
+  }
+  return std::max(SimTime::zero(), SimTime::from_sec_ceil(delay_sec));
+}
+
+}  // namespace pio::pfs

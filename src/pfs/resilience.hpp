@@ -1,0 +1,80 @@
+// PIOEval storage substrate: client-side resilience for the data path.
+//
+// Real I/O middleware does not surface every server hiccup to the
+// application: clients retry with capped exponential backoff, time out
+// stuck requests, and (when the layout allows) route around dead OSTs.
+// This header defines the policy knobs and counters; the mechanics live in
+// PfsModel::io. All jitter draws from a seeded engine substream so fault
+// campaigns replay byte-identically (piolint D1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pio::pfs {
+
+/// Engine Rng stream id reserved for retry backoff jitter.
+inline constexpr std::uint64_t kRetryRngStream = 0xFA017001ULL;
+
+/// Why a data-path operation failed. kNone means success.
+enum class IoError : std::uint8_t {
+  kNone,
+  kNoEntry,   ///< path never created at the MDS (or is a directory)
+  kOstDown,   ///< a touched OST was down and no failover was possible
+  kMdsDown,   ///< metadata service unreachable
+  kTimeout,   ///< the op exceeded RetryPolicy::op_timeout on every attempt
+};
+
+[[nodiscard]] const char* to_string(IoError error);
+
+/// Client-side retry/degraded-mode policy for PfsModel::io. The default is
+/// fail-fast: one attempt, no timeout, no failover — faults surface as
+/// IoResult{ok=false} so measurement tools see the raw weather.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 1;  ///< total attempts; 1 = no retries
+  SimTime base_backoff = SimTime::from_ms(1.0);
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff = SimTime::from_ms(200.0);
+  /// Uniform +/- fraction applied to each backoff (decorrelates retry storms
+  /// across clients); draws from the kRetryRngStream engine substream.
+  double jitter_fraction = 0.2;
+  /// Per-attempt timeout; zero disables. A timed-out attempt is abandoned
+  /// (its in-flight events drain as orphans) and retried or given up.
+  SimTime op_timeout = SimTime::zero();
+  /// Degraded-mode striping: reroute chunks addressed to a down OST to the
+  /// next healthy one at dispatch time.
+  bool failover = false;
+
+  [[nodiscard]] bool retries_enabled() const { return max_attempts > 1; }
+};
+
+/// Deterministic capped exponential backoff with seeded jitter. `attempt` is
+/// the 1-based index of the attempt that just failed (so the first retry
+/// waits ~base_backoff). Always returns a non-negative time.
+[[nodiscard]] SimTime backoff_delay(const RetryPolicy& policy, std::uint32_t attempt, Rng& rng);
+
+/// Client-side resilience event (observer unit, like OstOpRecord).
+enum class ResilienceEventKind : std::uint8_t { kRetry, kTimeout, kGiveUp, kFailover };
+
+[[nodiscard]] const char* to_string(ResilienceEventKind kind);
+
+struct ResilienceRecord {
+  ResilienceEventKind kind = ResilienceEventKind::kRetry;
+  SimTime at = SimTime::zero();
+  std::uint32_t attempt = 0;  ///< attempt that triggered the event (0 = n/a)
+  IoError error = IoError::kNone;
+};
+
+/// Aggregate client-side resilience counters for one PfsModel.
+struct ResilienceStats {
+  std::uint64_t attempts = 0;    ///< data-path attempts started
+  std::uint64_t retries = 0;     ///< attempts that were retried
+  std::uint64_t timeouts = 0;    ///< attempts abandoned by op_timeout
+  std::uint64_t giveups = 0;     ///< ops failed after exhausting retries
+  std::uint64_t failovers = 0;   ///< chunks rerouted around a down OST
+  std::uint64_t failed_ops = 0;  ///< io() completions with ok == false
+};
+
+}  // namespace pio::pfs

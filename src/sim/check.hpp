@@ -12,6 +12,7 @@
 // for maximum-throughput production sweeps.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace pio::sim::check {
@@ -36,6 +37,29 @@ inline void that(bool cond, const char* invariant, const std::string& detail = {
     (void)invariant;
     (void)detail;
   }
+}
+
+// -- fault-era invariants ---------------------------------------------------
+//
+// Introduced with pio::fault: once components can crash and clients can
+// abandon in-flight work, two new ways to corrupt a run appear. Callers pass
+// plain facts (a down flag, a counter) so this header stays dependency-free.
+
+/// F1: no completion handler may fire on a resource during its down
+/// interval. A handler inside the window means a model leaked work across a
+/// crash instead of deferring it to recovery (fault::Timeline callers
+/// precompute `is_down` at the handler's fire time).
+inline void handler_outside_down_interval(bool is_down, const char* resource) {
+  that(!is_down, "fault.handler-during-down", resource);
+}
+
+/// F2: at campaign end, every op abandoned by a retry timeout/giveup must
+/// have drained — its in-flight events completed as orphans or were
+/// cancelled, never leaked. `in_flight` is the abandoned-but-undrained
+/// count; it must be zero once the engine queue is empty.
+inline void abandoned_ops_drained(std::uint64_t in_flight) {
+  that(in_flight == 0, "fault.abandoned-op-leak",
+       kEnabled ? std::to_string(in_flight) + " abandoned ops still in flight" : std::string{});
 }
 
 }  // namespace pio::sim::check

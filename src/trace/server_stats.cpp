@@ -14,6 +14,8 @@ ServerStatsCollector::ServerStatsCollector(SimTime window) : window_(window) {
 void ServerStatsCollector::attach(pfs::PfsModel& model) {
   model.set_ost_observer([this](const pfs::OstOpRecord& r) { on_ost_record(r); });
   model.set_mds_observer([this](const pfs::MdsOpRecord& r) { on_mds_record(r); });
+  model.set_resilience_observer(
+      [this](const pfs::ResilienceRecord& r) { on_resilience_record(r); });
 }
 
 void ServerStatsCollector::on_ost_record(const pfs::OstOpRecord& record) {
@@ -21,10 +23,18 @@ void ServerStatsCollector::on_ost_record(const pfs::OstOpRecord& record) {
   sample.window = window_of(record.completed);
   if (record.is_write) {
     ++sample.write_ops;
-    sample.bytes_written += record.size;
   } else {
     ++sample.read_ops;
-    sample.bytes_read += record.size;
+  }
+  if (record.ok) {
+    // Only ops the device actually served move bytes.
+    if (record.is_write) {
+      sample.bytes_written += record.size;
+    } else {
+      sample.bytes_read += record.size;
+    }
+  } else {
+    ++sample.failed_ops;
   }
   sample.total_latency += record.completed - record.enqueued;
   sample.max_queue_depth = std::max(sample.max_queue_depth, record.queue_depth_at_enqueue);
@@ -34,7 +44,19 @@ void ServerStatsCollector::on_mds_record(const pfs::MdsOpRecord& record) {
   auto& sample = mds_series_[window_of(record.completed)];
   sample.window = window_of(record.completed);
   ++sample.meta_ops;
+  if (record.status != pfs::MetaStatus::kOk) ++sample.failed_ops;
   sample.total_latency += record.completed - record.enqueued;
+}
+
+void ServerStatsCollector::on_resilience_record(const pfs::ResilienceRecord& record) {
+  auto& sample = resilience_series_[window_of(record.at)];
+  sample.window = window_of(record.at);
+  switch (record.kind) {
+    case pfs::ResilienceEventKind::kRetry: ++sample.retries; break;
+    case pfs::ResilienceEventKind::kTimeout: ++sample.timeouts; break;
+    case pfs::ResilienceEventKind::kGiveUp: ++sample.giveups; break;
+    case pfs::ResilienceEventKind::kFailover: ++sample.failovers; break;
+  }
 }
 
 ServerSeries ServerStatsCollector::aggregate_osts() const {

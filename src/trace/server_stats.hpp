@@ -30,12 +30,25 @@ struct ServerSample {
   Bytes bytes_written = Bytes::zero();
   SimTime total_latency = SimTime::zero();
   std::uint64_t max_queue_depth = 0;
+  std::uint64_t failed_ops = 0;  ///< rejected/interrupted (OST) or error-status (MDS)
 
   [[nodiscard]] std::uint64_t total_ops() const { return read_ops + write_ops + meta_ops; }
 };
 
 /// Per-server time series, keyed by window index.
 using ServerSeries = std::map<std::uint64_t, ServerSample>;
+
+/// One time-window sample of client-side resilience activity (retry storms
+/// show up here before they show up as server load).
+struct ResilienceSample {
+  std::uint64_t window = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t failovers = 0;
+};
+
+using ResilienceSeries = std::map<std::uint64_t, ResilienceSample>;
 
 class ServerStatsCollector {
  public:
@@ -47,11 +60,13 @@ class ServerStatsCollector {
   /// Manual feeds (for tests or custom wiring).
   void on_ost_record(const pfs::OstOpRecord& record);
   void on_mds_record(const pfs::MdsOpRecord& record);
+  void on_resilience_record(const pfs::ResilienceRecord& record);
 
   [[nodiscard]] const std::map<std::uint32_t, ServerSeries>& ost_series() const {
     return ost_series_;
   }
   [[nodiscard]] const ServerSeries& mds_series() const { return mds_series_; }
+  [[nodiscard]] const ResilienceSeries& resilience_series() const { return resilience_series_; }
   [[nodiscard]] SimTime window() const { return window_; }
 
   /// Cluster-wide aggregate per window (sums across OSTs).
@@ -69,6 +84,7 @@ class ServerStatsCollector {
   SimTime window_;
   std::map<std::uint32_t, ServerSeries> ost_series_;
   ServerSeries mds_series_;
+  ResilienceSeries resilience_series_;
 };
 
 }  // namespace pio::trace

@@ -1,0 +1,11 @@
+// piolint fixture: exactly one D1 violation — a fault injector seeded from
+// the wall clock. Fault schedules must be derived from the campaign seed
+// (pio::fault::kFaultRngStream); wall-clock seeding makes every run's
+// weather unique and unreproducible.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t wallclock_injector_seed() {
+  const auto now = std::chrono::steady_clock::now();  // the one violation
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}

@@ -11,6 +11,7 @@
 
 #include "driver/sim_driver.hpp"
 #include "eval/campaign.hpp"
+#include "fault/injector.hpp"
 #include "pfs/pfs.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
@@ -129,6 +130,65 @@ TEST(DeterminismRegression, EngineEventOrderIsReproducible) {
     return h.digest();
   };
   EXPECT_EQ(run_engine(99), run_engine(99));
+}
+
+/// A faulted, resilient campaign: scripted OST outage + straggler on top of
+/// an injector-generated schedule, retries with jittered backoff, timeouts
+/// and failover all active. Every one of those draws from engine-owned Rng
+/// streams, so the digest must replay exactly for equal seeds.
+std::uint64_t run_fault_campaign(std::uint64_t engine_seed) {
+  auto config = small_pfs();
+  config.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0))
+      .ost_straggler(2, SimTime::from_ms(1.0), SimTime::from_ms(30.0), 5.0);
+  // Rates are high enough that several stochastic events land inside the
+  // run's ~tens-of-ms window — a seed change must visibly move the trace.
+  fault::InjectorConfig injector;
+  injector.horizon = SimTime::from_ms(100.0);
+  injector.ost_crash_rate_hz = 60.0;
+  injector.ost_outage_mean = SimTime::from_ms(4.0);
+  injector.ost_straggler_rate_hz = 60.0;
+  injector.ost_straggler_mean = SimTime::from_ms(10.0);
+  injector.storage_brownout_rate_hz = 30.0;
+  injector.storage_brownout_mean = SimTime::from_ms(5.0);
+  injector.mds_slowdown_rate_hz = 30.0;
+  injector.mds_slowdown_mean = SimTime::from_ms(5.0);
+  config.fault_injector = injector;
+  config.retry.max_attempts = 3;
+  config.retry.op_timeout = SimTime::from_ms(40.0);
+  config.retry.failover = true;
+
+  sim::Engine engine{engine_seed};
+  pfs::PfsModel model{engine, config};
+  driver::ExecutionDrivenSimulator sim{engine, model};
+  workload::IorConfig ior;
+  ior.ranks = 4;
+  ior.block_size = Bytes::from_mib(4);
+  ior.transfer_size = Bytes::from_mib(1);
+  trace::Tracer tracer;
+  const auto result = sim.run(*workload::ior_like(ior), &tracer);
+  engine.assert_drained();
+  model.assert_quiescent();
+  Fnv1a h;
+  h.mix(hash_trace(tracer.snapshot()));
+  h.mix(static_cast<std::uint64_t>(result.makespan.ns()));
+  h.mix(result.failed_ops);
+  h.mix(result.retries);
+  h.mix(result.timeouts);
+  h.mix(result.giveups);
+  h.mix(result.failovers);
+  h.mix(engine.events_executed());
+  return h.digest();
+}
+
+TEST(DeterminismRegression, SameSeedFaultCampaignsHashIdentical) {
+  const std::uint64_t first = run_fault_campaign(13);
+  const std::uint64_t second = run_fault_campaign(13);
+  EXPECT_EQ(first, second) << "same-seed fault campaign diverged: injector or "
+                              "retry jitter is drawing outside engine streams";
+}
+
+TEST(DeterminismRegression, DifferentSeedFaultCampaignsDiverge) {
+  EXPECT_NE(run_fault_campaign(13), run_fault_campaign(14));
 }
 
 TEST(DeterminismRegression, FullEvaluationLoopIsReproducible) {

@@ -142,8 +142,8 @@ TEST(OstServerTest, CountsAndObserver) {
   std::vector<OstOpRecord> records;
   ost.set_op_observer([&](const OstOpRecord& r) { records.push_back(r); });
   int done = 0;
-  ost.submit(0, 1_MiB, true, [&] { ++done; });
-  ost.submit(1 << 20, 1_MiB, false, [&] { ++done; });
+  ost.submit(0, 1_MiB, true, [&](bool ok) { done += ok ? 1 : 0; });
+  ost.submit(1 << 20, 1_MiB, false, [&](bool ok) { done += ok ? 1 : 0; });
   e.run();
   EXPECT_EQ(done, 2);
   EXPECT_EQ(ost.stats().write_ops, 1u);
@@ -391,6 +391,38 @@ TEST_F(PfsModelTest, DeterministicAcrossRuns) {
     return latencies;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(PfsModelTest, IoOnMissingPathFailsWithNoEntry) {
+  sim::Engine e;
+  PfsModel model{e, small_config()};
+  // No create ever happened: both directions fail with a distinct error.
+  const auto read = io(model, 0, "/never-created", StripeLayout{}, 0, 1_MiB, false);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, IoError::kNoEntry);
+  const auto write = io(model, 1, "/never-created", StripeLayout{}, 0, 1_MiB, true);
+  EXPECT_FALSE(write.ok);
+  EXPECT_EQ(write.error, IoError::kNoEntry);
+  EXPECT_EQ(model.resilience_stats().failed_ops, 2u);
+  // Directories are not data files either.
+  (void)meta(model, 0, MetaOp::kMkdir, "/dir");
+  const auto dir_io = io(model, 0, "/dir", StripeLayout{}, 0, 1_MiB, true);
+  EXPECT_EQ(dir_io.error, IoError::kNoEntry);
+}
+
+TEST_F(PfsModelTest, FailedIoLatencyIsWellDefined) {
+  sim::Engine e;
+  PfsModel model{e, small_config()};
+  IoResult result;
+  // Issue at a nonzero sim time so an accidental completed=0 would underflow.
+  e.schedule_after(SimTime::from_ms(5.0), [&] {
+    model.io(0, "/missing", StripeLayout{}, 0, 1_MiB, false, [&](IoResult r) { result = r; });
+  });
+  e.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.completed, result.issued);
+  EXPECT_GE(result.latency(), SimTime::zero());  // no sim::check trip, no underflow
+  EXPECT_GE(result.issued, SimTime::from_ms(5.0));
 }
 
 }  // namespace

@@ -31,6 +31,15 @@ TEST(PiolintRules, D1FlagsBannedNondeterminismSource) {
   EXPECT_NE(diags[0].message.find("std::rand"), std::string::npos);
 }
 
+TEST(PiolintRules, D1CatchesWallClockSeededFaultInjector) {
+  // pio::fault's determinism contract: injector schedules come from the
+  // campaign seed, never the wall clock. The linter is the enforcement.
+  const auto diags = lint_file(fixture("d1_wallclock_injector.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].line, 9);
+}
+
 TEST(PiolintRules, D2FlagsUnorderedIterationFeedingOutput) {
   const auto diags = lint_file(fixture("d2_violation.cpp"));
   ASSERT_EQ(diags.size(), 1u);
