@@ -79,6 +79,10 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   result_.timeouts = res_after.timeouts - res_before.timeouts;
   result_.giveups = res_after.giveups - res_before.giveups;
   result_.failovers = res_after.failovers - res_before.failovers;
+  result_.degraded_reads = res_after.degraded_reads - res_before.degraded_reads;
+  result_.data_lost_ops = res_after.data_lost_ops - res_before.data_lost_ops;
+  result_.rebuilds_completed = res_after.rebuilds_completed - res_before.rebuilds_completed;
+  result_.rebuilt_bytes = res_after.rebuilt_bytes - res_before.rebuilt_bytes;
   return result_;
 }
 

@@ -46,6 +46,11 @@ struct SimRunResult {
   std::uint64_t timeouts = 0;
   std::uint64_t giveups = 0;
   std::uint64_t failovers = 0;
+  // Durability layer activity (zero unless durability tracking is enabled).
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t data_lost_ops = 0;
+  std::uint64_t rebuilds_completed = 0;
+  Bytes rebuilt_bytes = Bytes::zero();
   Bytes bytes_read = Bytes::zero();
   Bytes bytes_written = Bytes::zero();
   SimTime read_time = SimTime::zero();     ///< summed per-op read latency

@@ -33,6 +33,8 @@ std::string CampaignResult::to_string() const {
   out << table.to_string();
   out << "final calibration factor: " << format_double(final_calibration, 4) << "\n";
   std::uint64_t failed = 0, retries = 0, timeouts = 0, giveups = 0, failovers = 0;
+  std::uint64_t degraded = 0, lost = 0, rebuilds = 0;
+  Bytes rebuilt = Bytes::zero();
   for (const auto& it : iterations) {
     for (const auto& p : it.points) {
       failed += p.failed_ops;
@@ -40,12 +42,21 @@ std::string CampaignResult::to_string() const {
       timeouts += p.timeouts;
       giveups += p.giveups;
       failovers += p.failovers;
+      degraded += p.degraded_reads;
+      lost += p.data_lost_ops;
+      rebuilds += p.rebuilds_completed;
+      rebuilt += p.rebuilt_bytes;
     }
   }
   if (failed + retries + timeouts + giveups + failovers > 0) {
     out << "resilience (measured runs): failed_ops=" << failed << " retries=" << retries
         << " timeouts=" << timeouts << " giveups=" << giveups << " failovers=" << failovers
         << "\n";
+  }
+  if (degraded + lost + rebuilds + rebuilt.count() > 0) {
+    out << "durability (measured runs): degraded_reads=" << degraded
+        << " data_lost_ops=" << lost << " rebuilds_completed=" << rebuilds
+        << " rebuilt=" << format_bytes(rebuilt) << "\n";
   }
   return out.str();
 }
@@ -106,6 +117,10 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.timeouts = measured.timeouts;
       point.giveups = measured.giveups;
       point.failovers = measured.failovers;
+      point.degraded_reads = measured.degraded_reads;
+      point.data_lost_ops = measured.data_lost_ops;
+      point.rebuilds_completed = measured.rebuilds_completed;
+      point.rebuilt_bytes = measured.rebuilt_bytes;
       point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
           static_cast<double>(simulated.makespan.ns()) * calibration));
       iteration.points.push_back(point);

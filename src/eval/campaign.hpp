@@ -59,6 +59,11 @@ struct CampaignPoint {
   std::uint64_t timeouts = 0;
   std::uint64_t giveups = 0;
   std::uint64_t failovers = 0;
+  // Durability-layer activity (zero unless durability tracking is enabled).
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t data_lost_ops = 0;
+  std::uint64_t rebuilds_completed = 0;
+  Bytes rebuilt_bytes = Bytes::zero();
   [[nodiscard]] double abs_pct_error() const {
     if (measured <= SimTime::zero()) return 0.0;
     return std::abs(predicted.sec() - measured.sec()) / measured.sec();

@@ -143,6 +143,28 @@ SimTime Timeline::down_until(ComponentId id, SimTime t) const {
   return std::prev(it)->end;
 }
 
+SimTime Timeline::down_since(ComponentId id, SimTime t) const {
+  const Component* component = find(id);
+  if (component == nullptr) {
+    throw std::logic_error("fault::Timeline::down_since: component not down: " + to_string(id));
+  }
+  auto it = std::upper_bound(component->down.begin(), component->down.end(), t,
+                             [](SimTime v, const Interval& iv) { return v < iv.start; });
+  if (it == component->down.begin() || t >= std::prev(it)->end) {
+    throw std::logic_error("fault::Timeline::down_since: component not down: " + to_string(id));
+  }
+  return std::prev(it)->start;
+}
+
+std::vector<std::pair<SimTime, SimTime>> Timeline::down_intervals(ComponentId id) const {
+  const Component* component = find(id);
+  std::vector<std::pair<SimTime, SimTime>> out;
+  if (component == nullptr) return out;
+  out.reserve(component->down.size());
+  for (const auto& iv : component->down) out.emplace_back(iv.start, iv.end);
+  return out;
+}
+
 double Timeline::slowdown(ComponentId id, SimTime t) const {
   const Component* component = find(id);
   if (component == nullptr) return 1.0;

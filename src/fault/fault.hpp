@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -103,6 +104,15 @@ class Timeline {
   /// Recovery time: end of the merged down interval containing `t`.
   /// Precondition: down(id, t).
   [[nodiscard]] SimTime down_until(ComponentId id, SimTime t) const;
+
+  /// Crash time: start of the merged down interval containing `t`.
+  /// Precondition: down(id, t).
+  [[nodiscard]] SimTime down_since(ComponentId id, SimTime t) const;
+
+  /// All merged down intervals of `id` as (start, end) pairs, sorted by
+  /// start. Empty when the component never goes down. Recovery-driven
+  /// machinery (MDS failover replay, OST rebuild) schedules off these.
+  [[nodiscard]] std::vector<std::pair<SimTime, SimTime>> down_intervals(ComponentId id) const;
 
   /// Product of all slowdown factors active on `id` at `t` (1.0 = healthy).
   [[nodiscard]] double slowdown(ComponentId id, SimTime t) const;

@@ -1,0 +1,162 @@
+#include "pfs/durability.hpp"
+
+#include <algorithm>
+
+namespace pio::pfs {
+
+// ------------------------------------------------------------------ TokenMap
+
+void TokenMap::assign(std::uint64_t lo, std::uint64_t hi, WriteToken token) {
+  if (lo >= hi) return;
+  // Trim or split any runs overlapping [lo, hi), then insert the new run.
+  auto it = map_.lower_bound(lo);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.hi > lo) {
+      const Run old = prev->second;
+      prev->second.hi = lo;  // keep the left remainder
+      if (old.hi > hi) map_.emplace(hi, Run{old.hi, old.token});  // right remainder
+    }
+  }
+  while (it != map_.end() && it->first < hi) {
+    const auto next = std::next(it);
+    if (it->second.hi > hi) {
+      map_.emplace(hi, Run{it->second.hi, it->second.token});
+    }
+    map_.erase(it);
+    it = next;
+  }
+  // Coalesce with equal-token neighbours so long sequential writes stay O(1).
+  std::uint64_t new_lo = lo;
+  std::uint64_t new_hi = hi;
+  auto at = map_.lower_bound(lo);
+  if (at != map_.begin()) {
+    auto prev = std::prev(at);
+    if (prev->second.hi == lo && prev->second.token == token) {
+      new_lo = prev->first;
+      map_.erase(prev);
+    }
+  }
+  auto right = map_.find(hi);
+  if (right != map_.end() && right->second.token == token) {
+    new_hi = right->second.hi;
+    map_.erase(right);
+  }
+  map_.emplace(new_lo, Run{new_hi, token});
+}
+
+std::vector<TokenMap::Segment> TokenMap::segments(std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<Segment> out;
+  if (lo >= hi) return out;
+  auto it = map_.lower_bound(lo);
+  if (it != map_.begin() && std::prev(it)->second.hi > lo) --it;
+  for (; it != map_.end() && it->first < hi; ++it) {
+    const std::uint64_t seg_lo = std::max(lo, it->first);
+    const std::uint64_t seg_hi = std::min(hi, it->second.hi);
+    if (seg_lo < seg_hi) out.push_back(Segment{seg_lo, seg_hi, it->second.token});
+  }
+  return out;
+}
+
+bool TokenMap::holds(std::uint64_t lo, std::uint64_t hi, WriteToken token) const {
+  if (lo >= hi) return true;
+  std::uint64_t cursor = lo;
+  for (const auto& seg : segments(lo, hi)) {
+    if (seg.lo != cursor || seg.token != token) return false;
+    cursor = seg.hi;
+  }
+  return cursor == hi;
+}
+
+// ----------------------------------------------------------- DurabilityLedger
+
+void DurabilityLedger::apply(std::uint64_t file, std::uint32_t ost, std::uint64_t lo,
+                             std::uint64_t hi, WriteToken token) {
+  stores_[file][ost].assign(lo, hi, token);
+  const auto ost_it = dirty_.find(ost);
+  if (ost_it != dirty_.end()) {
+    const auto file_it = ost_it->second.find(file);
+    if (file_it != ost_it->second.end()) file_it->second.erase(lo, hi);
+  }
+}
+
+void DurabilityLedger::ack(std::uint64_t file, std::uint64_t lo, std::uint64_t hi,
+                           WriteToken token) {
+  acked_[file].assign(lo, hi, token);
+}
+
+void DurabilityLedger::mark_missed(std::uint32_t ost, std::uint64_t file, std::uint64_t lo,
+                                   std::uint64_t hi) {
+  dirty_[ost][file].insert(lo, hi);
+}
+
+bool DurabilityLedger::read_ok(std::uint64_t file, std::uint32_t ost, std::uint64_t lo,
+                               std::uint64_t hi) const {
+  const auto acked_it = acked_.find(file);
+  if (acked_it == acked_.end()) return true;  // nothing acknowledged yet
+  const TokenMap* store = nullptr;
+  if (const auto file_it = stores_.find(file); file_it != stores_.end()) {
+    if (const auto ost_it = file_it->second.find(ost); ost_it != file_it->second.end()) {
+      store = &ost_it->second;
+    }
+  }
+  for (const auto& expected : acked_it->second.segments(lo, hi)) {
+    if (store == nullptr || !store->holds(expected.lo, expected.hi, expected.token)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DurabilityLedger::copy(std::uint64_t file, std::uint32_t src, std::uint32_t dst,
+                            std::uint64_t lo, std::uint64_t hi) {
+  const auto file_it = stores_.find(file);
+  if (file_it == stores_.end()) return;
+  const auto src_it = file_it->second.find(src);
+  if (src_it == file_it->second.end()) return;
+  // Materialize first: assigning into the same file's map while iterating a
+  // sibling TokenMap is safe, but src == dst self-copy would not be.
+  const auto held = src_it->second.segments(lo, hi);
+  auto& dst_store = file_it->second[dst];
+  for (const auto& seg : held) dst_store.assign(seg.lo, seg.hi, seg.token);
+  const auto ost_it = dirty_.find(dst);
+  if (ost_it != dirty_.end()) {
+    const auto dirty_it = ost_it->second.find(file);
+    if (dirty_it != ost_it->second.end()) dirty_it->second.erase(lo, hi);
+  }
+}
+
+std::vector<DirtyRange> DurabilityLedger::dirty_snapshot(std::uint32_t ost) const {
+  std::vector<DirtyRange> out;
+  const auto ost_it = dirty_.find(ost);
+  if (ost_it == dirty_.end()) return out;
+  for (const auto& [file, set] : ost_it->second) {
+    for (const auto& iv : set.to_vector()) out.push_back(DirtyRange{file, iv.lo, iv.hi});
+  }
+  return out;
+}
+
+Bytes DurabilityLedger::dirty_bytes(std::uint32_t ost) const {
+  std::uint64_t total = 0;
+  const auto ost_it = dirty_.find(ost);
+  if (ost_it == dirty_.end()) return Bytes::zero();
+  for (const auto& [file, set] : ost_it->second) total += set.total_bytes();
+  return Bytes{total};
+}
+
+std::vector<std::uint64_t> DurabilityLedger::acked_files() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(acked_.size());
+  for (const auto& [file, map] : acked_) {
+    if (!map.empty()) out.push_back(file);
+  }
+  return out;
+}
+
+std::vector<TokenMap::Segment> DurabilityLedger::acked_segments(std::uint64_t file) const {
+  const auto it = acked_.find(file);
+  if (it == acked_.end()) return {};
+  return it->second.segments(0, UINT64_MAX);
+}
+
+}  // namespace pio::pfs

@@ -1,0 +1,141 @@
+// PIOEval storage substrate: write durability bookkeeping.
+//
+// The durability layer turns fault injection from "errors happen" into "the
+// system degrades, recovers, and provably loses nothing". It models payload
+// identity (not payload bytes): every acknowledged write op carries a
+// monotonically increasing WriteToken, and the ledger records which token
+// each replica OST actually holds for each file byte range. That is enough
+// to answer the questions the recovery machinery needs —
+//   * does this replica have the current data for this range? (reads,
+//     rebuild source selection)
+//   * which ranges did a crashed OST miss while it was down? (rebuild work)
+//   * is every acknowledged byte still held by at least one replica?
+//     (invariant F3, PfsModel::assert_quiescent)
+// — while staying cheap enough to run inside campaign sweeps. All state is
+// in ordered maps so iteration is deterministic (piolint D2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/types.hpp"
+
+namespace pio::pfs {
+
+/// Engine Rng stream id reserved for rebuild pacing jitter.
+inline constexpr std::uint64_t kRebuildRngStream = 0xFA017002ULL;
+
+/// Identity of one acknowledged write. 0 is reserved for "hole / never
+/// written"; tokens only grow, so a larger token is always the newer data.
+using WriteToken = std::uint64_t;
+
+/// Durability/recovery knobs for PfsModel (see DESIGN.md §9).
+struct DurabilityConfig {
+  /// Master switch: enables write-token content tracking, replica fan-out
+  /// for layouts with replicas > 1, degraded reads, online rebuild, and
+  /// invariant F3. Off (the default) preserves the PR2 fault semantics
+  /// exactly; layouts with replicas > 1 are rejected while off.
+  bool track_contents = false;
+  /// Throughput cap for background resync copies (per recovering OST).
+  Bandwidth rebuild_bandwidth = Bandwidth::from_mib_per_sec(256.0);
+  /// Resync copy granularity: missed ranges are re-copied in pieces of at
+  /// most this size, each paced against rebuild_bandwidth.
+  Bytes rebuild_chunk = Bytes::from_mib(1);
+  /// Uniform +/- fraction applied to each piece's pacing delay; draws from
+  /// the kRebuildRngStream engine substream (piolint D1).
+  double rebuild_jitter_fraction = 0.1;
+};
+
+/// An ordered byte-range -> WriteToken map over one address space (one
+/// file's contents as held by one OST, or as acknowledged to clients).
+/// Later assignments overwrite overlapped older ones, mirroring overwrites
+/// of file ranges; adjacent equal-token runs are coalesced.
+class TokenMap {
+ public:
+  struct Segment {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  ///< half-open [lo, hi)
+    WriteToken token = 0;
+  };
+
+  /// Record that [lo, hi) now holds `token`.
+  void assign(std::uint64_t lo, std::uint64_t hi, WriteToken token);
+
+  /// The recorded segments overlapping [lo, hi), clipped to it, in order.
+  /// Unrecorded gaps (holes) are not returned.
+  [[nodiscard]] std::vector<Segment> segments(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// True iff [lo, hi) is fully covered by segments holding exactly `token`.
+  [[nodiscard]] bool holds(std::uint64_t lo, std::uint64_t hi, WriteToken token) const;
+
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+ private:
+  struct Run {
+    std::uint64_t hi = 0;
+    WriteToken token = 0;
+  };
+  std::map<std::uint64_t, Run> map_;  // lo -> {hi, token}
+};
+
+/// Per-(OST, file) set of byte ranges a replica missed while down, owed to
+/// it by the rebuild planner.
+struct DirtyRange {
+  std::uint64_t file = 0;  ///< PfsModel file token
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// The model-wide durability ledger. Address space is *file offsets*: the
+/// same file range lives at different object offsets on different replicas,
+/// so file-offset keys are the only collision-free common coordinate.
+class DurabilityLedger {
+ public:
+  /// Token for the next write op. Never returns 0.
+  [[nodiscard]] WriteToken next_token() { return next_++; }
+
+  /// Replica `ost` durably stored [lo, hi) of `file` as `token` (a chunk
+  /// write completed on its device). Clears any matching dirty debt.
+  void apply(std::uint64_t file, std::uint32_t ost, std::uint64_t lo, std::uint64_t hi,
+             WriteToken token);
+
+  /// The client was acknowledged: [lo, hi) of `file` is now expected to
+  /// read back as `token`.
+  void ack(std::uint64_t file, std::uint64_t lo, std::uint64_t hi, WriteToken token);
+
+  /// Replica `ost` was down at dispatch and missed [lo, hi) of `file`; the
+  /// rebuild planner owes it a re-copy.
+  void mark_missed(std::uint32_t ost, std::uint64_t file, std::uint64_t lo, std::uint64_t hi);
+
+  /// True iff `ost` holds current (acknowledged) data for every
+  /// acknowledged byte of [lo, hi) of `file`. Unacknowledged bytes (holes)
+  /// never disqualify a replica: there is nothing to be stale against.
+  [[nodiscard]] bool read_ok(std::uint64_t file, std::uint32_t ost, std::uint64_t lo,
+                             std::uint64_t hi) const;
+
+  /// Resync: copy `src`'s stored tokens for [lo, hi) of `file` onto `dst`
+  /// and clear `dst`'s dirty debt for the range.
+  void copy(std::uint64_t file, std::uint32_t src, std::uint32_t dst, std::uint64_t lo,
+            std::uint64_t hi);
+
+  /// Snapshot of everything `ost` is owed, in (file, lo) order.
+  [[nodiscard]] std::vector<DirtyRange> dirty_snapshot(std::uint32_t ost) const;
+
+  [[nodiscard]] Bytes dirty_bytes(std::uint32_t ost) const;
+
+  /// File tokens with at least one acknowledged byte, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> acked_files() const;
+
+  /// All acknowledged segments of `file`, in offset order.
+  [[nodiscard]] std::vector<TokenMap::Segment> acked_segments(std::uint64_t file) const;
+
+ private:
+  WriteToken next_ = 1;
+  std::map<std::uint64_t, TokenMap> acked_;                          // file -> expected
+  std::map<std::uint64_t, std::map<std::uint32_t, TokenMap>> stores_;  // file -> ost -> held
+  std::map<std::uint32_t, std::map<std::uint64_t, IntervalSet>> dirty_;  // ost -> file -> owed
+};
+
+}  // namespace pio::pfs

@@ -29,6 +29,24 @@ MetadataServer::MetadataServer(sim::Engine& engine, const MdsConfig& config)
   namespace_.emplace("/", root);
 }
 
+SimTime MetadataServer::standby_ready(SimTime now) const {
+  const SimTime crashed = timeline_->down_since(component_id(), now);
+  const auto cached = standby_ready_.find(crashed.ns());
+  if (cached != standby_ready_.end()) return cached->second;
+  // Crash detection plus journal replay; a primary that recovers faster
+  // than the standby can replay bounds the stall either way.
+  SimTime ready = crashed + config_.failover_detection +
+                  config_.replay_per_entry * static_cast<std::int64_t>(journal_entries_);
+  ready = std::min(ready, timeline_->down_until(component_id(), now));
+  standby_ready_.emplace(crashed.ns(), ready);
+  return ready;
+}
+
+bool MetadataServer::standby_active(SimTime t) const {
+  return config_.standby_failover && timeline_ != nullptr &&
+         timeline_->down(component_id(), t) && t >= standby_ready(t);
+}
+
 void MetadataServer::request(MetaOp op, const std::string& path,
                              std::function<void(MetaResult)> on_done,
                              std::optional<StripeLayout> layout) {
@@ -37,9 +55,25 @@ void MetadataServer::request(MetaOp op, const std::string& path,
   }
   const SimTime enqueued = engine_.now();
 
-  // A request that arrives while the MDS is down bounces at the door: no
-  // thread is consumed and no namespace mutation occurs.
+  // A request that arrives while the MDS is down either bounces at the door
+  // (no standby: no thread consumed, no namespace mutation) or stalls until
+  // the standby has detected the crash and replayed the journal.
   if (timeline_ != nullptr && timeline_->down(component_id(), enqueued)) {
+    if (config_.standby_failover) {
+      const SimTime ready = standby_ready(enqueued);
+      stats_.standby_takeovers = standby_ready_.size();
+      if (enqueued >= ready) {
+        // Standby already serving: proceed as a normal request.
+        enqueue(op, path, layout, enqueued, std::move(on_done));
+        return;
+      }
+      ++stats_.failover_stalls;
+      engine_.schedule_at(ready, [this, op, path, layout, enqueued,
+                                  done = std::move(on_done)]() mutable {
+        enqueue(op, path, layout, enqueued, std::move(done));
+      });
+      return;
+    }
     engine_.schedule_after(SimTime::zero(),
                            [this, op, path, enqueued, done = std::move(on_done)]() mutable {
                              ++stats_.ops_total;
@@ -56,18 +90,38 @@ void MetadataServer::request(MetaOp op, const std::string& path,
     return;
   }
 
-  threads_.acquire(1, [this, op, path, layout, enqueued, done = std::move(on_done)]() mutable {
+  enqueue(op, path, layout, enqueued, std::move(on_done));
+}
+
+void MetadataServer::enqueue(MetaOp op, const std::string& path,
+                             const std::optional<StripeLayout>& layout, SimTime enqueued,
+                             std::function<void(MetaResult)> done) {
+  threads_.acquire(1, [this, op, path, layout, enqueued, done = std::move(done)]() mutable {
     // A slowdown (e.g. lock-contention storm) in effect at service start
     // stretches this op's cost by the active factor.
     SimTime cost = cost_of(op, path);
     if (timeline_ != nullptr) cost = timeline_->scaled(component_id(), engine_.now(), cost);
     engine_.schedule_after(cost, [this, op, path, layout, enqueued, cost,
                                   done = std::move(done)]() mutable {
-      // A crash that hit mid-service loses the op: its failure (and the
-      // service thread it held) surfaces at recovery, never inside the down
-      // interval (invariant F1), and the namespace mutation is NOT applied.
-      if (timeline_ != nullptr && timeline_->down(component_id(), engine_.now())) {
-        const SimTime recovery = timeline_->down_until(component_id(), engine_.now());
+      const SimTime now = engine_.now();
+      if (timeline_ != nullptr && timeline_->down(component_id(), now) &&
+          !standby_active(now)) {
+        if (config_.standby_failover) {
+          // Primary died mid-service. The client's RPC is replayed by the
+          // standby once its journal replay finishes: a stall, not an error.
+          const SimTime ready = standby_ready(now);
+          stats_.standby_takeovers = standby_ready_.size();
+          ++stats_.failover_stalls;
+          engine_.schedule_at(ready, [this, op, path, layout, enqueued, cost,
+                                      done = std::move(done)]() mutable {
+            complete(op, path, layout, enqueued, cost, std::move(done));
+          });
+          return;
+        }
+        // A crash that hit mid-service loses the op: its failure (and the
+        // service thread it held) surfaces at recovery, never inside the
+        // down interval (invariant F1), and the mutation is NOT applied.
+        const SimTime recovery = timeline_->down_until(component_id(), now);
         engine_.schedule_at(recovery,
                             [this, op, path, enqueued, cost, done = std::move(done)]() mutable {
                               timeline_->check_handler_allowed(component_id(), engine_.now());
@@ -86,19 +140,30 @@ void MetadataServer::request(MetaOp op, const std::string& path,
                             });
         return;
       }
-      if (timeline_ != nullptr) timeline_->check_handler_allowed(component_id(), engine_.now());
-      MetaResult result = apply(op, path, layout);
-      ++stats_.ops_total;
-      ++stats_.ops_by_type[op];
-      stats_.busy_time += cost;
-      if (!result.ok()) ++stats_.errors;
-      if (observer_) {
-        observer_(MdsOpRecord{op, enqueued, engine_.now(), result.status, path});
-      }
-      threads_.release(1);
-      if (done) done(std::move(result));
+      complete(op, path, layout, enqueued, cost, std::move(done));
     });
   });
+}
+
+void MetadataServer::complete(MetaOp op, const std::string& path,
+                              const std::optional<StripeLayout>& layout, SimTime enqueued,
+                              SimTime cost, std::function<void(MetaResult)> done) {
+  const SimTime now = engine_.now();
+  // F1 is judged per *service*: a handler inside a down interval is fine
+  // when the standby has taken over and is the one serving.
+  if (timeline_ != nullptr && !standby_active(now)) {
+    timeline_->check_handler_allowed(component_id(), now);
+  }
+  MetaResult result = apply(op, path, layout);
+  ++stats_.ops_total;
+  ++stats_.ops_by_type[op];
+  stats_.busy_time += cost;
+  if (!result.ok()) ++stats_.errors;
+  if (observer_) {
+    observer_(MdsOpRecord{op, enqueued, now, result.status, path});
+  }
+  threads_.release(1);
+  if (done) done(std::move(result));
 }
 
 Inode* MetadataServer::find_inode(const std::string& path) {
@@ -245,6 +310,12 @@ MetaResult MetadataServer::apply(MetaOp op, const std::string& path,
       // suite does not exercise cross-directory moves).
       if (!namespace_.contains(path)) result.status = MetaStatus::kNotFound;
       break;
+  }
+  // Successful namespace mutations append to the journal the standby
+  // replays on failover (reads and misses leave it untouched).
+  if (result.ok() && (op == MetaOp::kCreate || op == MetaOp::kUnlink ||
+                      op == MetaOp::kMkdir || op == MetaOp::kRename)) {
+    ++journal_entries_;
   }
   return result;
 }

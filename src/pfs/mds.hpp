@@ -74,6 +74,16 @@ struct MdsConfig {
   SimTime rename_cost = SimTime::from_us(260.0);
   std::uint64_t service_threads = 4;
   StripeLayout default_layout{};
+  /// Standby failover: namespace mutations append to a journal; on a
+  /// scripted MDS crash a standby detects the failure and replays the
+  /// journal, after which it serves requests *inside* the down interval.
+  /// kMdsDown/kUnavailable becomes a bounded stall instead of an outage.
+  bool standby_failover = false;
+  /// Time for the standby to notice the primary died (heartbeat loss).
+  SimTime failover_detection = SimTime::from_ms(5.0);
+  /// Journal replay cost per recorded mutation; the takeover stall grows
+  /// with namespace churn, exactly like a real MDT replay.
+  SimTime replay_per_entry = SimTime::from_us(20.0);
 };
 
 /// Completion record (server-side monitoring unit, like OstOpRecord).
@@ -91,6 +101,8 @@ struct MdsStats {
   std::map<MetaOp, std::uint64_t> ops_by_type;
   std::uint64_t errors = 0;
   SimTime busy_time = SimTime::zero();
+  std::uint64_t failover_stalls = 0;     ///< requests that waited for standby takeover
+  std::uint64_t standby_takeovers = 0;   ///< down intervals absorbed by the standby
 };
 
 class MetadataServer {
@@ -128,12 +140,29 @@ class MetadataServer {
   [[nodiscard]] std::uint64_t namespace_size() const { return namespace_.size(); }
   [[nodiscard]] std::uint64_t queued_requests() const { return threads_.waiters(); }
   [[nodiscard]] const MdsConfig& config() const { return config_; }
+  /// Mutations journaled so far (drives the standby's replay cost).
+  [[nodiscard]] std::uint64_t journal_entries() const { return journal_entries_; }
+
+  /// With standby_failover: the time the standby is ready to serve for the
+  /// down interval containing `now` — crash + detection + journal replay,
+  /// clamped to the primary's recovery (a fast primary can beat a long
+  /// replay). Precondition: timeline says the MDS is down at `now`.
+  [[nodiscard]] SimTime standby_ready(SimTime now) const;
 
  private:
   [[nodiscard]] SimTime cost_of(MetaOp op, const std::string& path) const;
   [[nodiscard]] MetaResult apply(MetaOp op, const std::string& path,
                                  const std::optional<StripeLayout>& layout);
   [[nodiscard]] static std::string parent_of(const std::string& path);
+  /// True iff the MDS is inside a down interval at `t` but the standby has
+  /// finished its takeover and is serving (F1 is judged per-service, so a
+  /// successful handler in this state is legitimate).
+  [[nodiscard]] bool standby_active(SimTime t) const;
+  void enqueue(MetaOp op, const std::string& path, const std::optional<StripeLayout>& layout,
+               SimTime enqueued, std::function<void(MetaResult)> done);
+  /// Apply + account + release the service thread + deliver the result.
+  void complete(MetaOp op, const std::string& path, const std::optional<StripeLayout>& layout,
+                SimTime enqueued, SimTime cost, std::function<void(MetaResult)> done);
 
   sim::Engine& engine_;
   MdsConfig config_;
@@ -143,6 +172,12 @@ class MetadataServer {
   MdsStats stats_;
   const fault::Timeline* timeline_ = nullptr;
   std::function<void(const MdsOpRecord&)> observer_;
+  std::uint64_t journal_entries_ = 0;
+  // Takeover time per down-interval start. Lazily filled: the journal
+  // cannot grow between the crash and the first query inside the interval
+  // (no mutation completes while the primary is down and the standby is
+  // not yet up), so the first-query snapshot of journal_entries_ is exact.
+  mutable std::map<std::int64_t, SimTime> standby_ready_;
 };
 
 }  // namespace pio::pfs

@@ -1,5 +1,7 @@
 #include "pfs/pfs.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -30,6 +32,8 @@ struct PfsModel::IoOpState {
   bool is_write = false;
   SimTime issued = SimTime::zero();
   std::uint32_t attempt = 0;  ///< attempts started so far
+  std::uint64_t file = 0;     ///< durability file token (0 = untracked)
+  WriteToken token = 0;       ///< payload identity for tracked writes
   std::function<void(IoResult)> done;
 };
 
@@ -41,10 +45,61 @@ struct PfsModel::AttemptState {
   sim::EventId timeout_event = 0;
 };
 
+/// Fan-out latch for one backend_io call: completes when the last shipment
+/// responds; the call succeeds only if every shipment did. kDataLost
+/// dominates the reported error (retries cannot resurrect lost data).
+struct PfsModel::BackendFanout {
+  std::size_t remaining = 0;
+  bool all_ok = true;
+  IoError error = IoError::kNone;
+  std::function<void(bool, IoError)> done;
+
+  void fail(IoError e) {
+    all_ok = false;
+    if (error != IoError::kDataLost) error = e;
+  }
+  void finish_one(bool ok, IoError e) {
+    if (!ok) fail(e);
+    if (--remaining == 0 && done) done(all_ok, all_ok ? IoError::kNone : error);
+  }
+};
+
+/// One chunk-to-OST shipment of a backend_io call. file_lo/file_hi are the
+/// chunk's range in *file offsets* — the durability ledger's coordinates.
+struct PfsModel::Shipment {
+  OstIndex target = 0;
+  std::uint64_t object_offset = 0;
+  Bytes length = Bytes::zero();
+  std::uint64_t file_lo = 0;
+  std::uint64_t file_hi = 0;
+};
+
+/// One recovering OST's resync pass over the ranges it missed while down.
+struct PfsModel::RebuildState {
+  bool active = false;
+  std::vector<DirtyRange> queue;  ///< pieces in (file, offset) order
+  std::size_t next = 0;           ///< queue index of the next piece
+  Bytes total = Bytes::zero();
+  Bytes done = Bytes::zero();
+  SimTime started = SimTime::zero();
+};
+
 PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
-    : engine_(engine), config_(config), retry_rng_(engine.rng_stream(kRetryRngStream)) {
+    : engine_(engine),
+      config_(config),
+      retry_rng_(engine.rng_stream(kRetryRngStream)),
+      rebuild_rng_(engine.rng_stream(kRebuildRngStream)) {
   if (config.clients == 0 || config.io_nodes == 0 || config.osts == 0) {
     throw std::invalid_argument("PfsModel: clients, io_nodes, osts must all be > 0");
+  }
+  if (!config.durability.track_contents && config.mds.default_layout.replicas > 1) {
+    throw std::invalid_argument(
+        "PfsModel: replicated layouts require durability.track_contents");
+  }
+  if (config.durability.track_contents && config.bb_placement != BbPlacement::kNone) {
+    throw std::invalid_argument(
+        "PfsModel: durability tracking is incompatible with burst buffers (a "
+        "write-back tier that drops dirty blocks on a failed drain cannot honour F3)");
   }
   // Materialize the run's fault weather up front: scripted events verbatim,
   // plus the stochastic injector's schedule drawn from the engine seed.
@@ -76,6 +131,16 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
     mds_->set_fault_timeline(&timeline_);
     for (auto& ost : osts_) ost->set_fault_timeline(&timeline_);
   }
+  if (tracking() && !timeline_.empty()) {
+    // Online rebuild: every scripted/injected OST recovery wakes the resync
+    // planner, which re-copies whatever that OST missed while down.
+    for (std::uint32_t i = 0; i < config.osts; ++i) {
+      const auto intervals = timeline_.down_intervals({fault::ComponentKind::kOst, i});
+      for (const auto& [start, end] : intervals) {
+        engine_.schedule_at(end, [this, i] { start_rebuild(i); });
+      }
+    }
+  }
   const std::uint32_t buffer_count = config.bb_placement == BbPlacement::kNone ? 0
                                      : config.bb_placement == BbPlacement::kShared
                                          ? 1
@@ -92,14 +157,18 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
                           std::function<void()> on_done) {
           const auto it = token_info_.find(file);
           if (it == token_info_.end()) throw std::logic_error("BB drain: unknown file token");
-          backend_io(drain_ion, it->second.second, offset, size, /*is_write=*/true,
-                     [done = std::move(on_done)](bool /*ok*/) mutable {
+          // Drains are untracked (file = 0): burst buffers and durability
+          // tracking are mutually exclusive by construction.
+          backend_io(drain_ion, 0, it->second.second, offset, size, /*is_write=*/true, 0,
+                     [done = std::move(on_done)](bool /*ok*/, IoError /*error*/) mutable {
                        if (done) done();
                      });
         },
         "bb" + std::to_string(b)));
   }
 }
+
+PfsModel::~PfsModel() = default;
 
 net::EndpointId PfsModel::ion_of(ClientId client) const {
   return client % config_.io_nodes;
@@ -184,60 +253,145 @@ OstIndex PfsModel::route_chunk(OstIndex home, SimTime now) {
   return home;  // whole pool down: let the op fail at its home OST
 }
 
-void PfsModel::backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
-                          Bytes size, bool is_write, std::function<void(bool ok)> on_done) {
+bool PfsModel::ost_down(OstIndex ost, SimTime t) const {
+  if (timeline_.empty()) return false;
+  return timeline_.down({fault::ComponentKind::kOst, ost}, t);
+}
+
+void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
+                          std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
+                          std::function<void(bool ok, IoError error)> on_done) {
   const auto chunks = decompose(layout, config_.osts, offset, size);
-  if (chunks.empty()) {
-    engine_.schedule_after(SimTime::zero(), [done = std::move(on_done)]() mutable {
-      if (done) done(true);
+  const bool tracked = tracking() && file != 0;
+  const std::uint32_t replicas = tracked ? layout.replicas : 1;
+  const SimTime dispatched = engine_.now();
+
+  auto fan = std::make_shared<BackendFanout>();
+  fan->done = std::move(on_done);
+
+  // Plan every shipment first so the fan-out count is fixed before any
+  // completion can fire.
+  std::vector<Shipment> ships;
+  ships.reserve(chunks.size() * replicas);
+  for (const auto& chunk : chunks) {
+    const std::uint64_t flo = chunk.file_offset;
+    const std::uint64_t fhi = chunk.file_offset + chunk.length.count();
+    if (replicas <= 1) {
+      // Unreplicated (or untracked) path: degraded-mode striping may route
+      // around OSTs known down at dispatch — which ships acknowledged data
+      // outside the read set, the classic R=1 durability hole that F3 and
+      // kDataLost make visible under tracking.
+      const OstIndex target = route_chunk(chunk.ost, dispatched);
+      ships.push_back(Shipment{target, chunk.object_offset, chunk.length, flo, fhi});
+      continue;
+    }
+    if (is_write) {
+      // Fan out to every live replica; a down replica misses the write and
+      // accrues rebuild debt. The chunk is durable while >= 1 replica lives.
+      std::size_t live = 0;
+      for (std::uint32_t r = 0; r < replicas; ++r) {
+        const OstIndex target = replica_ost(chunk.ost, r, config_.osts);
+        if (ost_down(target, dispatched)) {
+          ledger_.mark_missed(target, file, flo, fhi);
+        } else {
+          ships.push_back(Shipment{target, chunk.object_offset, chunk.length, flo, fhi});
+          ++live;
+        }
+      }
+      if (live == 0) fan->fail(IoError::kOstDown);  // whole replica set down
+      continue;
+    }
+    // Replicated read: serve from the first replica that is up AND holds
+    // the acknowledged data; primary preferred, fallback = degraded read.
+    constexpr OstIndex kNone = UINT32_MAX;
+    OstIndex serve = kNone;
+    OstIndex first_up = kNone;
+    std::uint32_t serve_r = 0;
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const OstIndex candidate = replica_ost(chunk.ost, r, config_.osts);
+      if (ost_down(candidate, dispatched)) continue;
+      if (first_up == kNone) first_up = candidate;
+      if (ledger_.read_ok(file, candidate, flo, fhi)) {
+        serve = candidate;
+        serve_r = r;
+        break;
+      }
+    }
+    if (serve != kNone) {
+      if (serve_r != 0) {
+        ++res_stats_.degraded_reads;
+        emit_resilience(ResilienceEventKind::kDegradedRead, 0, IoError::kNone, serve,
+                        chunk.length);
+      }
+      ships.push_back(Shipment{serve, chunk.object_offset, chunk.length, flo, fhi});
+    } else if (first_up != kNone) {
+      // Some replica is up but none holds current data: the device read
+      // completes, the content check at completion reports kDataLost.
+      ships.push_back(Shipment{first_up, chunk.object_offset, chunk.length, flo, fhi});
+    } else {
+      // Whole replica set down: let the primary reject it (retryable).
+      ships.push_back(Shipment{chunk.ost, chunk.object_offset, chunk.length, flo, fhi});
+    }
+  }
+
+  if (ships.empty()) {
+    engine_.schedule_after(SimTime::zero(), [fan]() mutable {
+      if (fan->done) fan->done(fan->all_ok, fan->all_ok ? IoError::kNone : fan->error);
     });
     return;
   }
-  // Fan out all chunks; complete when the last response arrives. The op
-  // succeeds only if every chunk did.
-  auto remaining = std::make_shared<std::size_t>(chunks.size());
-  auto all_ok = std::make_shared<bool>(true);
-  auto done = std::make_shared<std::function<void(bool)>>(std::move(on_done));
-  const SimTime dispatched = engine_.now();
-  for (const auto& chunk : chunks) {
-    // Degraded-mode striping routes around OSTs known down at dispatch.
-    const OstIndex target = route_chunk(chunk.ost, dispatched);
-    const net::EndpointId ost_ep = storage_ep_of_ost(target);
-    auto finish_one = [remaining, all_ok, done](bool ok) {
-      if (!ok) *all_ok = false;
-      if (--*remaining == 0 && *done) (*done)(*all_ok);
-    };
+  fan->remaining = ships.size();
+
+  for (const auto& ship : ships) {
+    const net::EndpointId ost_ep = storage_ep_of_ost(ship.target);
     if (is_write) {
       // Ship data to the OST, write it, then a small ack (or error) returns.
-      storage_fabric_->send(ion, ost_ep, chunk.length, [this, chunk, target, ion, ost_ep,
-                                                        finish_one]() mutable {
-        osts_[target]->submit(chunk.object_offset, chunk.length, true,
-                              [this, ion, ost_ep, finish_one](bool ok) mutable {
-                                storage_fabric_->send(ost_ep, ion, kHeader,
-                                                      [finish_one, ok]() mutable {
-                                                        finish_one(ok);
-                                                      });
-                              });
+      storage_fabric_->send(ion, ost_ep, ship.length, [this, ship, ion, ost_ep, fan, file,
+                                                       tracked, wtoken]() mutable {
+        osts_[ship.target]->submit(
+            ship.object_offset, ship.length, true,
+            [this, ship, ion, ost_ep, fan, file, tracked, wtoken](bool ok) mutable {
+              if (ok && tracked) {
+                ledger_.apply(file, ship.target, ship.file_lo, ship.file_hi, wtoken);
+              }
+              storage_fabric_->send(ost_ep, ion, kHeader, [fan, ok]() mutable {
+                fan->finish_one(ok, ok ? IoError::kNone : IoError::kOstDown);
+              });
+            });
       });
     } else {
       // Small request travels to the OST; data (or a short error) returns.
-      storage_fabric_->send(ion, ost_ep, kHeader, [this, chunk, target, ion, ost_ep,
-                                                   finish_one]() mutable {
-        osts_[target]->submit(chunk.object_offset, chunk.length, false,
-                              [this, chunk, ion, ost_ep, finish_one](bool ok) mutable {
-                                const Bytes payload = ok ? chunk.length : kHeader;
-                                storage_fabric_->send(ost_ep, ion, payload,
-                                                      [finish_one, ok]() mutable {
-                                                        finish_one(ok);
-                                                      });
-                              });
+      storage_fabric_->send(ion, ost_ep, kHeader, [this, ship, ion, ost_ep, fan, file,
+                                                   tracked]() mutable {
+        osts_[ship.target]->submit(
+            ship.object_offset, ship.length, false,
+            [this, ship, ion, ost_ep, fan, file, tracked](bool ok) mutable {
+              // Re-check content at completion: a resync finishing between
+              // dispatch and completion legitimately saves the read.
+              const bool content_ok =
+                  !ok || !tracked ||
+                  ledger_.read_ok(file, ship.target, ship.file_lo, ship.file_hi);
+              const Bytes payload = ok ? ship.length : kHeader;
+              storage_fabric_->send(ost_ep, ion, payload, [fan, ok, content_ok]() mutable {
+                if (!ok) {
+                  fan->finish_one(false, IoError::kOstDown);
+                } else if (!content_ok) {
+                  fan->finish_one(false, IoError::kDataLost);
+                } else {
+                  fan->finish_one(true, IoError::kNone);
+                }
+              });
+            });
       });
     }
   }
 }
 
-void PfsModel::emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error) {
-  if (res_observer_) res_observer_(ResilienceRecord{kind, engine_.now(), attempt, error});
+void PfsModel::emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error,
+                               std::uint32_t ost, Bytes bytes) {
+  if (res_observer_) {
+    res_observer_(ResilienceRecord{kind, engine_.now(), attempt, error, ost, bytes});
+  }
 }
 
 void PfsModel::settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError error) {
@@ -250,14 +404,27 @@ void PfsModel::settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError err
   result.size = op->size;
   if (ok && op->is_write) {
     mds_->grow_file(op->path, Bytes{op->offset} + op->size, engine_.now());
+    if (op->token != 0) {
+      // The ack IS the durability promise: from here on F3 holds the model
+      // to keeping this payload readable from at least one replica.
+      ledger_.ack(op->file, op->offset, op->offset + op->size.count(), op->token);
+    }
   }
-  if (!ok) ++res_stats_.failed_ops;
+  if (!ok) {
+    ++res_stats_.failed_ops;
+    if (error == IoError::kDataLost) ++res_stats_.data_lost_ops;
+  }
   if (op->done) op->done(result);
 }
 
 void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, IoError error) {
   if (ok) {
     settle(op, true, IoError::kNone);
+    return;
+  }
+  if (error == IoError::kDataLost) {
+    // Lost data cannot be retried back into existence: settle immediately.
+    settle(op, false, error);
     return;
   }
   const RetryPolicy& retry = config_.retry;
@@ -317,11 +484,11 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
     // Data travels client -> ION over the compute fabric.
     compute_fabric_->send(op->client, compute_ep_of_ion(ion), op->size,
                           [this, op, ion, complete]() mutable {
-      auto backend_done = [this, op, ion, complete](bool ok) mutable {
+      auto backend_done = [this, op, ion, complete](bool ok, IoError error) mutable {
         // Ack (or error) header back to the client.
         compute_fabric_->send(compute_ep_of_ion(ion), op->client, kHeader,
-                              [complete, ok]() mutable {
-                                complete(ok, ok ? IoError::kNone : IoError::kOstDown);
+                              [complete, ok, error]() mutable {
+                                complete(ok, ok ? IoError::kNone : error);
                               });
       };
       BurstBuffer* bb = buffer_for_ion(ion);
@@ -330,22 +497,23 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
       if (bb != nullptr && !bb_stalled && bb->can_absorb(op->size)) {
         const std::uint64_t token = file_token(op->path);
         bb->write(token, op->offset, op->size,
-                  [backend_done]() mutable { backend_done(true); });
+                  [backend_done]() mutable { backend_done(true, IoError::kNone); });
         return;  // absorbed; drain happens in the background
       }
       // No buffer (or full, or stalled): write through to the OSTs.
       if (bb != nullptr) bb->note_bypass(op->size);
-      backend_io(ion, op->layout, op->offset, op->size, true, std::move(backend_done));
+      backend_io(ion, op->file, op->layout, op->offset, op->size, true, op->token,
+                 std::move(backend_done));
     });
   } else {
     // Small read request to the ION; data returns over the compute fabric.
     compute_fabric_->send(op->client, compute_ep_of_ion(ion), kHeader,
                           [this, op, ion, complete]() mutable {
-      auto backend_done = [this, op, ion, complete](bool ok) mutable {
+      auto backend_done = [this, op, ion, complete](bool ok, IoError error) mutable {
         const Bytes payload = ok ? op->size : kHeader;  // errors return small
         compute_fabric_->send(compute_ep_of_ion(ion), op->client, payload,
-                              [complete, ok]() mutable {
-                                complete(ok, ok ? IoError::kNone : IoError::kOstDown);
+                              [complete, ok, error]() mutable {
+                                complete(ok, ok ? IoError::kNone : error);
                               });
       };
       BurstBuffer* bb = buffer_for_ion(ion);
@@ -354,11 +522,12 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
       const std::uint64_t token = file_token(op->path);
       if (bb != nullptr && !bb_stalled && bb->resident(token, op->offset, op->size)) {
         bb->read(token, op->offset, op->size,
-                 [backend_done]() mutable { backend_done(true); });
+                 [backend_done]() mutable { backend_done(true, IoError::kNone); });
         return;  // served from the staging tier
       }
       if (bb != nullptr) bb->note_miss(op->size);
-      backend_io(ion, op->layout, op->offset, op->size, false, std::move(backend_done));
+      backend_io(ion, op->file, op->layout, op->offset, op->size, false, 0,
+                 std::move(backend_done));
     });
   }
 }
@@ -367,6 +536,10 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
                   std::uint64_t offset, Bytes size, bool is_write,
                   std::function<void(IoResult)> on_done) {
   if (client >= config_.clients) throw std::out_of_range("PfsModel::io: bad client");
+  if (!tracking() && layout.replicas > 1) {
+    throw std::invalid_argument(
+        "PfsModel::io: replicated layouts require durability.track_contents");
+  }
   const SimTime issued = engine_.now();
 
   // Data ops against a path that was never created (or names a directory)
@@ -396,8 +569,190 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
   op->size = size;
   op->is_write = is_write;
   op->issued = issued;
+  if (tracking()) {
+    op->file = token;
+    // One token per logical op: every attempt and chunk of this write
+    // carries the same payload identity.
+    if (is_write) op->token = ledger_.next_token();
+  }
   op->done = std::move(on_done);
   start_attempt(op);
+}
+
+void PfsModel::start_rebuild(OstIndex ost) {
+  if (!tracking()) return;
+  auto& slot = rebuild_[ost];
+  if (slot == nullptr) slot = std::make_unique<RebuildState>();
+  RebuildState& rb = *slot;
+  if (rb.active) return;
+  rb.queue.clear();
+  rb.next = 0;
+  rb.total = Bytes::zero();
+  rb.done = Bytes::zero();
+  // Split the owed ranges at chunk boundaries (each piece has one home OST
+  // and one object offset) and at the resync copy granularity.
+  const std::uint64_t piece_max =
+      std::max<std::uint64_t>(1, config_.durability.rebuild_chunk.count());
+  for (const auto& range : ledger_.dirty_snapshot(ost)) {
+    const auto info = token_info_.find(range.file);
+    if (info == token_info_.end()) continue;
+    const auto chunks =
+        decompose(info->second.second, config_.osts, range.lo, Bytes{range.hi - range.lo});
+    for (const auto& chunk : chunks) {
+      const std::uint64_t chunk_hi = chunk.file_offset + chunk.length.count();
+      for (std::uint64_t lo = chunk.file_offset; lo < chunk_hi;) {
+        const std::uint64_t hi = std::min(chunk_hi, lo + piece_max);
+        rb.queue.push_back(DirtyRange{range.file, lo, hi});
+        rb.total = rb.total + Bytes{hi - lo};
+        lo = hi;
+      }
+    }
+  }
+  if (rb.queue.empty()) return;  // recovered owing nothing: no rebuild
+  rb.active = true;
+  rb.started = engine_.now();
+  ++res_stats_.rebuilds_started;
+  emit_resilience(ResilienceEventKind::kRebuildStart, 0, IoError::kNone, ost, rb.total);
+  run_rebuild_piece(ost);
+}
+
+void PfsModel::run_rebuild_piece(OstIndex ost) {
+  RebuildState& rb = *rebuild_.at(ost);
+  if (!rb.active) return;
+  if (rb.next >= rb.queue.size()) {
+    finish_rebuild(ost);
+    return;
+  }
+  const DirtyRange piece = rb.queue[rb.next++];
+  const SimTime t0 = engine_.now();
+  // A piece with no usable source right now stays owed (still dirty in the
+  // ledger); a later recovery of this OST retries it.
+  const auto skip = [this, ost] {
+    engine_.schedule_after(SimTime::zero(), [this, ost] { run_rebuild_piece(ost); });
+  };
+  const auto info = token_info_.find(piece.file);
+  if (info == token_info_.end()) {
+    skip();
+    return;
+  }
+  const StripeLayout& layout = info->second.second;
+  const auto chunks =
+      decompose(layout, config_.osts, piece.lo, Bytes{piece.hi - piece.lo});
+  if (chunks.size() != 1) {  // defensive: pieces never cross chunk boundaries
+    skip();
+    return;
+  }
+  const StripeChunk chunk = chunks.front();
+  const std::uint32_t replicas = std::max<std::uint32_t>(1, layout.replicas);
+  constexpr OstIndex kNoOst = UINT32_MAX;
+  OstIndex src = kNoOst;
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    const OstIndex candidate = replica_ost(chunk.ost, r, config_.osts);
+    if (candidate == ost || ost_down(candidate, t0)) continue;
+    if (ledger_.read_ok(piece.file, candidate, piece.lo, piece.hi)) {
+      src = candidate;
+      break;
+    }
+  }
+  if (src == kNoOst) {
+    skip();
+    return;
+  }
+  const Bytes len{piece.hi - piece.lo};
+  // Resync is real DES traffic: a device read on the source replica, a hop
+  // across the storage fabric, a device write on the rebuilding OST — so it
+  // contends with foreground I/O exactly like production resync streams.
+  osts_[src]->submit(chunk.object_offset, len, false, [this, ost, src, piece, chunk, len,
+                                                       t0](bool read_ok) mutable {
+    if (!read_ok) {
+      engine_.schedule_after(SimTime::zero(), [this, ost] { run_rebuild_piece(ost); });
+      return;
+    }
+    storage_fabric_->send(
+        storage_ep_of_ost(src), storage_ep_of_ost(ost), len,
+        [this, ost, src, piece, chunk, len, t0]() mutable {
+          osts_[ost]->submit(chunk.object_offset, len, true, [this, ost, src, piece, len,
+                                                              t0](bool write_ok) mutable {
+            RebuildState& state = *rebuild_.at(ost);
+            if (!write_ok) {
+              // The rebuilding OST crashed again mid-resync: park the pass.
+              // Its next recovery event restarts it from the (still-dirty)
+              // ledger; a transient rejection with the OST up retries now.
+              state.active = false;
+              if (!ost_down(ost, engine_.now())) {
+                engine_.schedule_after(SimTime::zero(), [this, ost] { start_rebuild(ost); });
+              }
+              return;
+            }
+            ledger_.copy(piece.file, src, ost, piece.lo, piece.hi);
+            state.done = state.done + len;
+            res_stats_.rebuilt_bytes = res_stats_.rebuilt_bytes + len;
+            // Pace the next piece against the rebuild bandwidth cap, with a
+            // seeded jitter so parallel resyncs do not lockstep.
+            double pace_sec = config_.durability.rebuild_bandwidth.transfer_time(len).sec();
+            const double jitter = config_.durability.rebuild_jitter_fraction;
+            if (jitter > 0.0) pace_sec *= 1.0 + rebuild_rng_.uniform(-jitter, jitter);
+            const SimTime next_at =
+                std::max(engine_.now(), t0 + SimTime::from_sec_ceil(pace_sec));
+            engine_.schedule_at(next_at, [this, ost] { run_rebuild_piece(ost); });
+          });
+        });
+  });
+}
+
+void PfsModel::finish_rebuild(OstIndex ost) {
+  RebuildState& rb = *rebuild_.at(ost);
+  rb.active = false;
+  ++res_stats_.rebuilds_completed;
+  emit_resilience(ResilienceEventKind::kRebuildDone, 0, IoError::kNone, ost, rb.done);
+}
+
+PfsModel::DurabilityReport PfsModel::durability_report() const {
+  DurabilityReport report;
+  if (!tracking()) return report;
+  for (const std::uint64_t file : ledger_.acked_files()) {
+    const auto info = token_info_.find(file);
+    if (info == token_info_.end()) continue;
+    const StripeLayout& layout = info->second.second;
+    const std::uint32_t replicas = std::max<std::uint32_t>(1, layout.replicas);
+    for (const auto& seg : ledger_.acked_segments(file)) {
+      report.acked = report.acked + Bytes{seg.hi - seg.lo};
+      // Audit per chunk against the chunk's read set: the replicas a read
+      // would consult. Data that failover misdirected outside the read set
+      // (the R=1 hole) is audited as lost — reads cannot reach it.
+      const auto chunks = decompose(layout, config_.osts, seg.lo, Bytes{seg.hi - seg.lo});
+      for (const auto& chunk : chunks) {
+        const std::uint64_t chunk_lo = chunk.file_offset;
+        const std::uint64_t chunk_hi = chunk.file_offset + chunk.length.count();
+        bool held = false;
+        for (std::uint32_t r = 0; r < replicas && !held; ++r) {
+          held = ledger_.read_ok(file, replica_ost(chunk.ost, r, config_.osts), chunk_lo,
+                                 chunk_hi);
+        }
+        if (!held) {
+          report.lost = report.lost + Bytes{chunk_hi - chunk_lo};
+          ++report.lost_ranges;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+PfsModel::RebuildStatus PfsModel::rebuild_status(OstIndex ost) const {
+  RebuildStatus status;
+  const auto it = rebuild_.find(ost);
+  if (it == rebuild_.end() || it->second == nullptr) return status;
+  const RebuildState& rb = *it->second;
+  status.active = rb.active;
+  status.total = rb.total;
+  status.done = rb.done;
+  status.started = rb.started;
+  if (rb.active && rb.total.count() > rb.done.count()) {
+    status.eta = config_.durability.rebuild_bandwidth.transfer_time(
+        Bytes{rb.total.count() - rb.done.count()});
+  }
+  return status;
 }
 
 bool PfsModel::buffers_quiescent() const {

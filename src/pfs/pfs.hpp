@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +31,7 @@
 #include "net/fabric.hpp"
 #include "pfs/burst_buffer.hpp"
 #include "pfs/disk.hpp"
+#include "pfs/durability.hpp"
 #include "pfs/mds.hpp"
 #include "pfs/ost.hpp"
 #include "pfs/resilience.hpp"
@@ -76,6 +78,12 @@ struct PfsConfig {
   BurstBufferConfig bb{};
   /// Client-side retry/degraded-mode policy (default: fail-fast).
   RetryPolicy retry{};
+  /// Durability layer: write-token content tracking, replica fan-out for
+  /// layouts with replicas > 1, degraded reads, online OST rebuild, and
+  /// invariant F3. Off by default (PR2 fault semantics preserved exactly).
+  /// Incompatible with burst buffers in this release (a write-back tier
+  /// that drops dirty blocks on a failed drain cannot honour F3).
+  DurabilityConfig durability{};
   /// Scripted fault events, applied verbatim.
   fault::FaultPlan faults{};
   /// Optional stochastic injector; its events (materialized from the engine
@@ -107,6 +115,7 @@ struct IoResult {
 class PfsModel {
  public:
   PfsModel(sim::Engine& engine, const PfsConfig& config);
+  ~PfsModel();  // out of line: RebuildState is incomplete here
 
   PfsModel(const PfsModel&) = delete;
   PfsModel& operator=(const PfsModel&) = delete;
@@ -153,11 +162,44 @@ class PfsModel {
   /// Aggregate client-side resilience counters.
   [[nodiscard]] const ResilienceStats& resilience_stats() const { return res_stats_; }
 
-  /// Campaign-end invariant F2 (sim::check): every op abandoned by a retry
-  /// timeout must have drained its orphan completions. Call after
-  /// Engine::assert_drained().
+  /// True when the durability layer (content tracking, replication,
+  /// rebuild, F3) is enabled for this model.
+  [[nodiscard]] bool tracking() const { return config_.durability.track_contents; }
+
+  /// Direct (read-only) access to the durability ledger for tests/tools.
+  [[nodiscard]] const DurabilityLedger& durability_ledger() const { return ledger_; }
+
+  /// Durability audit: walks every acknowledged byte range and asks whether
+  /// some replica in the range's read set still holds the acknowledged
+  /// write token. `lost` > 0 means reads of those bytes cannot return the
+  /// acknowledged data — the F3 deficit. All zero when tracking is off.
+  struct DurabilityReport {
+    Bytes acked = Bytes::zero();   ///< total acknowledged bytes audited
+    Bytes lost = Bytes::zero();    ///< acked bytes held by no consulted replica
+    std::uint64_t lost_ranges = 0; ///< distinct chunk ranges lost
+  };
+  [[nodiscard]] DurabilityReport durability_report() const;
+
+  /// Online-rebuild progress for one OST (all zero / inactive when no
+  /// resync is running).
+  struct RebuildStatus {
+    bool active = false;
+    Bytes total = Bytes::zero();   ///< bytes owed when the resync began
+    Bytes done = Bytes::zero();    ///< bytes re-copied so far
+    SimTime started = SimTime::zero();
+    SimTime eta = SimTime::zero(); ///< remaining / rebuild_bandwidth (uncontended)
+  };
+  [[nodiscard]] RebuildStatus rebuild_status(OstIndex ost) const;
+
+  /// Campaign-end invariants (sim::check), call after
+  /// Engine::assert_drained(). F2: every op abandoned by a retry timeout
+  /// must have drained its orphan completions. F3 (durability tracking
+  /// only): no acknowledged write may be lost.
   void assert_quiescent() const {
     sim::check::abandoned_ops_drained(abandoned_in_flight_);
+    if (tracking()) {
+      sim::check::acked_writes_durable(durability_report().lost.count());
+    }
   }
 
   /// Subscribe to every OST + MDS op record (server-side monitoring).
@@ -186,22 +228,44 @@ class PfsModel {
   [[nodiscard]] OstIndex route_chunk(OstIndex home, SimTime now);
 
   /// The stripe-and-ship path from an I/O node to the OSTs (used both by
-  /// foreground I/O and burst-buffer drains). `on_done(ok)` reports whether
-  /// every chunk completed (a chunk rejected by a down OST reports false).
-  void backend_io(std::uint32_t ion, const StripeLayout& layout, std::uint64_t offset,
-                  Bytes size, bool is_write, std::function<void(bool ok)> on_done);
+  /// foreground I/O and burst-buffer drains). `on_done(ok, error)` reports
+  /// whether every chunk completed (a chunk rejected by a down OST reports
+  /// false). With durability tracking on, `file`/`wtoken` identify the
+  /// payload: writes fan out to every live replica of each chunk (down
+  /// replicas accrue rebuild debt), reads are served by the first replica
+  /// that is up *and* holds the acknowledged data (non-primary = degraded
+  /// read), and a read that no consulted replica can serve correctly fails
+  /// with kDataLost. `file` = 0 (burst-buffer drains) means untracked.
+  void backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
+                  std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
+                  std::function<void(bool ok, IoError error)> on_done);
 
   // One logical io() op across its (possibly many) attempts.
   struct IoOpState;
   // One attempt's shared settle latch (attempt completion vs. timeout race).
   struct AttemptState;
+  // Fan-out latch for one backend_io call's shipments.
+  struct BackendFanout;
+  // One chunk-to-OST shipment of a backend_io call.
+  struct Shipment;
+  // One recovering OST's resync pass.
+  struct RebuildState;
 
   void start_attempt(const std::shared_ptr<IoOpState>& op);
   void run_attempt(const std::shared_ptr<IoOpState>& op,
                    const std::shared_ptr<AttemptState>& attempt);
   void attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, IoError error);
   void settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError error);
-  void emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error);
+  void emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error,
+                       std::uint32_t ost = 0, Bytes bytes = Bytes::zero());
+
+  /// True iff OST `ost` is inside a down interval at `t`.
+  [[nodiscard]] bool ost_down(OstIndex ost, SimTime t) const;
+  /// Begin (or no-op) a resync pass for a just-recovered OST.
+  void start_rebuild(OstIndex ost);
+  /// Copy the next owed piece, paced against the rebuild bandwidth cap.
+  void run_rebuild_piece(OstIndex ost);
+  void finish_rebuild(OstIndex ost);
 
   /// Small fixed header size used for request/ack messages.
   static constexpr Bytes kHeader = Bytes{256};
@@ -215,6 +279,7 @@ class PfsModel {
   std::vector<std::unique_ptr<OstServer>> osts_;
   std::vector<std::unique_ptr<BurstBuffer>> buffers_;
   Rng retry_rng_;
+  Rng rebuild_rng_;
   ResilienceStats res_stats_;
   std::function<void(const ResilienceRecord&)> res_observer_;
   /// Ops abandoned by a timeout whose in-flight events have not yet drained.
@@ -223,6 +288,8 @@ class PfsModel {
   std::unordered_map<std::string, std::uint64_t> file_tokens_;  // path -> BB file id
   std::uint64_t file_token(const std::string& path);
   std::unordered_map<std::uint64_t, std::pair<std::string, StripeLayout>> token_info_;
+  DurabilityLedger ledger_;
+  std::map<OstIndex, std::unique_ptr<RebuildState>> rebuild_;
 };
 
 }  // namespace pio::pfs

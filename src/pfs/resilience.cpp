@@ -12,6 +12,7 @@ const char* to_string(IoError error) {
     case IoError::kOstDown: return "ost-down";
     case IoError::kMdsDown: return "mds-down";
     case IoError::kTimeout: return "timeout";
+    case IoError::kDataLost: return "data-lost";
   }
   return "?";
 }
@@ -22,6 +23,9 @@ const char* to_string(ResilienceEventKind kind) {
     case ResilienceEventKind::kTimeout: return "timeout";
     case ResilienceEventKind::kGiveUp: return "giveup";
     case ResilienceEventKind::kFailover: return "failover";
+    case ResilienceEventKind::kDegradedRead: return "degraded-read";
+    case ResilienceEventKind::kRebuildStart: return "rebuild-start";
+    case ResilienceEventKind::kRebuildDone: return "rebuild-done";
   }
   return "?";
 }

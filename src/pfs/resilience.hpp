@@ -25,6 +25,7 @@ enum class IoError : std::uint8_t {
   kOstDown,   ///< a touched OST was down and no failover was possible
   kMdsDown,   ///< metadata service unreachable
   kTimeout,   ///< the op exceeded RetryPolicy::op_timeout on every attempt
+  kDataLost,  ///< no replica holds the acknowledged data (durability breach)
 };
 
 [[nodiscard]] const char* to_string(IoError error);
@@ -55,8 +56,18 @@ struct RetryPolicy {
 /// waits ~base_backoff). Always returns a non-negative time.
 [[nodiscard]] SimTime backoff_delay(const RetryPolicy& policy, std::uint32_t attempt, Rng& rng);
 
-/// Client-side resilience event (observer unit, like OstOpRecord).
-enum class ResilienceEventKind : std::uint8_t { kRetry, kTimeout, kGiveUp, kFailover };
+/// Client-side resilience / durability event (observer unit, like
+/// OstOpRecord). kDegradedRead and the rebuild pair distinguish *masked*
+/// failures (a replica absorbed the fault) from real ones.
+enum class ResilienceEventKind : std::uint8_t {
+  kRetry,
+  kTimeout,
+  kGiveUp,
+  kFailover,
+  kDegradedRead,  ///< read served by a non-primary replica (primary down/stale)
+  kRebuildStart,  ///< a recovered OST began resyncing missed chunks
+  kRebuildDone,   ///< the resync drained (bytes = total re-copied)
+};
 
 [[nodiscard]] const char* to_string(ResilienceEventKind kind);
 
@@ -65,9 +76,11 @@ struct ResilienceRecord {
   SimTime at = SimTime::zero();
   std::uint32_t attempt = 0;  ///< attempt that triggered the event (0 = n/a)
   IoError error = IoError::kNone;
+  std::uint32_t ost = 0;        ///< serving/rebuilding OST (degraded/rebuild events)
+  Bytes bytes = Bytes::zero();  ///< bytes involved (degraded/rebuild events)
 };
 
-/// Aggregate client-side resilience counters for one PfsModel.
+/// Aggregate client-side resilience + durability counters for one PfsModel.
 struct ResilienceStats {
   std::uint64_t attempts = 0;    ///< data-path attempts started
   std::uint64_t retries = 0;     ///< attempts that were retried
@@ -75,6 +88,11 @@ struct ResilienceStats {
   std::uint64_t giveups = 0;     ///< ops failed after exhausting retries
   std::uint64_t failovers = 0;   ///< chunks rerouted around a down OST
   std::uint64_t failed_ops = 0;  ///< io() completions with ok == false
+  std::uint64_t degraded_reads = 0;     ///< chunk reads served by a fallback replica
+  std::uint64_t data_lost_ops = 0;      ///< ops failed with kDataLost
+  std::uint64_t rebuilds_started = 0;   ///< OST resync passes begun
+  std::uint64_t rebuilds_completed = 0; ///< OST resync passes drained
+  Bytes rebuilt_bytes = Bytes::zero();  ///< total bytes re-copied by resync
 };
 
 }  // namespace pio::pfs

@@ -14,6 +14,10 @@ void validate(const StripeLayout& layout, std::uint32_t total_osts) {
   if (layout.stripe_count > total_osts) {
     throw std::invalid_argument("stripe_count exceeds OST pool");
   }
+  if (layout.replicas == 0) throw std::invalid_argument("replicas == 0");
+  if (layout.replicas > total_osts) {
+    throw std::invalid_argument("replicas exceeds OST pool");
+  }
 }
 
 }  // namespace

@@ -19,6 +19,10 @@ struct StripeLayout {
   Bytes stripe_size = Bytes::from_mib(1);
   std::uint32_t stripe_count = 4;   ///< number of OSTs the file spans
   OstIndex first_ost = 0;           ///< rotation start (load spreading)
+  /// Copies of every chunk, on distinct OSTs. 1 = classic unreplicated
+  /// striping; R > 1 enables the durability layer's degraded reads and
+  /// online rebuild (requires DurabilityConfig::track_contents).
+  std::uint32_t replicas = 1;
 };
 
 /// One per-OST piece of a striped request.
@@ -39,5 +43,13 @@ struct StripeChunk {
 /// The OST that holds file byte `offset` under `layout`.
 [[nodiscard]] OstIndex ost_for_offset(const StripeLayout& layout, std::uint32_t total_osts,
                                       std::uint64_t offset);
+
+/// Replica `r` (0-based; 0 = primary) of a chunk homed on `home`. Replicas
+/// occupy consecutive OSTs mod the pool, so they are pairwise distinct for
+/// any replica count <= total_osts.
+[[nodiscard]] inline OstIndex replica_ost(OstIndex home, std::uint32_t r,
+                                          std::uint32_t total_osts) {
+  return (home + r) % total_osts;
+}
 
 }  // namespace pio::pfs

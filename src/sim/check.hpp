@@ -62,4 +62,15 @@ inline void abandoned_ops_drained(std::uint64_t in_flight) {
        kEnabled ? std::to_string(in_flight) + " abandoned ops still in flight" : std::string{});
 }
 
+/// F3: no acknowledged write is ever lost. At campaign end, every byte
+/// range the durability ledger acknowledged to a client must still be held
+/// by at least one replica OST (up or down — durability is about the data
+/// existing somewhere, not about it being reachable right now). `lost_bytes`
+/// is the audited deficit; it must be zero.
+inline void acked_writes_durable(std::uint64_t lost_bytes) {
+  that(lost_bytes == 0, "fault.acked-write-lost",
+       kEnabled ? std::to_string(lost_bytes) + " acknowledged bytes held by no replica"
+                : std::string{});
+}
+
 }  // namespace pio::sim::check

@@ -56,6 +56,19 @@ void ServerStatsCollector::on_resilience_record(const pfs::ResilienceRecord& rec
     case pfs::ResilienceEventKind::kTimeout: ++sample.timeouts; break;
     case pfs::ResilienceEventKind::kGiveUp: ++sample.giveups; break;
     case pfs::ResilienceEventKind::kFailover: ++sample.failovers; break;
+    case pfs::ResilienceEventKind::kDegradedRead: ++sample.degraded_reads; break;
+    case pfs::ResilienceEventKind::kRebuildStart:
+    case pfs::ResilienceEventKind::kRebuildDone: {
+      auto& rebuild = rebuild_series_[record.ost][sample.window];
+      rebuild.window = sample.window;
+      if (record.kind == pfs::ResilienceEventKind::kRebuildStart) {
+        ++rebuild.started;
+      } else {
+        ++rebuild.completed;
+        rebuild.rebuilt += record.bytes;
+      }
+      break;
+    }
   }
 }
 

@@ -46,9 +46,21 @@ struct ResilienceSample {
   std::uint64_t timeouts = 0;
   std::uint64_t giveups = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t degraded_reads = 0;  ///< reads served by a non-primary replica
 };
 
 using ResilienceSeries = std::map<std::uint64_t, ResilienceSample>;
+
+/// One time-window sample of online-rebuild activity on one OST (resync
+/// passes started/finished and bytes re-copied, reported at completion).
+struct RebuildSample {
+  std::uint64_t window = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  Bytes rebuilt = Bytes::zero();
+};
+
+using RebuildSeries = std::map<std::uint64_t, RebuildSample>;
 
 class ServerStatsCollector {
  public:
@@ -67,6 +79,9 @@ class ServerStatsCollector {
   }
   [[nodiscard]] const ServerSeries& mds_series() const { return mds_series_; }
   [[nodiscard]] const ResilienceSeries& resilience_series() const { return resilience_series_; }
+  [[nodiscard]] const std::map<std::uint32_t, RebuildSeries>& rebuild_series() const {
+    return rebuild_series_;
+  }
   [[nodiscard]] SimTime window() const { return window_; }
 
   /// Cluster-wide aggregate per window (sums across OSTs).
@@ -85,6 +100,7 @@ class ServerStatsCollector {
   std::map<std::uint32_t, ServerSeries> ost_series_;
   ServerSeries mds_series_;
   ResilienceSeries resilience_series_;
+  std::map<std::uint32_t, RebuildSeries> rebuild_series_;
 };
 
 }  // namespace pio::trace

@@ -5,6 +5,7 @@
 #include <functional>
 #include <istream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -288,30 +289,77 @@ void Trace::write_binary(std::ostream& out) const {
   }
 }
 
-Trace Trace::read_binary(std::istream& in) {
+namespace {
+
+/// Bytes left between the read position and end of stream, or nullopt when
+/// the stream is not seekable (pipes). Restores the read position.
+std::optional<std::uint64_t> bytes_remaining(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (!in || end == std::istream::pos_type(-1) || end < here) return std::nullopt;
+  return static_cast<std::uint64_t>(end - here);
+}
+
+template <typename T>
+bool try_get(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Result<Trace> Trace::try_read_binary(std::istream& in) {
+  const auto fail = [](std::string message) {
+    return Error{1, "Trace::read_binary: " + std::move(message)};
+  };
   char magic[8];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("Trace::read_binary: bad magic");
+    return fail("bad magic");
   }
-  const auto path_count = get<std::uint32_t>(in);
-  std::vector<std::string> paths(path_count);
-  for (auto& path : paths) {
-    const auto len = get<std::uint32_t>(in);
-    path.resize(len);
+  const auto remaining = bytes_remaining(in);
+  std::uint32_t path_count = 0;
+  if (!try_get(in, path_count)) return fail("truncated stream");
+  // A declared path table cannot be larger than the bytes behind it (each
+  // entry carries at least its 4-byte length prefix): reject before any
+  // allocation so a corrupt count cannot drive a huge resize.
+  if (remaining.has_value() &&
+      std::uint64_t{path_count} * sizeof(std::uint32_t) > *remaining) {
+    return fail("path count exceeds stream size");
+  }
+  std::vector<std::string> paths;
+  paths.reserve(std::min<std::uint64_t>(path_count, 4096));
+  for (std::uint32_t p = 0; p < path_count; ++p) {
+    std::uint32_t len = 0;
+    if (!try_get(in, len)) return fail("truncated path table");
+    if (const auto left = bytes_remaining(in); left.has_value() && len > *left) {
+      return fail("path length exceeds stream size");
+    }
+    std::string path(len, '\0');
     in.read(path.data(), len);
-    if (!in) throw std::runtime_error("Trace::read_binary: truncated path table");
+    if (!in) return fail("truncated path table");
+    paths.push_back(std::move(path));
   }
-  const auto count = get<std::uint64_t>(in);
+  std::uint64_t count = 0;
+  if (!try_get(in, count)) return fail("truncated stream");
+  if (const auto left = bytes_remaining(in);
+      left.has_value() && count > *left / sizeof(BinaryRecord)) {
+    return fail("event count exceeds stream size");
+  }
   Trace trace;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto r = get<BinaryRecord>(in);
+    BinaryRecord r{};
+    if (!try_get(in, r)) return fail("truncated event records");
+    if (r.path_id >= paths.size()) return fail("event references unknown path id");
     TraceEvent e;
     e.layer = static_cast<Layer>(r.layer);
     e.op = static_cast<OpKind>(r.op);
     e.ok = r.ok != 0;
     e.rank = r.rank;
-    e.path = paths.at(r.path_id);
+    e.path = paths[r.path_id];
     e.offset = r.offset;
     e.size = r.size;
     e.start = SimTime::from_ns(r.start_ns);
@@ -319,6 +367,12 @@ Trace Trace::read_binary(std::istream& in) {
     trace.append(std::move(e));
   }
   return trace;
+}
+
+Trace Trace::read_binary(std::istream& in) {
+  auto result = try_read_binary(in);
+  if (!result.ok()) throw std::runtime_error(result.error().message);
+  return std::move(result.value());
 }
 
 // ------------------------------------------------------------------ Tracer

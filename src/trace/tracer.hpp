@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "trace/event.hpp"
 
 namespace pio::trace {
@@ -61,6 +62,14 @@ class Trace {
   /// 40 bytes/event vs ~160 for JSONL.
   void write_binary(std::ostream& out) const;
   [[nodiscard]] static Trace read_binary(std::istream& in);
+
+  /// Non-throwing variant of read_binary for untrusted inputs. Declared
+  /// counts are validated against the bytes actually remaining in the
+  /// stream *before* any allocation, so a corrupt header cannot trigger a
+  /// huge resize; a record referencing a path id outside the table, or any
+  /// truncation, is an Error rather than an exception. read_binary wraps
+  /// this and throws std::runtime_error with the same message.
+  [[nodiscard]] static Result<Trace> try_read_binary(std::istream& in);
 
  private:
   std::vector<TraceEvent> events_;

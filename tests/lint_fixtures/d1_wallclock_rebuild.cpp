@@ -1,0 +1,12 @@
+// piolint fixture: exactly one D1 violation — a resync planner that jitters
+// its rebuild pacing from the wall clock. Rebuild pacing must draw from the
+// engine substream (pio::pfs::kRebuildRngStream); a wall-clock source makes
+// every recovery schedule unique, so same-seed durability campaigns stop
+// replaying byte-identically.
+#include <cstdint>
+#include <ctime>
+
+double rebuild_pace_jitter_sec(double base_sec) {
+  const std::uint64_t noise = static_cast<std::uint64_t>(std::time(nullptr));  // the one violation
+  return base_sec * (1.0 + static_cast<double>(noise % 100) / 1000.0);
+}

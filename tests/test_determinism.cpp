@@ -180,6 +180,66 @@ std::uint64_t run_fault_campaign(std::uint64_t engine_seed) {
   return h.digest();
 }
 
+/// A durability campaign: replicated layout, tracked contents, OST crashes
+/// that force degraded reads, and an online rebuild whose pacing jitter
+/// draws from the kRebuildRngStream engine substream. The digest covers the
+/// trace, the durability counters, and the rebuilt byte total, so a resync
+/// planner drawing from wall-clock state (piolint D1) shows up immediately.
+std::uint64_t run_durability_campaign(std::uint64_t engine_seed) {
+  auto config = small_pfs();
+  config.durability.track_contents = true;
+  config.durability.rebuild_bandwidth = Bandwidth::from_mib_per_sec(128.0);
+  config.mds.default_layout.replicas = 2;
+  config.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0))
+      .ost_down(0, SimTime::from_ms(20.0), SimTime::from_ms(26.0));
+  config.retry.max_attempts = 2;
+  config.retry.failover = true;
+
+  sim::Engine engine{engine_seed};
+  pfs::PfsModel model{engine, config};
+  // Resilience/durability events carry the jitter-paced rebuild timestamps,
+  // so the digest is sensitive to the resync planner even when the rebuild
+  // never contends with foreground traffic.
+  Fnv1a h;
+  model.set_resilience_observer([&h](const pfs::ResilienceRecord& r) {
+    h.mix(static_cast<std::uint64_t>(r.kind));
+    h.mix(static_cast<std::uint64_t>(r.at.ns()));
+    h.mix(static_cast<std::uint64_t>(r.ost));
+    h.mix(r.bytes.count());
+  });
+  driver::SimRunConfig run_config;
+  run_config.layout.replicas = 2;  // the driver's create layout wins over the MDS default
+  driver::ExecutionDrivenSimulator sim{engine, model, run_config};
+  workload::IorConfig ior;
+  ior.ranks = 4;
+  ior.block_size = Bytes::from_mib(4);
+  ior.transfer_size = Bytes::from_mib(1);
+  trace::Tracer tracer;
+  const auto result = sim.run(*workload::ior_like(ior), &tracer);
+  engine.run();  // drain constructor-scheduled rebuild passes past the workload
+  engine.assert_drained();
+  model.assert_quiescent();
+  h.mix(hash_trace(tracer.snapshot()));
+  h.mix(static_cast<std::uint64_t>(result.makespan.ns()));
+  h.mix(model.resilience_stats().degraded_reads);
+  h.mix(model.resilience_stats().rebuilds_completed);
+  h.mix(model.resilience_stats().rebuilt_bytes.count());
+  h.mix(model.resilience_stats().data_lost_ops);
+  h.mix(engine.events_executed());
+  return h.digest();
+}
+
+TEST(DeterminismRegression, SameSeedDurabilityCampaignsHashIdentical) {
+  const std::uint64_t first = run_durability_campaign(21);
+  const std::uint64_t second = run_durability_campaign(21);
+  EXPECT_EQ(first, second) << "same-seed durability campaign diverged: rebuild "
+                              "pacing is drawing outside engine streams";
+}
+
+TEST(DeterminismRegression, DifferentSeedDurabilityCampaignsDiverge) {
+  EXPECT_NE(run_durability_campaign(21), run_durability_campaign(22));
+}
+
 TEST(DeterminismRegression, SameSeedFaultCampaignsHashIdentical) {
   const std::uint64_t first = run_fault_campaign(13);
   const std::uint64_t second = run_fault_campaign(13);

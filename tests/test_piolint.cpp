@@ -40,6 +40,17 @@ TEST(PiolintRules, D1CatchesWallClockSeededFaultInjector) {
   EXPECT_EQ(diags[0].line, 9);
 }
 
+TEST(PiolintRules, D1CatchesWallClockPacedRebuildPlanner) {
+  // The durability layer's resync pacing draws from kRebuildRngStream; a
+  // planner that jitters off the wall clock breaks byte-identical replay of
+  // recovery schedules (DESIGN.md §9).
+  const auto diags = lint_file(fixture("d1_wallclock_rebuild.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].line, 10);
+  EXPECT_NE(diags[0].message.find("time"), std::string::npos);
+}
+
 TEST(PiolintRules, D2FlagsUnorderedIterationFeedingOutput) {
   const auto diags = lint_file(fixture("d2_violation.cpp"));
   ASSERT_EQ(diags.size(), 1u);

@@ -1,6 +1,8 @@
 // Unit tests for tracing, profiling, the backend shim, and server stats.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -135,6 +137,103 @@ TEST(TraceSerializationTest, BadMagicThrows) {
   std::stringstream buffer;
   buffer << "NOTATRACE";
   EXPECT_THROW((void)Trace::read_binary(buffer), std::runtime_error);
+}
+
+TEST(TraceSerializationTest, TryReadBinaryReportsBadMagicAsError) {
+  std::stringstream buffer;
+  buffer << "NOTATRACE";
+  const auto result = Trace::try_read_binary(buffer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("bad magic"), std::string::npos);
+}
+
+TEST(TraceSerializationTest, TryReadBinaryRoundTripsCleanStream) {
+  const Trace t = random_trace(7, 50);
+  std::stringstream buffer;
+  t.write_binary(buffer);
+  const auto result = Trace::try_read_binary(buffer);
+  ASSERT_TRUE(result.ok());
+  expect_traces_equal(t, result.value());
+}
+
+// Corrupt a serialized trace by truncating it at every prefix length: the
+// reader must fail cleanly each time, never crash or misallocate.
+TEST(TraceSerializationTest, TruncatedStreamsFailCleanlyAtEveryLength) {
+  const Trace t = random_trace(11, 20);
+  std::stringstream whole;
+  t.write_binary(whole);
+  const std::string bytes = whole.str();
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::stringstream cut(bytes.substr(0, len));
+    const auto result = Trace::try_read_binary(cut);
+    EXPECT_FALSE(result.ok()) << "prefix length " << len;
+    EXPECT_THROW((void)[&] {
+      std::stringstream again(bytes.substr(0, len));
+      return Trace::read_binary(again);
+    }(), std::runtime_error);
+  }
+}
+
+TEST(TraceSerializationTest, HugeDeclaredPathCountIsRejectedBeforeAllocation) {
+  const Trace t = random_trace(13, 5);
+  std::stringstream whole;
+  t.write_binary(whole);
+  std::string bytes = whole.str();
+  // Overwrite the 4-byte path count (just after the 8-byte magic) with a
+  // count far larger than the stream itself.
+  const std::uint32_t bogus = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + 8, &bogus, sizeof bogus);
+  std::stringstream corrupt(bytes);
+  const auto result = Trace::try_read_binary(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("path count"), std::string::npos);
+}
+
+TEST(TraceSerializationTest, HugeDeclaredPathLengthIsRejected) {
+  const Trace t = random_trace(17, 5);
+  std::stringstream whole;
+  t.write_binary(whole);
+  std::string bytes = whole.str();
+  // First path length sits right after magic (8) + path count (4).
+  const std::uint32_t bogus = 0x7FFFFFFFu;
+  std::memcpy(bytes.data() + 12, &bogus, sizeof bogus);
+  std::stringstream corrupt(bytes);
+  const auto result = Trace::try_read_binary(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("path length"), std::string::npos);
+}
+
+TEST(TraceSerializationTest, HugeDeclaredEventCountIsRejected) {
+  Trace t;
+  t.append(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 1, 0, 1));
+  std::stringstream whole;
+  t.write_binary(whole);
+  std::string bytes = whole.str();
+  // Event count (8 bytes) follows the path table: magic(8) + count(4) +
+  // len(4) + "/f"(2).
+  const std::uint64_t bogus = UINT64_MAX;
+  std::memcpy(bytes.data() + 18, &bogus, sizeof bogus);
+  std::stringstream corrupt(bytes);
+  const auto result = Trace::try_read_binary(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("event count"), std::string::npos);
+}
+
+TEST(TraceSerializationTest, OutOfRangePathIdIsRejected) {
+  Trace t;
+  t.append(make_event(Layer::kPosix, OpKind::kWrite, 0, "/f", 0, 1, 0, 1));
+  std::stringstream whole;
+  t.write_binary(whole);
+  std::string bytes = whole.str();
+  // The record's path_id field is 8 bytes into the 48-byte record, which
+  // starts after magic(8) + count(4) + len(4) + "/f"(2) + event count(8).
+  const std::size_t record_start = 8 + 4 + 4 + 2 + 8;
+  const std::uint32_t bogus = 42;
+  std::memcpy(bytes.data() + record_start + 8, &bogus, sizeof bogus);
+  std::stringstream corrupt(bytes);
+  const auto result = Trace::try_read_binary(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unknown path id"), std::string::npos);
 }
 
 TEST(TracerTest, SnapshotAndTake) {
