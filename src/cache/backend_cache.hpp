@@ -1,0 +1,95 @@
+// PIOEval cache: the POSIX-path integration — a vfs::Backend decorator.
+//
+// CacheBackend interposes a write-back page cache between any Backend
+// consumer and its inner backend, exactly where a client-side cache sits in
+// the real stack. It composes freely with the other decorators:
+//
+//   TracingBackend(CacheBackend(LocalBackend))   — traces application ops,
+//       hits and misses alike (what the app experienced);
+//   CacheBackend(TracingBackend(LocalBackend))   — traces only the misses
+//       and write-backs that reached the backend (what the storage saw).
+//
+// Ordering rules and the C1 invariant are documented in DESIGN.md §10. In
+// short: a dirty page holds bytes already acknowledged to the caller, so it
+// is never dropped — eviction takes clean pages only, failed write-backs
+// (e.g. under FaultInjectionBackend) re-mark pages dirty and surface the
+// error on fsync/close, and a full-of-dirty cache fails the incoming write
+// instead of silently shedding an acknowledged one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "cache/page_cache.hpp"
+#include "vfs/backend.hpp"
+
+namespace pio::cache {
+
+class CacheBackend final : public vfs::Backend {
+ public:
+  CacheBackend(vfs::Backend& inner, const CacheConfig& config);
+
+  [[nodiscard]] Result<vfs::Fd> open(const std::string& path,
+                                     const vfs::OpenOptions& options) override;
+  [[nodiscard]] Result<std::size_t> pread(vfs::Fd fd, std::span<std::byte> out,
+                                          std::uint64_t offset) override;
+  [[nodiscard]] Result<std::size_t> pwrite(vfs::Fd fd, std::span<const std::byte> data,
+                                           std::uint64_t offset) override;
+  /// Flushes the file's dirty pages first; on write-back failure returns
+  /// kInvalid and keeps the descriptor open so the caller can retry.
+  vfs::FsStatus close(vfs::Fd fd) override;
+  /// Write-back barrier: flushes the file's dirty pages, then fsyncs inner.
+  vfs::FsStatus fsync(vfs::Fd fd) override;
+  vfs::FsStatus mkdir(const std::string& path) override;
+  /// Invalidates the file's cached pages (dirty included: unlink discards).
+  vfs::FsStatus remove(const std::string& path) override;
+  /// Reflects cached (not yet written back) size extensions.
+  [[nodiscard]] Result<vfs::FileInfo> stat(const std::string& path) override;
+  [[nodiscard]] Result<std::vector<std::string>> readdir(const std::string& path) override;
+  [[nodiscard]] std::string path_of(vfs::Fd fd) const override { return inner_.path_of(fd); }
+
+  /// Counter block (hits/misses/evictions/prefetch/write-back).
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::uint64_t dirty_pages() const;
+  [[nodiscard]] std::uint64_t cached_pages() const;
+
+ private:
+  struct FileState {
+    std::uint64_t id = 0;
+    Bytes size = Bytes::zero();
+    std::uint64_t next_offset = 0;  ///< sequential-stream detector
+    std::set<vfs::Fd> open_fds;
+  };
+
+  [[nodiscard]] FileState* state_of(vfs::Fd fd);
+  /// Load one page from inner (read-through); returns nullptr on error.
+  Page* fill_page(vfs::Fd fd, FileState& fs, std::uint64_t page_index, bool prefetched,
+                  Error* error);
+  /// Write back up to `max` oldest dirty pages of any file. Returns false
+  /// (and re-marks pages dirty) on the first failed inner write.
+  bool flush_oldest(std::size_t max);
+  /// Write back every dirty page of one file.
+  bool flush_file(FileState& fs);
+  bool write_back_page(const PageKey& key);
+  [[nodiscard]] vfs::Fd any_fd_of(std::uint64_t file_id) const;
+
+  mutable std::mutex mutex_;
+  vfs::Backend& inner_;
+  CacheConfig config_;
+  PageCache cache_;
+  std::map<std::string, FileState> files_;  ///< persists across open/close
+  std::map<std::uint64_t, std::string> paths_by_id_;
+  std::map<vfs::Fd, std::string> fd_paths_;
+  std::uint64_t next_file_id_ = 1;
+};
+
+}  // namespace pio::cache
+
+namespace pio::vfs {
+/// The decorator under its stack-position name (ISSUE/DESIGN spelling).
+using CacheBackend = pio::cache::CacheBackend;
+}  // namespace pio::vfs

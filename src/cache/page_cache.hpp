@@ -1,0 +1,144 @@
+// PIOEval cache: the deterministic page-cache core.
+//
+// Both integrations — the functional vfs::Backend decorator and the
+// DES-timed client tier — share this structure: a bounded set of fixed-size
+// pages keyed by (file, page index), with pluggable replacement (LRU and a
+// 2Q/ARC-lite policy that resists scan pollution), dirty tracking for
+// write-back, and prefetch bookkeeping (issued/used/wasted).
+//
+// Determinism rules (piolint D1/D2): recency is logical — list order updated
+// on access — never wall-clock; `last_access` carries the *simulated* or
+// caller-supplied time for observability only. All internal containers are
+// ordered, so iteration (e.g. collecting dirty pages for write-back) is
+// reproducible across runs.
+//
+// Invariant C1 (enforced here structurally): eviction only ever selects
+// CLEAN pages. A dirty page — bytes acknowledged to the application but not
+// yet written through — can leave the cache only via mark_clean (after a
+// successful write-back) or erase by an owner that already flushed it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+
+namespace pio::cache {
+
+/// Identity of one cached page.
+struct PageKey {
+  std::uint64_t file = 0;  ///< interned file id (integration-specific)
+  std::uint64_t page = 0;  ///< page index = offset / page_size
+
+  friend auto operator<=>(const PageKey&, const PageKey&) = default;
+};
+
+/// One resident page. `data` holds real bytes on the functional path and
+/// stays empty on the simulated (time-only) path; `valid_bytes` is how much
+/// of the page is backed by file content (short at EOF).
+struct Page {
+  PageKey key;
+  bool dirty = false;
+  bool prefetched = false;  ///< speculatively fetched, not yet hit
+  std::int32_t owner = 0;   ///< client/rank to charge write-back traffic to
+  std::uint64_t valid_bytes = 0;
+  /// Bumped by owners on every write into the page. An async write-back that
+  /// started at version v may only mark the page clean if it is still at v —
+  /// otherwise newer acknowledged bytes would be silently dropped (C1).
+  std::uint64_t version = 0;
+  SimTime last_access = SimTime::zero();
+  std::vector<std::byte> data;
+};
+
+class PageCache {
+ public:
+  explicit PageCache(const CacheConfig& config);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Look up a page for an access: counts a hit (promoting per policy, and
+  /// resolving prefetched -> used) or a miss. Returns nullptr when absent.
+  [[nodiscard]] Page* lookup(PageKey key, SimTime now);
+
+  /// Presence probe: no promotion, no counter movement.
+  [[nodiscard]] bool contains(PageKey key) const;
+
+  /// Internal access for write/write-back paths: returns the resident page
+  /// without touching hit/miss counters or recency (those measure the read
+  /// path only). nullptr when absent.
+  [[nodiscard]] Page* peek(PageKey key);
+  [[nodiscard]] const Page* peek(PageKey key) const;
+
+  /// Insert (or reset) a page, evicting clean victims as needed. Throws
+  /// std::logic_error if every resident page is dirty — callers must bound
+  /// dirty pages below capacity (CacheConfig::validate enforces the config
+  /// side). Returns the resident page for the caller to fill in.
+  Page& insert(PageKey key, SimTime now);
+
+  /// Mark an existing page dirty (appends to the dirty FIFO on transition).
+  void mark_dirty(PageKey key);
+
+  /// Mark a page clean after a successful write-back.
+  void mark_clean(PageKey key);
+
+  /// Up to `max` dirty pages, oldest-dirtied first (deterministic write-back
+  /// order). Pages remain dirty until mark_clean.
+  [[nodiscard]] std::vector<PageKey> oldest_dirty(std::size_t max) const;
+
+  /// Drop one page (any state — the caller is responsible for having
+  /// flushed it) or every page of one file (e.g. unlink/truncate).
+  void erase(PageKey key);
+  void erase_file(std::uint64_t file);
+
+  /// Fold remaining never-hit prefetched pages into prefetch_wasted (end of
+  /// run: speculation that never paid off must be reported, not forgotten).
+  void finalize_prefetch_waste();
+
+  [[nodiscard]] std::uint64_t size() const { return static_cast<std::uint64_t>(pages_.size()); }
+  [[nodiscard]] std::uint64_t dirty_count() const { return dirty_count_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  /// Counter block, writable so integrations can fold in byte-level and
+  /// write-back accounting next to the page-level counters kept here.
+  [[nodiscard]] CacheStats& stats_mut() { return stats_; }
+
+  /// Observer called with each evicted page before removal (always clean).
+  void set_eviction_observer(std::function<void(const Page&)> observer) {
+    eviction_observer_ = std::move(observer);
+  }
+
+ private:
+  /// Which recency list a resident page lives on.
+  enum class Queue : std::uint8_t { kMain, kA1In };
+
+  struct Entry {
+    Page page;
+    Queue queue = Queue::kMain;
+    std::list<PageKey>::iterator recency;  ///< position in its queue
+    std::list<PageKey>::iterator dirty_pos;  ///< position in dirty_order_ (if dirty)
+  };
+
+  void evict_one();
+  /// Pop the oldest *clean* page off `queue` (back = coldest); false if the
+  /// queue holds no clean page.
+  bool evict_clean_from(std::list<PageKey>& queue);
+  void remove_entry(std::map<PageKey, Entry>::iterator it);
+  [[nodiscard]] std::uint64_t a1in_target() const;
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::map<PageKey, Entry> pages_;
+  std::list<PageKey> main_;   ///< LRU list (front = most recent); 2Q's Am
+  std::list<PageKey> a1in_;   ///< 2Q admission FIFO (front = newest)
+  std::list<PageKey> ghost_;  ///< 2Q ghost keys (front = newest)
+  std::map<PageKey, std::list<PageKey>::iterator> ghost_index_;
+  std::list<PageKey> dirty_order_;  ///< FIFO of dirty pages (front = oldest)
+  std::uint64_t dirty_count_ = 0;
+  std::function<void(const Page&)> eviction_observer_;
+};
+
+}  // namespace pio::cache

@@ -49,6 +49,12 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   barrier_waiting_ = 0;
   const auto n = static_cast<std::size_t>(workload.ranks());
   if (n == 0) throw std::invalid_argument("ExecutionDrivenSimulator: zero-rank workload");
+  tier_.reset();
+  if (config_.cache.enabled) {
+    tier_ = std::make_unique<cache::ClientCacheTier>(engine_, model_, config_.cache,
+                                                     static_cast<std::int32_t>(n));
+    if (cache_observer_) tier_->set_observer(cache_observer_);
+  }
   ranks_.clear();
   ranks_.resize(n);
   result_.rank_finish.assign(n, SimTime::zero());
@@ -67,6 +73,27 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
     throw std::runtime_error(
         "ExecutionDrivenSimulator: run stalled (mismatched barriers or time limit); "
         "active ranks: " + std::to_string(active_ranks_));
+  }
+  if (tier_ != nullptr) {
+    // Quiescence drain: any dirty page a workload left behind (a file never
+    // closed) is written back now; C1 then requires zero residual.
+    tier_->flush_all();
+    engine_.run(start_time + config_.time_limit);
+    tier_->finalize();
+    sim::check::cache_writeback_drained(tier_->dirty_pages());
+    const cache::CacheStats cs = tier_->stats();
+    result_.cache_hits = cs.hits;
+    result_.cache_misses = cs.misses;
+    result_.cache_evictions = cs.evictions;
+    result_.cache_prefetch_issued = cs.prefetch_issued;
+    result_.cache_prefetch_used = cs.prefetch_used;
+    result_.cache_prefetch_wasted = cs.prefetch_wasted;
+    result_.cache_writebacks = cs.writebacks;
+    result_.cache_writeback_failures = cs.writeback_failures;
+    result_.cache_absorbed_writes = cs.absorbed_writes;
+    result_.cache_hit_bytes = cs.hit_bytes;
+    result_.cache_miss_bytes = cs.miss_bytes;
+    result_.cache_writeback_bytes = cs.writeback_bytes;
   }
   SimTime last = start_time;
   for (std::size_t r = 0; r < n; ++r) last = std::max(last, ranks_[r].finish);
@@ -124,6 +151,33 @@ void ExecutionDrivenSimulator::issue(std::int32_t rank, workload::Op op) {
     case K::kRead:
     case K::kWrite: {
       const bool is_write = op.kind == K::kWrite;
+      if (tier_ != nullptr) {
+        auto done = [this, rank, op, start, is_write](bool ok, Bytes hit_bytes) {
+          if (sink_ != nullptr) {
+            // One kCache annotation per data op: size = bytes the cache
+            // served (read hits) or absorbed (write-back). Replay and
+            // profiling filter on kPosix, so these are purely additive.
+            trace::TraceEvent e;
+            e.layer = trace::Layer::kCache;
+            e.op = is_write ? trace::OpKind::kWrite : trace::OpKind::kRead;
+            e.rank = rank;
+            e.path = op.path;
+            e.offset = op.offset;
+            e.size = hit_bytes.count();
+            e.start = start;
+            e.end = engine_.now();
+            e.ok = ok;
+            sink_->record(e);
+          }
+          complete_op(rank, op, start, ok);
+        };
+        if (is_write) {
+          tier_->write(rank, op.path, layout_of(op.path), op.offset, op.size, done);
+        } else {
+          tier_->read(rank, op.path, layout_of(op.path), op.offset, op.size, done);
+        }
+        return;
+      }
       model_.io(client, op.path, layout_of(op.path), op.offset, op.size, is_write,
                 [this, rank, op, start](pfs::IoResult result) {
                   complete_op(rank, op, start, result.ok);
@@ -155,21 +209,31 @@ void ExecutionDrivenSimulator::issue(std::int32_t rank, workload::Op op) {
       const std::optional<pfs::StripeLayout> layout =
           op.kind == K::kCreate ? std::optional<pfs::StripeLayout>(config_.layout)
                                 : std::nullopt;
-      model_.meta(client, meta_op, op.path,
-                  [this, rank, op, start](pfs::MetaResult result) {
-                    // Re-creating an existing file behaves like O_CREAT
-                    // without O_EXCL, and mkdir like mkdir -p: success.
-                    // (The measured path applies the same tolerance.)
-                    const bool ok =
-                        result.ok() ||
-                        ((op.kind == K::kCreate || op.kind == K::kMkdir) &&
-                         result.status == pfs::MetaStatus::kExists);
-                    if (result.inode.has_value()) {
-                      layouts_[op.path] = result.inode->layout;
-                    }
-                    complete_op(rank, op, start, ok);
-                  },
-                  layout);
+      if (tier_ != nullptr && op.kind == K::kUnlink) tier_->invalidate_path(op.path);
+      auto issue_meta = [this, client, meta_op, rank, op, start, layout] {
+        model_.meta(client, meta_op, op.path,
+                    [this, rank, op, start](pfs::MetaResult result) {
+                      // Re-creating an existing file behaves like O_CREAT
+                      // without O_EXCL, and mkdir like mkdir -p: success.
+                      // (The measured path applies the same tolerance.)
+                      const bool ok =
+                          result.ok() ||
+                          ((op.kind == K::kCreate || op.kind == K::kMkdir) &&
+                           result.status == pfs::MetaStatus::kExists);
+                      if (result.inode.has_value()) {
+                        layouts_[op.path] = result.inode->layout;
+                      }
+                      complete_op(rank, op, start, ok);
+                    },
+                    layout);
+      };
+      if (tier_ != nullptr && (op.kind == K::kFsync || op.kind == K::kClose)) {
+        // Write-back barrier: the commit RPC is issued only once every dirty
+        // page of the file has landed (C1: flush-on-close/fsync).
+        tier_->flush_path(rank, op.path, std::move(issue_meta));
+        return;
+      }
+      issue_meta();
       return;
     }
   }
@@ -218,6 +282,9 @@ void ExecutionDrivenSimulator::complete_op(std::int32_t rank, const workload::Op
 
 void ExecutionDrivenSimulator::release_barrier() {
   barrier_waiting_ = 0;
+  // Global barriers delimit DL epochs (the DLIO workload emits one after
+  // every epoch): rotate the learned access set and start warming.
+  if (tier_ != nullptr) tier_->epoch_mark();
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     if (!ranks_[r].at_barrier) continue;
     ranks_[r].at_barrier = false;

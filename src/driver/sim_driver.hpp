@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
+#include "cache/client_tier.hpp"
 #include "common/types.hpp"
 #include "pfs/pfs.hpp"
 #include "sim/engine.hpp"
@@ -31,6 +33,12 @@ struct SimRunConfig {
   pfs::StripeLayout layout{};
   /// Abort if simulated time exceeds this (deadlock/bug guard).
   SimTime time_limit = SimTime::from_sec(86'400.0);
+  /// Client-side cache tier (DESIGN.md §10). Disabled by default: every
+  /// data op traverses the full simulated stack. When `cache.enabled`, reads
+  /// and writes go through a ClientCacheTier in front of the PFS client
+  /// path, fsync/close become write-back barriers, and each global barrier
+  /// marks a DL epoch boundary for the epoch prefetcher.
+  cache::CacheConfig cache{};
 };
 
 /// Aggregate result of one simulated run.
@@ -51,6 +59,19 @@ struct SimRunResult {
   std::uint64_t data_lost_ops = 0;
   std::uint64_t rebuilds_completed = 0;
   Bytes rebuilt_bytes = Bytes::zero();
+  // Client cache tier activity (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_prefetch_issued = 0;
+  std::uint64_t cache_prefetch_used = 0;
+  std::uint64_t cache_prefetch_wasted = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::uint64_t cache_writeback_failures = 0;
+  std::uint64_t cache_absorbed_writes = 0;
+  Bytes cache_hit_bytes = Bytes::zero();
+  Bytes cache_miss_bytes = Bytes::zero();
+  Bytes cache_writeback_bytes = Bytes::zero();
   Bytes bytes_read = Bytes::zero();
   Bytes bytes_written = Bytes::zero();
   SimTime read_time = SimTime::zero();     ///< summed per-op read latency
@@ -66,6 +87,11 @@ struct SimRunResult {
   }
   [[nodiscard]] Bandwidth aggregate_bandwidth() const {
     return observed_bandwidth(bytes_read + bytes_written, makespan);
+  }
+  /// Page-granular cache hit rate in [0, 1]; 0 when the cache saw nothing.
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
   }
 };
 
@@ -84,6 +110,15 @@ class ExecutionDrivenSimulator {
   /// virtual timestamps — this is how the "measurement" phase of the
   /// closed loop observes the simulated testbed.
   SimRunResult run(const workload::Workload& workload, trace::Sink* sink = nullptr);
+
+  /// Subscribe to cache activity records of subsequent runs (no-op while
+  /// the cache is disabled).
+  void set_cache_observer(std::function<void(const cache::CacheRecord&)> observer) {
+    cache_observer_ = std::move(observer);
+  }
+
+  /// The cache tier of the most recent run (nullptr when disabled).
+  [[nodiscard]] const cache::ClientCacheTier* cache_tier() const { return tier_.get(); }
 
  private:
   struct RankState {
@@ -106,6 +141,8 @@ class ExecutionDrivenSimulator {
   pfs::PfsModel& model_;
   SimRunConfig config_;
   trace::Sink* sink_ = nullptr;
+  std::unique_ptr<cache::ClientCacheTier> tier_;
+  std::function<void(const cache::CacheRecord&)> cache_observer_;
   std::vector<RankState> ranks_;
   std::map<std::string, pfs::StripeLayout> layouts_;
   std::uint64_t barrier_waiting_ = 0;

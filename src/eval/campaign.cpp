@@ -58,6 +58,27 @@ std::string CampaignResult::to_string() const {
         << " data_lost_ops=" << lost << " rebuilds_completed=" << rebuilds
         << " rebuilt=" << format_bytes(rebuilt) << "\n";
   }
+  std::uint64_t chits = 0, cmisses = 0, cpf_issued = 0, cpf_used = 0, cpf_wasted = 0;
+  std::uint64_t cwritebacks = 0, cabsorbed = 0;
+  for (const auto& it : iterations) {
+    for (const auto& p : it.points) {
+      chits += p.cache_hits;
+      cmisses += p.cache_misses;
+      cpf_issued += p.cache_prefetch_issued;
+      cpf_used += p.cache_prefetch_used;
+      cpf_wasted += p.cache_prefetch_wasted;
+      cwritebacks += p.cache_writebacks;
+      cabsorbed += p.cache_absorbed_writes;
+    }
+  }
+  if (chits + cmisses > 0) {
+    out << "cache (measured runs): hits=" << chits << " misses=" << cmisses
+        << " hit_rate=" << format_percent(static_cast<double>(chits) /
+                                          static_cast<double>(chits + cmisses))
+        << " prefetch=" << cpf_issued << "/" << cpf_used << "/" << cpf_wasted
+        << " (issued/used/wasted) writebacks=" << cwritebacks
+        << " absorbed_writes=" << cabsorbed << "\n";
+  }
   return out.str();
 }
 
@@ -66,7 +87,9 @@ driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
                                       trace::Sink* sink) const {
   sim::Engine engine{seed};
   pfs::PfsModel model{engine, system};
-  driver::ExecutionDrivenSimulator sim{engine, model};
+  driver::SimRunConfig run_config;
+  run_config.cache = config_.cache;
+  driver::ExecutionDrivenSimulator sim{engine, model, run_config};
   auto result = sim.run(workload, sink);
   // A leftover event here would mean the model leaked state into the next
   // measurement — exactly the kind of bug that corrupts replay fidelity.
@@ -121,6 +144,14 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.data_lost_ops = measured.data_lost_ops;
       point.rebuilds_completed = measured.rebuilds_completed;
       point.rebuilt_bytes = measured.rebuilt_bytes;
+      point.cache_hits = measured.cache_hits;
+      point.cache_misses = measured.cache_misses;
+      point.cache_evictions = measured.cache_evictions;
+      point.cache_prefetch_issued = measured.cache_prefetch_issued;
+      point.cache_prefetch_used = measured.cache_prefetch_used;
+      point.cache_prefetch_wasted = measured.cache_prefetch_wasted;
+      point.cache_writebacks = measured.cache_writebacks;
+      point.cache_absorbed_writes = measured.cache_absorbed_writes;
       point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
           static_cast<double>(simulated.makespan.ns()) * calibration));
       iteration.points.push_back(point);

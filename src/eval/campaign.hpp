@@ -44,6 +44,9 @@ struct CampaignConfig {
   /// Calibration learning rate in (0, 1]: 1 jumps straight to the observed
   /// ratio, smaller values smooth over noisy sweeps.
   double calibration_gain = 0.7;
+  /// Client cache tier, applied to testbed and model runs alike — a
+  /// first-class sweep axis (policy, capacity, prefetcher, scope).
+  cache::CacheConfig cache{};
 };
 
 /// One sweep point in one iteration.
@@ -64,6 +67,19 @@ struct CampaignPoint {
   std::uint64_t data_lost_ops = 0;
   std::uint64_t rebuilds_completed = 0;
   Bytes rebuilt_bytes = Bytes::zero();
+  // Client cache activity on the measurement run (zero with the cache off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_prefetch_issued = 0;
+  std::uint64_t cache_prefetch_used = 0;
+  std::uint64_t cache_prefetch_wasted = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::uint64_t cache_absorbed_writes = 0;
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
   [[nodiscard]] double abs_pct_error() const {
     if (measured <= SimTime::zero()) return 0.0;
     return std::abs(predicted.sec() - measured.sec()) / measured.sec();

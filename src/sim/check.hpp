@@ -62,6 +62,17 @@ inline void abandoned_ops_drained(std::uint64_t in_flight) {
        kEnabled ? std::to_string(in_flight) + " abandoned ops still in flight" : std::string{});
 }
 
+/// C1: write-back never drops acknowledged bytes. At quiescence every dirty
+/// page the client cache acknowledged to the application must have been
+/// written back (the durability ledger's F3 audit then confirms the bytes
+/// landed). `dirty_pages` is the residual; it must be zero once the engine
+/// queue is empty.
+inline void cache_writeback_drained(std::uint64_t dirty_pages) {
+  that(dirty_pages == 0, "cache.writeback-undrained",
+       kEnabled ? std::to_string(dirty_pages) + " dirty pages never written back"
+                : std::string{});
+}
+
 /// F3: no acknowledged write is ever lost. At campaign end, every byte
 /// range the durability ledger acknowledged to a client must still be held
 /// by at least one replica OST (up or down — durability is about the data

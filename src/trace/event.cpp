@@ -10,6 +10,7 @@ const char* to_string(Layer layer) {
     case Layer::kHdf5: return "hdf5";
     case Layer::kMpiIo: return "mpiio";
     case Layer::kPosix: return "posix";
+    case Layer::kCache: return "cache";
   }
   return "?";
 }

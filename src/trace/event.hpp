@@ -14,8 +14,11 @@
 
 namespace pio::trace {
 
-/// Which layer of the I/O stack observed the operation (Fig. 2).
-enum class Layer : std::uint8_t { kApp, kHdf5, kMpiIo, kPosix };
+/// Which layer of the I/O stack observed the operation (Fig. 2). kCache is
+/// the client cache tier between the application and the POSIX layer: cache
+/// events annotate a run (hit bytes per data op) without participating in
+/// replay or profiling, which filter on kPosix.
+enum class Layer : std::uint8_t { kApp, kHdf5, kMpiIo, kPosix, kCache };
 
 [[nodiscard]] const char* to_string(Layer layer);
 

@@ -72,6 +72,28 @@ void ServerStatsCollector::on_resilience_record(const pfs::ResilienceRecord& rec
   }
 }
 
+void ServerStatsCollector::on_cache_record(const cache::CacheRecord& record) {
+  auto& sample = cache_series_[window_of(record.at)];
+  sample.window = window_of(record.at);
+  switch (record.kind) {
+    case cache::CacheEventKind::kHit:
+      ++sample.hit_events;
+      sample.hit_bytes += record.bytes;
+      break;
+    case cache::CacheEventKind::kMiss:
+      ++sample.miss_events;
+      sample.miss_bytes += record.bytes;
+      break;
+    case cache::CacheEventKind::kEviction: ++sample.evictions; break;
+    case cache::CacheEventKind::kPrefetchIssue: ++sample.prefetch_issues; break;
+    case cache::CacheEventKind::kWriteback:
+      ++sample.writebacks;
+      sample.writeback_bytes += record.bytes;
+      break;
+    case cache::CacheEventKind::kAbsorbedWrite: ++sample.absorbed_writes; break;
+  }
+}
+
 ServerSeries ServerStatsCollector::aggregate_osts() const {
   ServerSeries out;
   for (const auto& [ost, series] : ost_series_) {

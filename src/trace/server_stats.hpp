@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "common/types.hpp"
 #include "pfs/mds.hpp"
 #include "pfs/ost.hpp"
@@ -62,6 +63,30 @@ struct RebuildSample {
 
 using RebuildSeries = std::map<std::uint64_t, RebuildSample>;
 
+/// One time-window sample of client-cache activity: the hit-rate time
+/// series of a run (a warming cache shows the hit curve climbing window by
+/// window — the DL-epoch signature the cache experiments plot).
+struct CacheSample {
+  std::uint64_t window = 0;
+  std::uint64_t hit_events = 0;        ///< ops with at least one page hit
+  std::uint64_t miss_events = 0;       ///< ops that fetched from the backend
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetch_issues = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t absorbed_writes = 0;
+  Bytes hit_bytes = Bytes::zero();
+  Bytes miss_bytes = Bytes::zero();
+  Bytes writeback_bytes = Bytes::zero();
+
+  /// Byte-granular hit rate of this window (0 with no data traffic).
+  [[nodiscard]] double hit_rate() const {
+    const double total = hit_bytes.as_double() + miss_bytes.as_double();
+    return total == 0.0 ? 0.0 : hit_bytes.as_double() / total;
+  }
+};
+
+using CacheSeries = std::map<std::uint64_t, CacheSample>;
+
 class ServerStatsCollector {
  public:
   explicit ServerStatsCollector(SimTime window = SimTime::from_ms(100.0));
@@ -73,6 +98,10 @@ class ServerStatsCollector {
   void on_ost_record(const pfs::OstOpRecord& record);
   void on_mds_record(const pfs::MdsOpRecord& record);
   void on_resilience_record(const pfs::ResilienceRecord& record);
+  /// Cache tier records (wire via ExecutionDrivenSimulator::set_cache_observer
+  /// or ClientCacheTier::set_observer — the tier is per-run, so attach()
+  /// cannot reach it).
+  void on_cache_record(const cache::CacheRecord& record);
 
   [[nodiscard]] const std::map<std::uint32_t, ServerSeries>& ost_series() const {
     return ost_series_;
@@ -82,6 +111,7 @@ class ServerStatsCollector {
   [[nodiscard]] const std::map<std::uint32_t, RebuildSeries>& rebuild_series() const {
     return rebuild_series_;
   }
+  [[nodiscard]] const CacheSeries& cache_series() const { return cache_series_; }
   [[nodiscard]] SimTime window() const { return window_; }
 
   /// Cluster-wide aggregate per window (sums across OSTs).
@@ -101,6 +131,7 @@ class ServerStatsCollector {
   ServerSeries mds_series_;
   ResilienceSeries resilience_series_;
   std::map<std::uint32_t, RebuildSeries> rebuild_series_;
+  CacheSeries cache_series_;
 };
 
 }  // namespace pio::trace

@@ -115,6 +115,7 @@ Layer layer_from(const std::string& s) {
   if (s == "hdf5") return Layer::kHdf5;
   if (s == "mpiio") return Layer::kMpiIo;
   if (s == "posix") return Layer::kPosix;
+  if (s == "cache") return Layer::kCache;
   throw std::invalid_argument("unknown layer: " + s);
 }
 

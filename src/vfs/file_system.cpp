@@ -139,6 +139,9 @@ Result<std::size_t> FileSystem::pwrite(const std::string& path, std::span<const 
   Node* node = find(path);
   if (node == nullptr) return fs_error(FsStatus::kNotFound, path);
   if (node->is_dir) return fs_error(FsStatus::kIsDirectory, path);
+  // POSIX: a zero-length write succeeds without extending the file, even at
+  // an offset past EOF.
+  if (data.empty()) return std::size_t{0};
   std::uint64_t cur = offset;
   std::size_t written = 0;
   while (written < data.size()) {

@@ -1,0 +1,12 @@
+// piolint fixture: exactly one D1 violation — a cache eviction policy that
+// ages pages against the wall clock. Cache recency must be logical (list
+// order) or simulated time; a steady_clock-aged LRU makes eviction order
+// depend on host scheduling, so same-seed cached campaigns stop replaying
+// byte-identically (DESIGN.md §10).
+#include <chrono>
+#include <cstdint>
+
+std::int64_t cache_page_age_ns(std::int64_t inserted_ns) {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();  // the one violation
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() - inserted_ns;
+}

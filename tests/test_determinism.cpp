@@ -240,6 +240,64 @@ TEST(DeterminismRegression, DifferentSeedDurabilityCampaignsDiverge) {
   EXPECT_NE(run_durability_campaign(21), run_durability_campaign(22));
 }
 
+/// A cached campaign: shuffled DLIO epochs behind the client cache tier
+/// (write-back, 2Q replacement, epoch-aware warming on kWarmRngStream). The
+/// digest covers the trace — kCache annotations included — plus every cache
+/// counter, so a nondeterministic eviction clock or warm order (piolint D1)
+/// moves it immediately.
+std::uint64_t run_cached_campaign(std::uint64_t engine_seed, std::uint64_t workload_seed) {
+  sim::Engine engine{engine_seed};
+  pfs::PfsModel model{engine, small_pfs()};
+  driver::SimRunConfig run_config;
+  run_config.cache.enabled = true;
+  run_config.cache.scope = cache::CacheScope::kShared;
+  run_config.cache.policy = cache::EvictionPolicy::kTwoQ;
+  run_config.cache.prefetch = cache::PrefetchMode::kEpoch;
+  run_config.cache.capacity_pages = 96;  // below the dataset: evictions + warming
+  run_config.cache.max_dirty_pages = 32;
+  driver::ExecutionDrivenSimulator sim{engine, model, run_config};
+  workload::DlioConfig config;
+  config.ranks = 4;
+  config.samples = 128;
+  config.sample_size = Bytes::from_kib(64);
+  config.samples_per_file = 32;
+  config.batch_size = 8;
+  config.epochs = 2;
+  config.shuffle = true;
+  config.seed = workload_seed;
+  config.compute_per_batch = SimTime::zero();
+  trace::Tracer tracer;
+  const auto result = sim.run(*workload::dlio_like(config), &tracer);
+  engine.assert_drained();
+  Fnv1a h;
+  h.mix(hash_trace(tracer.snapshot()));
+  h.mix(static_cast<std::uint64_t>(result.makespan.ns()));
+  h.mix(result.cache_hits);
+  h.mix(result.cache_misses);
+  h.mix(result.cache_evictions);
+  h.mix(result.cache_prefetch_issued);
+  h.mix(result.cache_prefetch_used);
+  h.mix(result.cache_prefetch_wasted);
+  h.mix(result.cache_writebacks);
+  h.mix(result.cache_absorbed_writes);
+  h.mix(result.cache_hit_bytes.count());
+  h.mix(result.cache_miss_bytes.count());
+  h.mix(result.cache_writeback_bytes.count());
+  h.mix(engine.events_executed());
+  return h.digest();
+}
+
+TEST(DeterminismRegression, SameSeedCachedCampaignsHashIdentical) {
+  const std::uint64_t first = run_cached_campaign(31, 42);
+  const std::uint64_t second = run_cached_campaign(31, 42);
+  EXPECT_EQ(first, second) << "same-seed cached campaign diverged: cache "
+                              "recency or warm order is drawing outside engine streams";
+}
+
+TEST(DeterminismRegression, DifferentSeedCachedCampaignsDiverge) {
+  EXPECT_NE(run_cached_campaign(31, 42), run_cached_campaign(31, 43));
+}
+
 TEST(DeterminismRegression, SameSeedFaultCampaignsHashIdentical) {
   const std::uint64_t first = run_fault_campaign(13);
   const std::uint64_t second = run_fault_campaign(13);

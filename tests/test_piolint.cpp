@@ -51,6 +51,18 @@ TEST(PiolintRules, D1CatchesWallClockPacedRebuildPlanner) {
   EXPECT_NE(diags[0].message.find("time"), std::string::npos);
 }
 
+TEST(PiolintRules, D1CatchesWallClockAgedCacheEviction) {
+  // pio::cache's determinism contract: page recency is logical list order,
+  // never wall-clock age. A steady_clock-aged eviction policy makes cache
+  // contents (and so hit counters and makespans) host-dependent, breaking
+  // byte-identical replay of cached campaigns (DESIGN.md §10).
+  const auto diags = lint_file(fixture("d1_wallclock_cache.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].line, 10);
+  EXPECT_NE(diags[0].message.find("steady_clock"), std::string::npos);
+}
+
 TEST(PiolintRules, D2FlagsUnorderedIterationFeedingOutput) {
   const auto diags = lint_file(fixture("d2_violation.cpp"));
   ASSERT_EQ(diags.size(), 1u);

@@ -174,6 +174,65 @@ TEST(LocalBackendTest, PathOfAndDescriptorTable) {
   EXPECT_EQ(backend.open_descriptors(), 0u);
 }
 
+TEST(LocalBackendTest, PartialReadAtEof) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/f", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  const auto data = pattern(100);
+  ASSERT_TRUE(backend.pwrite(fd.value(), data, 0).ok());
+  // A read straddling EOF returns the available prefix, not an error.
+  std::vector<std::byte> out(64);
+  auto read = backend.pread(fd.value(), out, 80);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), 20u);
+  EXPECT_EQ(std::memcmp(out.data(), data.data() + 80, 20), 0);
+  // Reads at and past EOF return zero bytes, still not an error.
+  EXPECT_EQ(backend.pread(fd.value(), out, 100).value(), 0u);
+  EXPECT_EQ(backend.pread(fd.value(), out, 4096).value(), 0u);
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+}
+
+TEST(LocalBackendTest, ZeroLengthReadAndWrite) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/f", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  std::span<std::byte> empty_out;
+  std::span<const std::byte> empty_in;
+  // Zero-length ops succeed, move nothing, and a zero-length write must not
+  // extend the file (POSIX pwrite(fd, buf, 0, off) semantics).
+  EXPECT_EQ(backend.pwrite(fd.value(), empty_in, 12345).value(), 0u);
+  EXPECT_EQ(backend.stat("/f").value().size, Bytes::zero());
+  EXPECT_EQ(backend.pread(fd.value(), empty_out, 0).value(), 0u);
+  ASSERT_TRUE(backend.pwrite(fd.value(), pattern(10), 0).ok());
+  EXPECT_EQ(backend.pread(fd.value(), empty_out, 5).value(), 0u);
+  EXPECT_EQ(backend.stat("/f").value().size, Bytes{10});
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+}
+
+TEST(LocalBackendTest, ReadOfHoleReturnsZeros) {
+  FileSystem fs;
+  LocalBackend backend{fs};
+  auto fd = backend.open("/sparse", {OpenMode::kReadWrite, true, false});
+  ASSERT_TRUE(fd.ok());
+  const auto data = pattern(16, 3);
+  const std::uint64_t far = 3 * FileSystem::kPageSize + 17;
+  ASSERT_TRUE(backend.pwrite(fd.value(), data, far).ok());
+  // The hole before the written extent reads as zeros, across page edges.
+  std::vector<std::byte> out(FileSystem::kPageSize + 64);
+  auto read = backend.pread(fd.value(), out, FileSystem::kPageSize - 32);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), out.size());
+  for (const auto b : out) EXPECT_EQ(b, std::byte{0});
+  // A read spanning hole + data sees zeros then the payload.
+  std::vector<std::byte> mixed(32);
+  ASSERT_EQ(backend.pread(fd.value(), mixed, far - 16).value(), 32u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(mixed[i], std::byte{0});
+  EXPECT_EQ(std::memcmp(mixed.data() + 16, data.data(), 16), 0);
+  EXPECT_EQ(backend.close(fd.value()), FsStatus::kOk);
+}
+
 TEST(LocalBackendTest, FsyncValidatesDescriptor) {
   FileSystem fs;
   LocalBackend backend{fs};

@@ -55,6 +55,43 @@ int cmd_stats(const std::string& path) {
     table.add_row({key.first, key.second, std::to_string(count)});
   }
   std::cout << table.to_string();
+
+  // Cache counter block: kCache events annotate each data op with the bytes
+  // the client cache served (reads) or absorbed (writes). Hit rate compares
+  // those bytes against the POSIX layer's totals for the same ops.
+  std::uint64_t cache_reads = 0, cache_writes = 0;
+  Bytes cache_read_bytes = Bytes::zero(), cache_write_bytes = Bytes::zero();
+  Bytes posix_read_bytes = Bytes::zero(), posix_write_bytes = Bytes::zero();
+  for (const auto& e : t.events()) {
+    if (e.layer == trace::Layer::kCache) {
+      if (e.op == trace::OpKind::kRead) {
+        ++cache_reads;
+        cache_read_bytes += Bytes{e.size};
+      } else if (e.op == trace::OpKind::kWrite) {
+        ++cache_writes;
+        cache_write_bytes += Bytes{e.size};
+      }
+    } else if (e.layer == trace::Layer::kPosix) {
+      if (e.op == trace::OpKind::kRead) posix_read_bytes += Bytes{e.size};
+      if (e.op == trace::OpKind::kWrite) posix_write_bytes += Bytes{e.size};
+    }
+  }
+  if (cache_reads + cache_writes > 0) {
+    std::cout << "cache:  " << format_bytes(cache_read_bytes) << " read from cache";
+    if (posix_read_bytes > Bytes::zero()) {
+      std::cout << " ("
+                << format_percent(cache_read_bytes.as_double() / posix_read_bytes.as_double())
+                << " of reads)";
+    }
+    std::cout << ", " << format_bytes(cache_write_bytes) << " absorbed";
+    if (posix_write_bytes > Bytes::zero()) {
+      std::cout << " ("
+                << format_percent(cache_write_bytes.as_double() /
+                                  posix_write_bytes.as_double())
+                << " of writes)";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 
