@@ -8,40 +8,68 @@
 // (client links, storage fabric) saturates; very small stripes hurt on
 // HDD (per-chunk positioning) but matter little on SSD.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "exec/pool.hpp"
 #include "workload/kernels.hpp"
 
 using namespace pio;
 using namespace pio::literals;
 
+namespace {
+
+struct SweepPoint {
+  pfs::DiskKind disk;
+  std::uint32_t stripe_count;
+  Bytes stripe_size;
+};
+
+}  // namespace
+
 int main() {
   bench::banner("A1", "ablation: stripe count and stripe size");
-  TextTable table{{"disk", "stripe count", "stripe size", "write bw"}};
+
+  // Flattened sweep: each point is an independent run on its own engine, so
+  // the pool fans them out (PIO_THREADS) and the rows merge back in sweep
+  // order — the table is byte-identical at any thread count.
+  std::vector<SweepPoint> points;
   for (const auto disk : {pfs::DiskKind::kHdd, pfs::DiskKind::kSsd}) {
     for (const std::uint32_t count : {1u, 2u, 4u, 8u}) {
       for (const Bytes size : {64_KiB, 1_MiB, 8_MiB}) {
-        auto system = bench::reference_testbed(disk);
-        workload::IorConfig ior;
-        ior.ranks = 16;
-        ior.block_size = 32_MiB;
-        ior.transfer_size = 8_MiB;
-        // The driver assigns the layout at file creation.
-        driver::SimRunConfig run_config;
-        run_config.layout = pfs::StripeLayout{size, count, 0};
-        sim::Engine engine{17};
-        pfs::PfsModel model{engine, system};
-        driver::ExecutionDrivenSimulator sim{engine, model, run_config};
-        const auto result = sim.run(*workload::ior_like(ior));
-        const auto bw = result.write_bandwidth();
-        table.add_row({disk == pfs::DiskKind::kHdd ? "hdd" : "ssd", std::to_string(count),
-                       format_bytes(size), format_bandwidth(bw)});
-        bench::emit_row(Record{{"disk", std::string(disk == pfs::DiskKind::kHdd ? "hdd" : "ssd")},
-                               {"stripe_count", static_cast<std::uint64_t>(count)},
-                               {"stripe_kib", size.kib()},
-                               {"write_mib_s", bw.mib_per_sec()}});
+        points.push_back(SweepPoint{disk, count, size});
       }
     }
+  }
+
+  exec::Pool pool;
+  const auto bandwidths = pool.map_ordered(points.size(), [&points](std::size_t i) {
+    const SweepPoint& point = points[i];
+    auto system = bench::reference_testbed(point.disk);
+    workload::IorConfig ior;
+    ior.ranks = 16;
+    ior.block_size = 32_MiB;
+    ior.transfer_size = 8_MiB;
+    // The driver assigns the layout at file creation.
+    driver::SimRunConfig run_config;
+    run_config.layout = pfs::StripeLayout{point.stripe_size, point.stripe_count, 0};
+    sim::Engine engine{17};
+    pfs::PfsModel model{engine, system};
+    driver::ExecutionDrivenSimulator sim{engine, model, run_config};
+    return sim.run(*workload::ior_like(ior)).write_bandwidth();
+  });
+
+  TextTable table{{"disk", "stripe count", "stripe size", "write bw"}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& point = points[i];
+    const auto bw = bandwidths[i];
+    const char* disk = point.disk == pfs::DiskKind::kHdd ? "hdd" : "ssd";
+    table.add_row({disk, std::to_string(point.stripe_count), format_bytes(point.stripe_size),
+                   format_bandwidth(bw)});
+    bench::emit_row(Record{{"disk", std::string(disk)},
+                           {"stripe_count", static_cast<std::uint64_t>(point.stripe_count)},
+                           {"stripe_kib", point.stripe_size.kib()},
+                           {"write_mib_s", bw.mib_per_sec()}});
   }
   std::cout << table.to_string();
   std::cout << "\nshape check: bandwidth grows with stripe count until the fabric\n"

@@ -27,6 +27,7 @@
 
 #include "bench_util.hpp"
 #include "cache/cache.hpp"
+#include "exec/pool.hpp"
 #include "workload/dlio.hpp"
 #include "workload/kernels.hpp"
 
@@ -144,20 +145,31 @@ int main() {
                 "a crash (DESIGN.md section 10)");
 
   // Part A: policy x capacity hit-rate curve on the shuffled DL kernel.
+  // The sweep points are independent runs on fresh engines: the pool fans
+  // them out and the merged row order is the flattened loop order, so the
+  // curve is byte-identical at any PIO_THREADS.
   const std::vector<std::uint64_t> capacities = {32, 64, 128, 256};
   const std::vector<cache::EvictionPolicy> policies = {cache::EvictionPolicy::kLru,
                                                        cache::EvictionPolicy::kTwoQ};
+  exec::Pool pool;
+  const auto curve_results =
+      pool.map_ordered(policies.size() * capacities.size(), [&](std::size_t i) {
+        const auto policy = policies[i / capacities.size()];
+        const auto capacity = capacities[i % capacities.size()];
+        return run_dlio(shared_cache(capacity, policy, cache::PrefetchMode::kNone), 3);
+      });
   TextTable curve{{"policy", "capacity", "hit rate", "evictions", "makespan"}};
   bool curve_climbs = true;
   bool makespan_falls = true;
-  for (const auto policy : policies) {
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    const auto policy = policies[pi];
     double first_rate = -1.0;
     double last_rate = -1.0;
     double first_ms = 0.0;
     double last_ms = 0.0;
-    for (const auto capacity : capacities) {
-      const auto result =
-          run_dlio(shared_cache(capacity, policy, cache::PrefetchMode::kNone), 3);
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+      const auto capacity = capacities[ci];
+      const auto& result = curve_results[pi * capacities.size() + ci];
       const double rate = result.cache_hit_rate();
       curve.add_row({to_string(policy), std::to_string(capacity) + " pages", percent(rate),
                      std::to_string(result.cache_evictions), format_time(result.makespan)});
@@ -202,11 +214,15 @@ int main() {
   const std::vector<cache::PrefetchMode> modes = {cache::PrefetchMode::kNone,
                                                   cache::PrefetchMode::kSequential,
                                                   cache::PrefetchMode::kEpoch};
+  const auto prefetch_results = pool.map_ordered(modes.size(), [&modes](std::size_t i) {
+    return run_dlio(shared_cache(96, cache::EvictionPolicy::kTwoQ, modes[i]), 3);
+  });
   TextTable prefetch{{"prefetch", "hit rate", "issued", "used", "wasted", "makespan"}};
   std::uint64_t epoch_used = 0;
   bool prefetch_accounted = true;
-  for (const auto mode : modes) {
-    const auto result = run_dlio(shared_cache(96, cache::EvictionPolicy::kTwoQ, mode), 3);
+  for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+    const auto mode = modes[mi];
+    const auto& result = prefetch_results[mi];
     prefetch.add_row({to_string(mode), percent(result.cache_hit_rate()),
                       std::to_string(result.cache_prefetch_issued),
                       std::to_string(result.cache_prefetch_used),

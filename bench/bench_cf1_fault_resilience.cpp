@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/pool.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/tracer.hpp"
 #include "workload/kernels.hpp"
@@ -52,16 +53,41 @@ int main() {
   const auto base_config = bench::reference_testbed(pfs::DiskKind::kSsd);
   const SimTime forever = SimTime::from_sec(3600.0);
 
-  // Part A: one straggling OST stretches the tail, not the median.
-  trace::Tracer healthy_tracer;
-  const auto healthy = bench::simulate(base_config, *workload, &healthy_tracer);
-  const Tail healthy_tail = data_op_tail(healthy_tracer.snapshot());
-
+  // All four runs (healthy, straggler, fail-fast outage, resilient outage)
+  // are independent simulations on fresh engines: fan them out through the
+  // pool and merge in submission order, so output is byte-identical at any
+  // PIO_THREADS. Tail percentiles are computed inside each task to avoid
+  // shipping whole traces back.
   auto straggling = base_config;
   straggling.faults.ost_straggler(0, SimTime::zero(), forever, 8.0);
-  trace::Tracer straggler_tracer;
-  const auto straggled = bench::simulate(straggling, *workload, &straggler_tracer);
-  const Tail straggler_tail = data_op_tail(straggler_tracer.snapshot());
+  auto dead_ost = base_config;
+  dead_ost.faults.ost_down(0, SimTime::zero(), forever);
+  auto resilient_config = dead_ost;
+  resilient_config.retry.max_attempts = 4;
+  resilient_config.retry.failover = true;
+  resilient_config.retry.op_timeout = SimTime::from_ms(250.0);
+
+  struct RunOut {
+    driver::SimRunResult result;
+    Tail tail;
+  };
+  const pfs::PfsConfig* const configs[] = {&base_config, &straggling, &dead_ost,
+                                           &resilient_config};
+  exec::Pool pool;
+  const auto runs = pool.map_ordered(4, [&configs, &workload](std::size_t i) {
+    const bool traced = i < 2;  // only parts A needs per-op latencies
+    trace::Tracer tracer;
+    RunOut out;
+    out.result = bench::simulate(*configs[i], *workload, traced ? &tracer : nullptr);
+    if (traced) out.tail = data_op_tail(tracer.snapshot());
+    return out;
+  });
+  const auto& healthy = runs[0].result;
+  const Tail& healthy_tail = runs[0].tail;
+  const auto& straggled = runs[1].result;
+  const Tail& straggler_tail = runs[1].tail;
+  const auto& fail_fast = runs[2].result;
+  const auto& resilient = runs[3].result;
 
   const double p50_amp = straggler_tail.p50_ms / healthy_tail.p50_ms;
   const double p99_amp = straggler_tail.p99_ms / healthy_tail.p99_ms;
@@ -81,16 +107,6 @@ int main() {
                          {"p99_amplification", p99_amp}});
 
   // Parts B + C: a dead OST, fail-fast vs resilient.
-  auto dead_ost = base_config;
-  dead_ost.faults.ost_down(0, SimTime::zero(), forever);
-  const auto fail_fast = bench::simulate(dead_ost, *workload);
-
-  auto resilient_config = dead_ost;
-  resilient_config.retry.max_attempts = 4;
-  resilient_config.retry.failover = true;
-  resilient_config.retry.op_timeout = SimTime::from_ms(250.0);
-  const auto resilient = bench::simulate(resilient_config, *workload);
-
   TextTable outage_table{
       {"policy", "failed ops", "retries", "timeouts", "failovers", "makespan"}};
   outage_table.add_row({"fail-fast (default)", std::to_string(fail_fast.failed_ops),

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/pool.hpp"
 #include "workload/kernels.hpp"
 
 using namespace pio;
@@ -86,12 +87,28 @@ int main() {
                 "rebuild bandwidth bounds recovery (DESIGN.md section 9)");
   const Bandwidth default_cap = Bandwidth::from_mib_per_sec(256.0);
 
+  // Both sweeps flattened into one fan-out: part A's replication factors
+  // (at the default cap) and part B's rebuild caps (at R=2). Each run_one
+  // builds its own engine, so the pool spreads them across PIO_THREADS and
+  // the merged row order — hence the output — never changes.
+  const std::vector<double> caps_mib = {64.0, 256.0, 1024.0};
+  struct SweepPoint {
+    std::uint32_t replicas;
+    Bandwidth cap;
+  };
+  std::vector<SweepPoint> plan;
+  for (std::uint32_t r = 1; r <= 3; ++r) plan.push_back({r, default_cap});
+  for (const double cap : caps_mib) plan.push_back({2, Bandwidth::from_mib_per_sec(cap)});
+  exec::Pool pool;
+  const auto runs = pool.map_ordered(
+      plan.size(), [&plan](std::size_t i) { return run_one(plan[i].replicas, plan[i].cap); });
+
   // Part A: replication factor sweep under the crash schedule.
   std::vector<DurabilityRun> sweep;
   TextTable table{{"replicas", "failed ops", "data lost ops", "lost bytes", "degraded reads",
                    "rebuilt", "makespan"}};
   for (std::uint32_t r = 1; r <= 3; ++r) {
-    const auto run = run_one(r, default_cap);
+    const auto& run = runs[r - 1];
     table.add_row({std::to_string(r), std::to_string(run.stats.failed_ops),
                    std::to_string(run.stats.data_lost_ops), format_bytes(run.report.lost),
                    std::to_string(run.stats.degraded_reads),
@@ -111,11 +128,11 @@ int main() {
                "the primary returns; R>=2 serves it degraded and resyncs online.\n\n";
 
   // Part B: rebuild bandwidth cap sweep at R=2.
-  const std::vector<double> caps_mib = {64.0, 256.0, 1024.0};
   std::vector<SimTime> windows;
   TextTable cap_table{{"rebuild cap", "rebuild window", "rebuilt"}};
-  for (const double cap : caps_mib) {
-    const auto run = run_one(2, Bandwidth::from_mib_per_sec(cap));
+  for (std::size_t ci = 0; ci < caps_mib.size(); ++ci) {
+    const double cap = caps_mib[ci];
+    const auto& run = runs[3 + ci];
     windows.push_back(run.rebuild_window);
     cap_table.add_row({format_double(cap, 0) + " MiB/s", format_time(run.rebuild_window),
                        format_bytes(run.stats.rebuilt_bytes)});

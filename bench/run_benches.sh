@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark artifacts at the repo root:
+#
+#   BENCH_engine.json           — google-benchmark JSON for the C-10 DES
+#                                 engine microbenchmarks (event storm,
+#                                 self-scheduling cascade, cancel paths)
+#   BENCH_campaign_scaling.json — C-12 campaign thread-scaling curve with
+#                                 the cross-thread determinism digest
+#
+# Usage:  bench/run_benches.sh [build-dir]
+#
+# Numbers are host-dependent; commit them as an honest record of the machine
+# the PR was validated on (CI treats the committed files as documentation,
+# not as a regression gate).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/bench/bench_c10_sim_engine" ]]; then
+  echo "error: $build_dir/bench/bench_c10_sim_engine not built" >&2
+  echo "hint: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== C-10 engine microbenchmarks -> BENCH_engine.json"
+"$build_dir/bench/bench_c10_sim_engine" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_engine.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "== C-12 campaign scaling -> BENCH_campaign_scaling.json"
+"$build_dir/bench/bench_c12_campaign_scaling" \
+  --json-out "$repo_root/BENCH_campaign_scaling.json"
+
+echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json"

@@ -5,8 +5,14 @@
 // against a deliberately mis-calibrated storage model, and prints the
 // per-iteration convergence plus the final characterization profile.
 //
-//   $ ./examples/workflow_campaign
+// The per-iteration sweep fans out across a worker pool; the result is
+// byte-identical at any width (DESIGN.md §11):
+//
+//   $ ./examples/workflow_campaign             # serial (or $PIO_THREADS)
+//   $ ./examples/workflow_campaign --threads 4
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/format.hpp"
 #include "eval/campaign.hpp"
@@ -16,8 +22,17 @@
 using namespace pio;
 using namespace pio::literals;
 
-int main() {
+int main(int argc, char** argv) {
   eval::CampaignConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      config.threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads <n>]\n";
+      return 2;
+    }
+  }
   // The testbed: SSD-backed system we can "measure".
   config.testbed.clients = 8;
   config.testbed.io_nodes = 2;

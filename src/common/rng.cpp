@@ -18,6 +18,16 @@ constexpr std::uint64_t mix64(std::uint64_t z) {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase, std::uint64_t iteration,
+                          std::uint64_t index) {
+  // Chain the finaliser over the whole key ("PIOSEEDS" domain-separates it
+  // from the Rng counter construction below).
+  std::uint64_t h = mix64(seed ^ 0x50494F5345454453ULL);
+  h = mix64(h ^ phase);
+  h = mix64(h ^ iteration);
+  return mix64(h ^ index);
+}
+
 Rng::Rng(std::uint64_t seed, std::uint64_t stream) : seed_(seed), stream_(stream) {}
 
 std::uint64_t Rng::next_u64() {

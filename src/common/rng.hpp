@@ -13,6 +13,14 @@
 
 namespace pio {
 
+/// Deterministic seed split: derive a collision-resistant seed for one
+/// (phase, iteration, index) coordinate of a campaign. Unlike `seed + k`
+/// arithmetic — where `seed + iter` and `seed + 1000 + iter` collide at
+/// iter >= 1000 — the full key is SplitMix64-mixed, so distinct coordinates
+/// map to distinct streams for any practical sweep size.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase,
+                                        std::uint64_t iteration = 0, std::uint64_t index = 0);
+
 /// SplitMix64-based counter RNG. Stateless apart from a 64-bit counter, so a
 /// stream can be forked (`substream`) without sharing state with its parent.
 class Rng {

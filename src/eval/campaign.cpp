@@ -5,7 +5,10 @@
 #include <stdexcept>
 
 #include "common/format.hpp"
+#include "common/rng.hpp"
+#include "exec/pool.hpp"
 #include "replay/trace_workload.hpp"
+#include "trace/profiler.hpp"
 #include "trace/tracer.hpp"
 
 namespace pio::eval {
@@ -89,6 +92,7 @@ driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
   pfs::PfsModel model{engine, system};
   driver::SimRunConfig run_config;
   run_config.cache = config_.cache;
+  run_config.layout = config_.layout;
   driver::ExecutionDrivenSimulator sim{engine, model, run_config};
   auto result = sim.run(workload, sink);
   // A leftover event here would mean the model leaked state into the next
@@ -104,35 +108,53 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
   CampaignResult result;
   double calibration = 1.0;
 
+  /// Everything one sweep point produces; merged in submission order below.
+  struct PointOutcome {
+    CampaignPoint point;
+    double ratio = 0.0;
+    bool has_ratio = false;
+    trace::Profile profile;  // populated on the final iteration only
+  };
+
+  exec::Pool pool{static_cast<int>(config_.threads)};
   trace::Profiler final_profiler;
   for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
     CampaignIteration iteration;
     iteration.index = iter;
     iteration.calibration_in_use = calibration;
-    double ratio_sum = 0.0;
-    std::size_t ratio_n = 0;
-    for (const auto* workload : sweep) {
+    const bool final_iter = iter + 1 == config_.iterations;
+    const double calibration_now = calibration;
+
+    // Each workload's measure→replay→simulate chain is one independent task
+    // on fresh engines with seeds derived from (seed, phase, iter, w), so
+    // the sweep fans out across threads while the merged outcome stays
+    // byte-identical at any thread count. The calibration feedback after
+    // the merge is the per-iteration barrier.
+    auto outcomes = pool.map_ordered(sweep.size(), [&, iter, final_iter,
+                                                    calibration_now](std::size_t w) {
+      PointOutcome out;
+      const workload::Workload& workload = *sweep[w];
+
       // Phase 1: measure on the testbed. The trace is the collected
-      // statistic; the profiler only needs the final iteration's pass.
+      // statistic; the profiler only matters on the final iteration's pass.
       trace::Tracer tracer;
+      trace::Profiler profiler;
       trace::MultiSink sinks;
       sinks.add(tracer);
-      trace::Profiler* profiler =
-          iter + 1 == config_.iterations ? &final_profiler : nullptr;
-      if (profiler != nullptr) sinks.add(*profiler);
-      const auto measured =
-          run_on(config_.testbed, *workload, config_.seed + iter, &sinks);
+      if (final_iter) sinks.add(profiler);
+      const auto measured = run_on(config_.testbed, workload,
+                                   derive_seed(config_.seed, kMeasurePhase, iter, w), &sinks);
 
       // Phase 2: model — replay-based workload from the measured trace.
       replay::TraceReplayConfig replay_config;
       const auto replayable = replay::workload_from_trace(tracer.take(), replay_config);
 
       // Phase 3: simulate the replay on the model system.
-      const auto simulated =
-          run_on(config_.model, *replayable, config_.seed + 1000 + iter, nullptr);
+      const auto simulated = run_on(config_.model, *replayable,
+                                    derive_seed(config_.seed, kSimulatePhase, iter, w), nullptr);
 
-      CampaignPoint point;
-      point.workload = workload->name();
+      CampaignPoint& point = out.point;
+      point.workload = workload.name();
       point.measured = measured.makespan;
       point.simulated_raw = simulated.makespan;
       point.failed_ops = measured.failed_ops;
@@ -153,12 +175,26 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.cache_writebacks = measured.cache_writebacks;
       point.cache_absorbed_writes = measured.cache_absorbed_writes;
       point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
-          static_cast<double>(simulated.makespan.ns()) * calibration));
-      iteration.points.push_back(point);
+          static_cast<double>(simulated.makespan.ns()) * calibration_now));
       if (simulated.makespan > SimTime::zero()) {
-        ratio_sum += measured.makespan.sec() / simulated.makespan.sec();
+        out.ratio = measured.makespan.sec() / simulated.makespan.sec();
+        out.has_ratio = true;
+      }
+      if (final_iter) out.profile = profiler.snapshot();
+      return out;
+    });
+
+    // Merge in submission order: float accumulation order and profile merge
+    // order are fixed regardless of which thread finished first.
+    double ratio_sum = 0.0;
+    std::size_t ratio_n = 0;
+    for (PointOutcome& out : outcomes) {
+      if (out.has_ratio) {
+        ratio_sum += out.ratio;
         ++ratio_n;
       }
+      if (final_iter) final_profiler.absorb(out.profile);
+      iteration.points.push_back(std::move(out.point));
     }
     result.iterations.push_back(std::move(iteration));
 

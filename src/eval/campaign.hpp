@@ -47,6 +47,16 @@ struct CampaignConfig {
   /// Client cache tier, applied to testbed and model runs alike — a
   /// first-class sweep axis (policy, capacity, prefetcher, scope).
   cache::CacheConfig cache{};
+  /// Stripe layout for files the workloads create (the driver's create
+  /// layout wins over the MDS default) — lets durability campaigns run
+  /// replicated without touching each workload.
+  pfs::StripeLayout layout{};
+  /// Worker threads for the per-iteration sweep fan-out (each workload's
+  /// measure→replay→simulate chain is one independent task on its own
+  /// engines and derived seeds). 0 resolves via exec::resolve_threads
+  /// (PIO_THREADS, else serial). The CampaignResult is byte-identical at
+  /// any thread count; the calibration feedback is the iteration barrier.
+  std::uint32_t threads = 0;
 };
 
 /// One sweep point in one iteration.
@@ -112,6 +122,12 @@ class Campaign {
   CampaignResult run(const std::vector<const workload::Workload*>& sweep);
 
  private:
+  /// Seed-split phases (see pio::derive_seed): testbed measurement and
+  /// model simulation draw from disjoint streams for every (iteration,
+  /// workload) coordinate — `seed + iter` / `seed + 1000 + iter` arithmetic
+  /// collided at >= 1000 iterations.
+  enum SeedPhase : std::uint64_t { kMeasurePhase = 1, kSimulatePhase = 2 };
+
   /// One execution-driven run on a fresh engine + PFS instance.
   driver::SimRunResult run_on(const pfs::PfsConfig& system, const workload::Workload& workload,
                               std::uint64_t seed, trace::Sink* sink) const;

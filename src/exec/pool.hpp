@@ -1,0 +1,77 @@
+// PIOEval exec: deterministic fan-out of independent simulation runs.
+//
+// §IV.C's case for simulation only holds if campaigns over large parameter
+// sweeps are cheap — the CODES/ROSS line of work the paper cites gets there
+// by running many model instances concurrently. This pool is PIOEval's
+// version of that: it fans *whole simulation runs* (each task constructs and
+// owns its own `sim::Engine`, PFS model, and seeds) out across threads,
+// while every `sim::Engine` itself stays single-threaded and sequential.
+//
+// Determinism contract (DESIGN.md §11):
+//   - Tasks must be independent: no shared mutable state, all randomness
+//     from seeds derived via `pio::derive_seed` before submission.
+//   - Results are merged in submission order (`map_ordered`), so the caller
+//     observes byte-identical output at any thread count.
+//   - Exceptions are captured per task; after every task has run, the one
+//     with the lowest submission index is rethrown — which exception the
+//     caller sees does not depend on scheduling.
+//   - Nested submission from inside a pool task throws std::logic_error at
+//     any thread count (including 1), so a task that would deadlock an
+//     8-thread pool fails identically in a serial run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace pio::exec {
+
+/// Resolve a thread-count knob. Precedence: `requested` when > 0, then the
+/// PIO_THREADS environment variable ("auto" = hardware concurrency), then 1
+/// (serial). The result is clamped to [1, 256].
+[[nodiscard]] int resolve_threads(int requested = 0);
+
+/// Fixed-size worker pool. Construction spawns `threads - 1` workers (the
+/// submitting thread participates in every job); a 1-thread pool spawns
+/// nothing and runs tasks inline with identical semantics.
+class Pool {
+ public:
+  /// `threads` <= 0 resolves via `resolve_threads` (PIO_THREADS, else 1).
+  explicit Pool(int threads = 0);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// True while the calling thread is executing a pool task (of any pool).
+  [[nodiscard]] static bool in_task();
+
+  /// Run `body(i)` for every i in [0, n) across the pool and block until
+  /// all have finished. Execution order is unspecified; error semantics and
+  /// completion are not. Rethrows the lowest-index captured exception after
+  /// every task has run. Throws std::logic_error on nested submission.
+  void for_all(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Run `fn(i)` for every i in [0, n) and return the results *in
+  /// submission order* — the deterministic merge primitive campaigns build
+  /// on. The result type must be default-constructible and movable.
+  template <typename F>
+  [[nodiscard]] auto map_ordered(std::size_t n, F&& fn)
+      -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+    using R = std::invoke_result_t<F&, std::size_t>;
+    static_assert(!std::is_void_v<R>, "use for_all for void tasks");
+    std::vector<R> results(n);
+    for_all(n, [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl: keeps <thread>/<mutex> machinery out of the header
+  int threads_;
+};
+
+}  // namespace pio::exec

@@ -137,6 +137,8 @@ Runtime::Runtime(int size) : size_(size) {
 
 void Runtime::run(const std::function<void(Comm&)>& body) {
   if (!body) throw std::invalid_argument("Runtime::run: empty body");
+  // The collectives runtime models ranks as threads; each rank is a peer,
+  // not a work item, so exec::Pool does not apply. piolint: allow(P1)
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));

@@ -1,90 +1,189 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 #include <string>
 
 #include "sim/check.hpp"
 
 namespace pio::sim {
 
-Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+namespace detail {
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw std::logic_error("Engine::schedule_at: time is in the past");
-  if (!fn) throw std::invalid_argument("Engine::schedule_at: empty handler");
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  ++pending_;
-  check::that(handlers_.size() == pending_, "handler-map/pending agreement",
-              "handlers=" + std::to_string(handlers_.size()) +
-                  " pending=" + std::to_string(pending_));
-  return id;
+OversizeSlab::~OversizeSlab() {
+  for (Block* list : free_lists_) {
+    while (list != nullptr) {
+      Block* next = list->next_free;
+      ::operator delete(static_cast<void*>(list));
+      list = next;
+    }
+  }
 }
 
-EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
-  if (delay < SimTime::zero()) {
-    throw std::logic_error("Engine::schedule_after: negative delay");
+void* OversizeSlab::allocate(std::size_t bytes) {
+  int size_class = 0;
+  while (size_class < kClasses && class_payload_bytes(size_class) < bytes) ++size_class;
+  if (size_class < kClasses) {
+    if (Block* block = free_lists_[size_class]; block != nullptr) {
+      free_lists_[size_class] = block->next_free;
+      return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
+    }
+    auto* block = static_cast<Block*>(
+        ::operator new(kHeaderBytes + class_payload_bytes(size_class)));
+    block->owner = this;
+    block->size_class = static_cast<std::uint32_t>(size_class);
+    block->next_free = nullptr;
+    return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  // Beyond the largest class: plain heap block, freed on release.
+  auto* block = static_cast<Block*>(::operator new(kHeaderBytes + bytes));
+  block->owner = nullptr;
+  block->size_class = 0;
+  block->next_free = nullptr;
+  return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
+}
+
+void OversizeSlab::release(void* payload) noexcept {
+  auto* block =
+      reinterpret_cast<Block*>(static_cast<unsigned char*>(payload) - kHeaderBytes);
+  if (block->owner == nullptr) {
+    ::operator delete(static_cast<void*>(block));
+    return;
+  }
+  OversizeSlab& slab = *block->owner;
+  block->next_free = slab.free_lists_[block->size_class];
+  slab.free_lists_[block->size_class] = block;
+}
+
+}  // namespace detail
+
+Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+
+EventId Engine::arm_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(gens_.size());
+    gens_.push_back(1);
+  }
+  ++pending_;
+  if constexpr (check::kEnabled) {
+    if (live_slots() != pending_) {
+      check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
+                                                " pending=" + std::to_string(pending_));
+    }
+  }
+  return (static_cast<EventId>(gens_[slot]) << 32) | slot;
+}
+
+void Engine::retire(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (++gens_[slot] == 0) gens_[slot] = 1;  // generation 0 is never issued
+  free_slots_.push_back(slot);
+  --pending_;
+}
+
+void Engine::push_entry(SimTime t, EventId id, detail::Task task) {
+  heap_.push_back(Entry{t, next_seq_++, id, std::move(task)});
+  // Sift up with a hole instead of pairwise swaps: one move per level.
+  std::size_t i = heap_.size() - 1;
+  Entry rising = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(rising, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(rising);
+}
+
+Engine::Entry Engine::pop_top() {
+  Entry out = std::move(heap_.front());
+  Entry sinking = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * 4 + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, n);
+      for (std::size_t child = first + 1; child < last; ++child) {
+        if (earlier(heap_[child], heap_[best])) best = child;
+      }
+      if (!earlier(heap_[best], sinking)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(sinking);
+  }
+  return out;
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  --pending_;
+  if (!armed(id)) return false;
+  retire(id);
+  // The heap entry (and its callable) is destroyed lazily when it surfaces.
   return true;
 }
 
+void Engine::fire(Entry& top) {
+  if constexpr (check::kEnabled) {
+    if (top.time < now_) {
+      check::fail("monotonic clock", "event at " + std::to_string(top.time.ns()) +
+                                         "ns behind now=" + std::to_string(now_.ns()) + "ns");
+    }
+    if (live_slots() != pending_) {
+      check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
+                                                " pending=" + std::to_string(pending_));
+    }
+    if (heap_.size() < pending_) {
+      check::fail("heap covers pending events", "heap=" + std::to_string(heap_.size()) +
+                                                    " pending=" + std::to_string(pending_));
+    }
+  }
+  now_ = top.time;
+  ++executed_;
+  top.task();
+}
+
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(top.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    // Move the handler out before invoking: the handler may schedule or
-    // cancel other events, mutating handlers_.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    --pending_;
-    check::that(top.time >= now_, "monotonic clock",
-                "event at " + std::to_string(top.time.ns()) + "ns behind now=" +
-                    std::to_string(now_.ns()) + "ns");
-    check::that(handlers_.size() == pending_, "handler-map/pending agreement",
-                "handlers=" + std::to_string(handlers_.size()) +
-                    " pending=" + std::to_string(pending_));
-    check::that(queue_.size() >= pending_, "heap covers pending events",
-                "heap=" + std::to_string(queue_.size()) +
-                    " pending=" + std::to_string(pending_));
-    now_ = top.time;
-    ++executed_;
-    fn();
+  while (!heap_.empty()) {
+    if (!armed(heap_.front().id)) {
+      pop_top();  // cancelled: drop the entry, destroying its callable
+      continue;
+    }
+    Entry top = pop_top();
+    retire(top.id);
+    fire(top);
     return true;
   }
   return false;
 }
 
-void Engine::assert_drained() const {
-  check::that(pending_ == 0 && handlers_.empty(), "queue drained at campaign end",
-              "pending=" + std::to_string(pending_) +
-                  " handlers=" + std::to_string(handlers_.size()));
-}
-
 std::uint64_t Engine::run(SimTime until) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip over cancelled entries to find the true next time.
-    const Entry top = queue_.top();
-    if (handlers_.find(top.id) == handlers_.end()) {
-      queue_.pop();
+    if (!armed(heap_.front().id)) {
+      pop_top();
       continue;
     }
-    if (top.time > until) break;
-    step();
+    if (heap_.front().time > until) break;
+    Entry top = pop_top();
+    retire(top.id);
+    fire(top);
     ++n;
   }
   return n;
+}
+
+void Engine::assert_drained() const {
+  check::that(pending_ == 0 && live_slots() == 0, "queue drained at campaign end",
+              "pending=" + std::to_string(pending_) +
+                  " live_slots=" + std::to_string(live_slots()));
 }
 
 }  // namespace pio::sim

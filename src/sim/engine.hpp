@@ -7,12 +7,23 @@
 // randomness flows through per-purpose `Rng` substreams of one campaign seed,
 // so two runs with equal inputs produce byte-identical outputs. Determinism
 // is load-bearing for the replay-fidelity and extrapolation experiments.
+//
+// Hot-path layout (DESIGN.md §11): an event is one entry in a 4-ary min-heap
+// ordered on (time, insertion seq). The callable lives *inside* the entry —
+// small callables (<= Task::kInlineBytes after decay) in an inline buffer,
+// oversized ones in a per-engine free-list slab — so scheduling an event
+// performs no per-event heap allocation in the common case and firing one
+// touches no side table. Cancellation is O(1) through a generation-tagged
+// slot array: `cancel` bumps the slot's generation, and the orphaned heap
+// entry (with its callable) is dropped lazily when it surfaces at the top.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -21,8 +32,145 @@
 namespace pio::sim {
 
 /// Event handle used to cancel a scheduled event. Cancellation is lazy: the
-/// slot is marked dead and skipped when popped.
+/// slot is marked dead and the entry skipped when popped. Never zero, so 0
+/// can serve as a "no event scheduled" sentinel in models.
 using EventId = std::uint64_t;
+
+namespace detail {
+
+/// Recycling allocator for event callables too large for the inline buffer
+/// of a heap entry. Freed payloads go on per-size-class free lists (64 B …
+/// 8 KiB, powers of two) owned by the engine, so a model that repeatedly
+/// schedules the same fat closure pays one allocation, not one per event.
+/// Payloads beyond the largest class fall back to plain new/delete.
+class OversizeSlab {
+ public:
+  OversizeSlab() = default;
+  OversizeSlab(const OversizeSlab&) = delete;
+  OversizeSlab& operator=(const OversizeSlab&) = delete;
+  ~OversizeSlab();
+
+  /// Storage for `bytes`, aligned for std::max_align_t.
+  [[nodiscard]] void* allocate(std::size_t bytes);
+
+  /// Return a payload obtained from `allocate` (any slab). O(1).
+  static void release(void* payload) noexcept;
+
+ private:
+  struct Block {
+    OversizeSlab* owner;       // nullptr: plain heap block, freed on release
+    std::uint32_t size_class;  // index into free_lists_ when owner != nullptr
+    Block* next_free;
+  };
+  // Payload follows the header at the next max_align_t boundary.
+  static constexpr std::size_t kHeaderBytes =
+      (sizeof(Block) + alignof(std::max_align_t) - 1) / alignof(std::max_align_t) *
+      alignof(std::max_align_t);
+  static constexpr int kClasses = 8;
+  static constexpr std::size_t class_payload_bytes(int size_class) {
+    return std::size_t{64} << size_class;
+  }
+
+  Block* free_lists_[kClasses] = {};
+};
+
+/// Move-only type-erased `void()` callable with inline small-buffer storage.
+/// The dispatch table is a plain struct of function pointers (no virtual
+/// call, no RTTI); relocation is noexcept so heap sifts never throw.
+class Task {
+ public:
+  /// Inline capacity: sized so a captureful lambda with a handful of
+  /// pointers/values — or a whole std::function — stays in the entry.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Task() noexcept = default;
+
+  template <typename F, typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, Task>>>
+  Task(F&& fn, OversizeSlab& slab) {
+    static_assert(std::is_invocable_r_v<void, Fn&>, "Task requires a void() callable");
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      void* payload = slab.allocate(sizeof(Fn));
+      try {
+        ::new (payload) Fn(std::forward<F>(fn));
+      } catch (...) {
+        OversizeSlab::release(payload);
+        throw;
+      }
+      *reinterpret_cast<void**>(static_cast<void*>(storage_)) = payload;
+      ops_ = &kOversizeOps<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  void operator()() { ops_->call(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* storage);
+    void (*relocate)(void* dst_storage, void* src_storage) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*static_cast<Fn*>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* storage) noexcept { static_cast<Fn*>(storage)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kOversizeOps{
+      [](void* storage) { (**static_cast<Fn**>(storage))(); },
+      [](void* dst, void* src) noexcept { *static_cast<void**>(dst) = *static_cast<void**>(src); },
+      [](void* storage) noexcept {
+        Fn* fn = *static_cast<Fn**>(storage);
+        fn->~Fn();
+        OversizeSlab::release(fn);
+      }};
+
+  void move_from(Task& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace detail
 
 /// Deterministic discrete-event scheduler.
 class Engine {
@@ -35,15 +183,33 @@ class Engine {
   /// Current simulated time. Monotonically non-decreasing across `step`.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (>= now). Throws on scheduling into
-  /// the past — a model bug that must fail loudly, not warp time.
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedule a `void()` callable at absolute time `t` (>= now). Throws on
+  /// scheduling into the past — a model bug that must fail loudly, not warp
+  /// time. Accepts any callable; an empty std::function is rejected.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    if (t < now_) throw std::logic_error("Engine::schedule_at: time is in the past");
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+      if (!fn) throw std::invalid_argument("Engine::schedule_at: empty handler");
+    }
+    detail::Task task{std::forward<F>(fn), slab_};
+    const EventId id = arm_slot();
+    push_entry(t, id, std::move(task));
+    return id;
+  }
 
   /// Schedule `fn` after a non-negative delay from now.
-  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    if (delay < SimTime::zero()) {
+      throw std::logic_error("Engine::schedule_after: negative delay");
+    }
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. O(1); the dead slot is dropped when it reaches the top.
+  /// cancelled. O(1); the dead entry (and its callable) is dropped when it
+  /// reaches the top of the heap.
   bool cancel(EventId id);
 
   /// Execute the single earliest pending event. Returns false if none.
@@ -75,23 +241,47 @@ class Engine {
     SimTime time;
     std::uint64_t seq;  // tie-break: insertion order at equal time
     EventId id;
-    // Ordering for a min-heap via std::greater.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    detail::Task task;
   };
+
+  static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffULL);
+  }
+  static constexpr std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Acquire a slot (free list first), tag it armed, return its EventId.
+  [[nodiscard]] EventId arm_slot();
+  /// Invalidate an armed id: bump the generation, recycle the slot.
+  void retire(EventId id);
+  [[nodiscard]] bool armed(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < gens_.size() && gens_[slot] == gen_of(id);
+  }
+  [[nodiscard]] std::uint64_t live_slots() const { return gens_.size() - free_slots_.size(); }
+
+  void push_entry(SimTime t, EventId id, detail::Task task);
+  /// Remove and return the heap top (caller checks non-empty).
+  Entry pop_top();
+  /// Fire `top` (already popped and retired). Shared by step/run.
+  void fire(Entry& top);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t seed_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // id -> callback; erased on fire/cancel. Separate from the heap so cancel
-  // is O(1) without heap surgery.
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  // Slab before heap_: teardown destroys entries (releasing oversized
+  // callables into the slab) before the slab itself is freed.
+  detail::OversizeSlab slab_;
+  std::vector<Entry> heap_;            // 4-ary min-heap on (time, seq)
+  std::vector<std::uint32_t> gens_;    // per-slot generation; ids embed theirs
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace pio::sim

@@ -189,6 +189,14 @@ void Profiler::record(const TraceEvent& event) {
   }
 }
 
+void Profiler::absorb(const Profile& profile) {
+  const std::scoped_lock lock(mutex_);
+  for (const FileRecord& record : profile.records()) {
+    auto [it, inserted] = records_.try_emplace({record.rank, record.path}, record);
+    if (!inserted) it->second.merge(record);
+  }
+}
+
 Profile Profiler::snapshot() const {
   const std::scoped_lock lock(mutex_);
   std::vector<FileRecord> records;

@@ -127,6 +127,12 @@ class Profiler final : public Sink {
 
   void record(const TraceEvent& event) override;
 
+  /// Merge a finished run's profile into this one (counters add, spans
+  /// widen). Campaigns profile each parallel run locally and absorb the
+  /// snapshots in submission order, so the merged profile is byte-identical
+  /// at any thread count.
+  void absorb(const Profile& profile);
+
   [[nodiscard]] Profile snapshot() const;
 
  private:

@@ -1,0 +1,25 @@
+// Fixture: raw threading primitives outside the sanctioned pool internals.
+// Three violations (std::thread spawn, std::jthread, std::async) and two
+// non-violations: hardware_concurrency is a query, and the annotated join
+// is suppressed.
+#include <future>
+#include <thread>
+
+namespace fixture {
+
+inline unsigned probe() {
+  return std::thread::hardware_concurrency();  // fine: a query, not a spawn
+}
+
+inline void spawn_adhoc() {
+  std::thread worker([] {});  // line 15: P1
+  worker.join();
+  std::jthread other([] {});  // line 17: P1
+  auto f = std::async([] { return 1; });  // line 18: P1
+  f.get();
+  // piolint: allow(P1)
+  std::thread sanctioned([] {});
+  sanctioned.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,357 @@
+// pio::exec: the deterministic parallel-sweep layer (DESIGN.md §11).
+//
+// Two families of guarantees under test. First, the pool's own contract:
+// results merge in submission order, exceptions propagate lowest-index
+// first after every task has run, and nested submission is rejected at any
+// thread count. Second, the campaign-level determinism requirement the
+// whole layer exists to preserve: a Campaign's FNV digest — across plain,
+// faulted, durability, and cached configurations — must be byte-identical
+// at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eval/campaign.hpp"
+#include "exec/pool.hpp"
+#include "fault/injector.hpp"
+#include "pfs/pfs.hpp"
+#include "workload/dlio.hpp"
+#include "workload/kernels.hpp"
+#include "workload/workflow.hpp"
+
+namespace pio {
+namespace {
+
+// -------------------------------------------------------------- FNV-1a 64
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffULL;
+      hash_ *= kFnvPrime;
+    }
+  }
+  void mix(const std::string& s) {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kFnvPrime;
+    }
+    mix(s.size());
+  }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+// ----------------------------------------------------------- pool contract
+
+TEST(ExecPool, ResolveThreadsPrecedence) {
+  ASSERT_EQ(::setenv("PIO_THREADS", "6", 1), 0);
+  EXPECT_EQ(exec::resolve_threads(3), 3) << "explicit request beats the environment";
+  EXPECT_EQ(exec::resolve_threads(0), 6) << "PIO_THREADS applies when unset";
+  ASSERT_EQ(::setenv("PIO_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(exec::resolve_threads(0), 1) << "unparseable PIO_THREADS falls back to serial";
+  ASSERT_EQ(::setenv("PIO_THREADS", "auto", 1), 0);
+  EXPECT_GE(exec::resolve_threads(0), 1);
+  ASSERT_EQ(::setenv("PIO_THREADS", "9999", 1), 0);
+  EXPECT_EQ(exec::resolve_threads(0), 256) << "clamped to the sanity ceiling";
+  ASSERT_EQ(::unsetenv("PIO_THREADS"), 0);
+  EXPECT_EQ(exec::resolve_threads(0), 1) << "no knob at all means serial";
+}
+
+TEST(ExecPool, MapOrderedReturnsResultsInSubmissionOrder) {
+  exec::Pool pool{4};
+  // Later tasks are cheaper, so under real parallelism completion order is
+  // roughly reversed — the merge order must not care.
+  const auto results = pool.map_ordered(64, [](std::size_t i) {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t k = 0; k < (64 - i) * 1000; ++k) sink = sink + k;
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ExecPool, EveryTaskRunsExactlyOnce) {
+  exec::Pool pool{8};
+  std::vector<std::atomic<int>> hits(100);
+  pool.for_all(100, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ExecPool, LowestIndexExceptionWinsAfterAllTasksRan) {
+  exec::Pool pool{4};
+  std::atomic<int> ran{0};
+  try {
+    pool.for_all(16, [&ran](std::size_t i) {
+      ++ran;
+      if (i == 11) throw std::runtime_error("boom11");
+      if (i == 3) throw std::runtime_error("boom3");
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom3") << "propagation must pick the lowest submission index";
+  }
+  EXPECT_EQ(ran.load(), 16) << "an exception must not abandon the remaining tasks";
+}
+
+TEST(ExecPool, NestedSubmissionIsRejectedInParallel) {
+  exec::Pool pool{4};
+  EXPECT_THROW(pool.for_all(8, [&pool](std::size_t) { pool.for_all(1, [](std::size_t) {}); }),
+               std::logic_error);
+}
+
+TEST(ExecPool, NestedSubmissionIsRejectedInSerialToo) {
+  // The rejection must not depend on the thread count, or a sweep that
+  // "works" serially would deadlock the moment PIO_THREADS goes up.
+  exec::Pool pool{1};
+  EXPECT_THROW(pool.for_all(2, [&pool](std::size_t) { pool.for_all(1, [](std::size_t) {}); }),
+               std::logic_error);
+  EXPECT_FALSE(exec::Pool::in_task());
+}
+
+TEST(ExecPool, ZeroTasksIsANoOp) {
+  exec::Pool pool{4};
+  const auto results = pool.map_ordered(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ExecPool, PoolIsReusableAcrossJobs) {
+  exec::Pool pool{3};
+  for (int round = 0; round < 20; ++round) {
+    const auto results = pool.map_ordered(7, [round](std::size_t i) {
+      return static_cast<std::uint64_t>(round) * 100 + i;
+    });
+    for (std::size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(results[i], static_cast<std::uint64_t>(round) * 100 + i);
+    }
+  }
+}
+
+// ----------------------------------------------------------- seed splitting
+
+TEST(SeedDerivation, PinnedValues) {
+  // Golden values: these are the streams every campaign run draws from, so
+  // a silent change to the split function shows up here, not as a vague
+  // determinism-hash diff three layers up.
+  EXPECT_EQ(derive_seed(1, 1, 0, 0), 0x2d770759bba40ff2ULL);
+  EXPECT_EQ(derive_seed(1, 2, 0, 0), 0x02e7165f18d57327ULL);
+  EXPECT_EQ(derive_seed(11, 1, 1, 0), 0x8427fdd9e3e3b86bULL);
+  EXPECT_EQ(derive_seed(11, 2, 0, 1000), 0xd2acf6b323e5c776ULL);
+  EXPECT_EQ(derive_seed(42, 1, 3, 2), 0xb6373dc1cacf4c1cULL);
+}
+
+TEST(SeedDerivation, NoPhaseCollisionAtThousandIterations) {
+  // The footgun this replaces: testbed runs used `seed + iter` and model
+  // runs `seed + 1000 + iter`, so (measure, iter=1000) == (simulate,
+  // iter=0). The split keys must stay pairwise distinct across phases and
+  // deep iteration counts.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t phase = 1; phase <= 2; ++phase) {
+    for (std::uint64_t iter = 0; iter <= 2000; iter += 100) {
+      for (std::uint64_t w = 0; w < 4; ++w) {
+        seen.push_back(derive_seed(7, phase, iter, w));
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "derived seeds collided";
+}
+
+// --------------------------------------- campaign determinism vs threads
+
+pfs::PfsConfig small_pfs() {
+  pfs::PfsConfig config;
+  config.clients = 8;
+  config.io_nodes = 2;
+  config.osts = 4;
+  config.disk_kind = pfs::DiskKind::kSsd;
+  return config;
+}
+
+/// Hash everything a CampaignResult carries: per-point timings and every
+/// resilience/durability/cache counter, plus the calibration trajectory and
+/// the merged final profile.
+std::uint64_t hash_campaign(const eval::CampaignResult& result) {
+  Fnv1a h;
+  for (const auto& iteration : result.iterations) {
+    h.mix(iteration.index);
+    h.mix(static_cast<std::uint64_t>(iteration.calibration_in_use * 1e12));
+    for (const auto& p : iteration.points) {
+      h.mix(p.workload);
+      h.mix(static_cast<std::uint64_t>(p.measured.ns()));
+      h.mix(static_cast<std::uint64_t>(p.simulated_raw.ns()));
+      h.mix(static_cast<std::uint64_t>(p.predicted.ns()));
+      h.mix(p.failed_ops);
+      h.mix(p.retries);
+      h.mix(p.timeouts);
+      h.mix(p.giveups);
+      h.mix(p.failovers);
+      h.mix(p.degraded_reads);
+      h.mix(p.data_lost_ops);
+      h.mix(p.rebuilds_completed);
+      h.mix(p.rebuilt_bytes.count());
+      h.mix(p.cache_hits);
+      h.mix(p.cache_misses);
+      h.mix(p.cache_evictions);
+      h.mix(p.cache_prefetch_issued);
+      h.mix(p.cache_prefetch_used);
+      h.mix(p.cache_prefetch_wasted);
+      h.mix(p.cache_writebacks);
+      h.mix(p.cache_absorbed_writes);
+    }
+  }
+  h.mix(static_cast<std::uint64_t>(result.final_calibration * 1e12));
+  for (const auto& record : result.profile.records()) {
+    h.mix(static_cast<std::uint64_t>(record.rank));
+    h.mix(record.path);
+    h.mix(record.opens);
+    h.mix(record.reads);
+    h.mix(record.writes);
+    h.mix(record.metadata_ops);
+    h.mix(record.bytes_read.count());
+    h.mix(record.bytes_written.count());
+    h.mix(record.sequential_reads);
+    h.mix(record.sequential_writes);
+  }
+  return h.digest();
+}
+
+/// Build a 4-workload sweep (two IOR geometries, shuffled DLIO, a DAG
+/// workflow) and run the closed loop at the given thread count.
+std::uint64_t run_campaign_at(std::uint32_t threads, eval::CampaignConfig config) {
+  config.threads = threads;
+  config.iterations = 2;
+
+  workload::IorConfig ior_a;
+  ior_a.ranks = 4;
+  ior_a.block_size = Bytes::from_mib(4);
+  ior_a.transfer_size = Bytes::from_mib(1);
+  workload::IorConfig ior_b = ior_a;
+  ior_b.transfer_size = Bytes::from_kib(256);
+  const auto wa = workload::ior_like(ior_a);
+  const auto wb = workload::ior_like(ior_b);
+
+  workload::DlioConfig dlio;
+  dlio.ranks = 4;
+  dlio.samples = 128;
+  dlio.samples_per_file = 32;
+  dlio.batch_size = 8;
+  dlio.shuffle = true;
+  dlio.seed = 5;
+  const auto wc = workload::dlio_like(dlio);
+
+  workload::WorkflowConfig wf;
+  wf.workers = 4;
+  wf.stages = 2;
+  wf.tasks_per_stage = 8;
+  wf.files_per_task = 2;
+  const auto wd = workload::workflow_dag(wf);
+
+  eval::Campaign campaign{config};
+  return hash_campaign(campaign.run({wa.get(), wb.get(), wc.get(), wd.get()}));
+}
+
+TEST(CampaignThreadDeterminism, PlainCampaignHashesIdenticalAt1_2_8Threads) {
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  config.model = small_pfs();
+  config.model.disk_kind = pfs::DiskKind::kHdd;  // mis-calibrated on purpose
+  config.seed = 11;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, FaultCampaignHashesIdenticalAt1_2_8Threads) {
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  config.testbed.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0))
+      .ost_straggler(2, SimTime::from_ms(1.0), SimTime::from_ms(30.0), 5.0);
+  fault::InjectorConfig injector;
+  injector.horizon = SimTime::from_ms(100.0);
+  injector.ost_crash_rate_hz = 40.0;
+  injector.ost_outage_mean = SimTime::from_ms(4.0);
+  config.testbed.fault_injector = injector;
+  config.testbed.retry.max_attempts = 3;
+  config.testbed.retry.op_timeout = SimTime::from_ms(40.0);
+  config.testbed.retry.failover = true;
+  config.model = small_pfs();
+  config.seed = 13;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, DurabilityCampaignHashesIdenticalAt1_2_8Threads) {
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  config.testbed.durability.track_contents = true;
+  config.testbed.durability.rebuild_bandwidth = Bandwidth::from_mib_per_sec(128.0);
+  config.layout.replicas = 2;  // the driver's create layout wins over the MDS default
+  config.testbed.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0));
+  config.testbed.retry.max_attempts = 2;
+  config.testbed.retry.failover = true;
+  config.model = small_pfs();
+  // The replicated create layout applies to the model replay too, and
+  // replicated layouts require contents tracking on whichever system runs
+  // them.
+  config.model.durability.track_contents = true;
+  config.seed = 21;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, CachedCampaignHashesIdenticalAt1_2_8Threads) {
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  config.model = small_pfs();
+  config.cache.enabled = true;
+  config.cache.scope = cache::CacheScope::kShared;
+  config.cache.policy = cache::EvictionPolicy::kTwoQ;
+  config.cache.prefetch = cache::PrefetchMode::kEpoch;
+  config.cache.capacity_pages = 96;
+  config.cache.max_dirty_pages = 32;
+  config.seed = 31;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, DifferentSeedsStillDiverge) {
+  // Needs a seed-sensitive system: a fault-free run draws nothing from the
+  // engine streams, so only an injector-driven config can prove the campaign
+  // seed actually reaches the per-task engines.
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  fault::InjectorConfig injector;
+  injector.horizon = SimTime::from_ms(100.0);
+  injector.ost_crash_rate_hz = 40.0;
+  injector.ost_outage_mean = SimTime::from_ms(4.0);
+  config.testbed.fault_injector = injector;
+  config.testbed.retry.max_attempts = 3;
+  config.testbed.retry.op_timeout = SimTime::from_ms(40.0);
+  config.testbed.retry.failover = true;
+  config.model = small_pfs();
+  config.seed = 11;
+  auto other = config;
+  other.seed = 12;
+  EXPECT_NE(run_campaign_at(2, config), run_campaign_at(2, other))
+      << "seed change must move the campaign digest (dead seed plumbing otherwise)";
+}
+
+}  // namespace
+}  // namespace pio

@@ -97,6 +97,29 @@ TEST(PiolintRules, R1SkipsOutOfLineMemberDefinitions) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(PiolintRules, P1FlagsRawThreadingPrimitives) {
+  const auto diags = lint_file(fixture("p1_raw_thread.cpp"));
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "P1");
+  EXPECT_EQ(diags[0].line, 15);
+  EXPECT_NE(diags[0].message.find("std::thread"), std::string::npos);
+  EXPECT_EQ(diags[1].rule, "P1");
+  EXPECT_EQ(diags[1].line, 17);
+  EXPECT_NE(diags[1].message.find("std::jthread"), std::string::npos);
+  EXPECT_EQ(diags[2].rule, "P1");
+  EXPECT_EQ(diags[2].line, 18);
+  EXPECT_NE(diags[2].message.find("std::async"), std::string::npos);
+}
+
+TEST(PiolintRules, P1SkipsHardwareConcurrencyQuery) {
+  // `std::thread::hardware_concurrency()` is a capability query, not a
+  // thread spawn — the lookahead must keep it (and any other static member
+  // access) out of scope.
+  const auto diags = lint_source(
+      "x.cpp", "unsigned n() { return std::thread::hardware_concurrency(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(PiolintRules, H1FlagsMissingPragmaOnce) {
   const auto diags = lint_file(fixture("h1_missing_pragma.hpp"));
   ASSERT_EQ(diags.size(), 1u);

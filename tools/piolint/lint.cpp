@@ -397,6 +397,29 @@ void rule_r1(const std::string& code, const Sink& sink) {
   }
 }
 
+// P1: raw threading primitives. Every std::thread/std::jthread/std::async
+// use outside the sanctioned pool internals (src/exec) and shared-memory
+// collectives (src/par) is a determinism hazard: ad-hoc threads race on
+// merge order and bypass the ordered-merge contract of exec::Pool. The rule
+// is annotation-based, not path-based — sanctioned sites carry
+// `piolint: allow(P1)` so every exemption is visible at the use site.
+// The lookahead keeps `std::thread::hardware_concurrency()` (a query, not a
+// spawn) out of scope.
+void rule_p1(const std::string& code, const Sink& sink) {
+  static const std::regex kRawThread(
+      R"(\bstd\s*::\s*(?:thread|jthread)\b(?!\s*::)|\bstd\s*::\s*async\b)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kRawThread), end; it != end; ++it) {
+    std::string tok = it->str();
+    tok.erase(std::remove_if(tok.begin(), tok.end(),
+                             [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }),
+              tok.end());
+    sink.report(line_of(code, static_cast<std::size_t>(it->position())), "P1",
+                "raw threading primitive '" + tok +
+                    "': fan work out through exec::Pool (ordered merge, deterministic "
+                    "seeds); pool/collective internals justify with piolint: allow(P1)");
+  }
+}
+
 // H1: header hygiene.
 void rule_h1(const std::string& path, const std::string& code,
              const std::vector<std::string>& lines, const Sink& sink) {
@@ -457,6 +480,7 @@ const std::vector<RuleInfo>& rules() {
       {"D2", "iteration over std::unordered_{map,set} (order feeds output)"},
       {"T1", "raw float time-unit arithmetic outside common/types.hpp"},
       {"R1", "pio::Result-returning function missing [[nodiscard]]"},
+      {"P1", "raw std::thread/std::jthread/std::async outside exec::Pool internals"},
       {"H1", "header hygiene (#pragma once, no using-namespace)"},
   };
   return kRules;
@@ -473,6 +497,7 @@ std::vector<Diagnostic> lint_source(const std::string& path, const std::string& 
   rule_d2(stripped.code, sink);
   rule_t1(path, lines, sink);
   rule_r1(stripped.code, sink);
+  rule_p1(stripped.code, sink);
   rule_h1(path, stripped.code, lines, sink);
 
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
