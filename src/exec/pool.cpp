@@ -99,9 +99,12 @@ struct Pool::Impl {
       wake.wait(lock, [&] { return stop || epoch != seen; });
       if (stop) return;
       seen = epoch;
+      // `job` may already be null: if the submitter (plus other workers)
+      // drained everything and for_all reset it before this worker won the
+      // mutex, the epoch still looks new but there is nothing to claim.
       const std::shared_ptr<Job> current = job;
       lock.unlock();
-      drain(current);
+      if (current) drain(current);
       lock.lock();
     }
   }

@@ -84,6 +84,12 @@ void Engine::retire(EventId id) {
   --pending_;
 }
 
+void Engine::reserve_entry() {
+  if (heap_.size() == heap_.capacity()) {
+    heap_.reserve(heap_.capacity() == 0 ? 16 : heap_.capacity() * 2);
+  }
+}
+
 void Engine::push_entry(SimTime t, EventId id, detail::Task task) {
   heap_.push_back(Entry{t, next_seq_++, id, std::move(task)});
   // Sift up with a hole instead of pairwise swaps: one move per level.
@@ -98,34 +104,58 @@ void Engine::push_entry(SimTime t, EventId id, detail::Task task) {
   heap_[i] = std::move(rising);
 }
 
+void Engine::sift_hole(std::size_t i, Entry sinking) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], sinking)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(sinking);
+}
+
 Engine::Entry Engine::pop_top() {
   Entry out = std::move(heap_.front());
   Entry sinking = std::move(heap_.back());
   heap_.pop_back();
-  if (!heap_.empty()) {
-    const std::size_t n = heap_.size();
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first = i * 4 + 1;
-      if (first >= n) break;
-      std::size_t best = first;
-      const std::size_t last = std::min(first + 4, n);
-      for (std::size_t child = first + 1; child < last; ++child) {
-        if (earlier(heap_[child], heap_[best])) best = child;
-      }
-      if (!earlier(heap_[best], sinking)) break;
-      heap_[i] = std::move(heap_[best]);
-      i = best;
-    }
-    heap_[i] = std::move(sinking);
-  }
+  if (!heap_.empty()) sift_hole(0, std::move(sinking));
   return out;
+}
+
+void Engine::compact() {
+  const auto first_dead = std::remove_if(
+      heap_.begin(), heap_.end(), [this](const Entry& entry) { return !armed(entry.id); });
+  heap_.erase(first_dead, heap_.end());  // destroys the cancelled callables
+  // Floyd heapify: sift from the last parent down to the root. Order on
+  // (time, seq) is a strict total order, so the resulting pop sequence is
+  // identical to the lazy path's — compaction cannot move the campaign hash.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      sift_hole(i, std::move(heap_[i]));
+    }
+  }
+  dead_ = 0;
 }
 
 bool Engine::cancel(EventId id) {
   if (!armed(id)) return false;
   retire(id);
-  // The heap entry (and its callable) is destroyed lazily when it surfaces.
+  ++dead_;
+  // The heap entry (and its callable) is normally destroyed lazily when it
+  // surfaces; once dead entries outnumber live ones, compact so cancelled
+  // handlers' captures are released and the heap cannot grow without bound
+  // under schedule-far-future-then-cancel. The threshold keeps small queues
+  // on the strict O(1) path, and the trigger depends only on the event
+  // sequence, so it is deterministic across runs and thread counts.
+  constexpr std::uint64_t kCompactMinDead = 64;
+  if (dead_ >= kCompactMinDead && dead_ * 2 > heap_.size()) compact();
   return true;
 }
 
@@ -139,9 +169,10 @@ void Engine::fire(Entry& top) {
       check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
                                                 " pending=" + std::to_string(pending_));
     }
-    if (heap_.size() < pending_) {
-      check::fail("heap covers pending events", "heap=" + std::to_string(heap_.size()) +
-                                                    " pending=" + std::to_string(pending_));
+    if (heap_.size() != pending_ + dead_) {
+      check::fail("heap covers pending + dead events",
+                  "heap=" + std::to_string(heap_.size()) + " pending=" +
+                      std::to_string(pending_) + " dead=" + std::to_string(dead_));
     }
   }
   now_ = top.time;
@@ -153,6 +184,7 @@ bool Engine::step() {
   while (!heap_.empty()) {
     if (!armed(heap_.front().id)) {
       pop_top();  // cancelled: drop the entry, destroying its callable
+      --dead_;
       continue;
     }
     Entry top = pop_top();
@@ -169,6 +201,7 @@ std::uint64_t Engine::run(SimTime until) {
     // Skip over cancelled entries to find the true next time.
     if (!armed(heap_.front().id)) {
       pop_top();
+      --dead_;
       continue;
     }
     if (heap_.front().time > until) break;

@@ -13,9 +13,11 @@
 // small callables (<= Task::kInlineBytes after decay) in an inline buffer,
 // oversized ones in a per-engine free-list slab — so scheduling an event
 // performs no per-event heap allocation in the common case and firing one
-// touches no side table. Cancellation is O(1) through a generation-tagged
-// slot array: `cancel` bumps the slot's generation, and the orphaned heap
-// entry (with its callable) is dropped lazily when it surfaces at the top.
+// touches no side table. Cancellation is amortised O(1) through a
+// generation-tagged slot array: `cancel` bumps the slot's generation, and the
+// orphaned heap entry (with its callable) is dropped lazily when it surfaces
+// at the top — or eagerly via compaction once dead entries outnumber live
+// ones, which bounds both heap growth and destructor deferral.
 #pragma once
 
 #include <cstddef>
@@ -93,6 +95,10 @@ class Task {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
       ops_ = &kInlineOps<Fn>;
     } else {
+      static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                    "Task: over-aligned callables are not supported — OversizeSlab "
+                    "guarantees only max_align_t alignment; store the over-aligned "
+                    "state behind a pointer (e.g. unique_ptr) in the capture");
       void* payload = slab.allocate(sizeof(Fn));
       try {
         ::new (payload) Fn(std::forward<F>(fn));
@@ -193,6 +199,9 @@ class Engine {
       if (!fn) throw std::invalid_argument("Engine::schedule_at: empty handler");
     }
     detail::Task task{std::forward<F>(fn), slab_};
+    // Capacity first: once the slot is armed, push_entry must not throw, or
+    // pending_/live_slots() would diverge from the heap.
+    reserve_entry();
     const EventId id = arm_slot();
     push_entry(t, id, std::move(task));
     return id;
@@ -208,8 +217,11 @@ class Engine {
   }
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. O(1); the dead entry (and its callable) is dropped when it
-  /// reaches the top of the heap.
+  /// cancelled. Amortised O(1); the dead entry is normally dropped when it
+  /// reaches the top of the heap, but once dead entries outnumber live ones
+  /// the heap is compacted, so a cancelled callable (and anything it
+  /// captures) is destroyed after at most O(live) further cancellations —
+  /// schedule-far-future-then-cancel cannot grow the heap without bound.
   bool cancel(EventId id);
 
   /// Execute the single earliest pending event. Returns false if none.
@@ -265,9 +277,15 @@ class Engine {
   }
   [[nodiscard]] std::uint64_t live_slots() const { return gens_.size() - free_slots_.size(); }
 
+  /// Grow heap_ (amortised doubling) so the next push cannot throw.
+  void reserve_entry();
   void push_entry(SimTime t, EventId id, detail::Task task);
   /// Remove and return the heap top (caller checks non-empty).
   Entry pop_top();
+  /// Sink `sinking` into the hole at index `i`, restoring heap order.
+  void sift_hole(std::size_t i, Entry sinking);
+  /// Erase cancelled entries (destroying their callables) and re-heapify.
+  void compact();
   /// Fire `top` (already popped and retired). Shared by step/run.
   void fire(Entry& top);
 
@@ -276,6 +294,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t pending_ = 0;
+  std::uint64_t dead_ = 0;  // cancelled entries still sitting in heap_
   // Slab before heap_: teardown destroys entries (releasing oversized
   // callables into the slab) before the slab itself is freed.
   detail::OversizeSlab slab_;

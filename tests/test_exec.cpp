@@ -121,6 +121,20 @@ TEST(ExecPool, NestedSubmissionIsRejectedInSerialToo) {
   EXPECT_FALSE(exec::Pool::in_task());
 }
 
+TEST(ExecPool, RapidTinyJobsSurviveLateWakingWorkers) {
+  // Regression: a worker slow to wake could observe the epoch bump *after*
+  // the submitter (plus faster workers) had drained the job and for_all had
+  // already reset the shared pointer — it then dereferenced a null Job.
+  // Tiny jobs on a wide pool make that window common; pre-fix this loop
+  // crashed within a few hundred rounds on a loaded machine.
+  exec::Pool pool{8};
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.for_all(2, [&total](std::size_t i) { total += i + 1; });
+  }
+  EXPECT_EQ(total.load(), 2000u * 3u);
+}
+
 TEST(ExecPool, ZeroTasksIsANoOp) {
   exec::Pool pool{4};
   const auto results = pool.map_ordered(0, [](std::size_t i) { return i; });

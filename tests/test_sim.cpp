@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine and queueing primitives.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -50,6 +51,48 @@ TEST(EngineTest, CancelPreventsExecution) {
   e.run();
   EXPECT_FALSE(fired);
   EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(EngineTest, MassCancellationCompactsAndReleasesCaptures) {
+  // Cancellation is lazy, but not unboundedly so: once dead entries
+  // outnumber live ones the heap compacts, destroying the cancelled
+  // callables. A schedule-far-future-then-cancel pattern must therefore
+  // release its captures promptly (only a sub-threshold residue < 64 may
+  // linger until it surfaces or the next compaction).
+  Engine e;
+  auto token = std::make_shared<int>(7);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(e.schedule_after(SimTime::from_ms(100.0 + i), [token] { (void)*token; }));
+  }
+  EXPECT_EQ(token.use_count(), 1001);
+  for (const EventId id : ids) EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.events_pending(), 0u);
+  EXPECT_LT(token.use_count(), 65) << "compaction should have destroyed cancelled callables";
+  e.run();  // drains the residue
+  e.assert_drained();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EngineTest, CancellationInterleavedWithExecutionKeepsOrder) {
+  // Compaction re-heapifies; the (time, seq) total order must make the pop
+  // sequence identical to the purely lazy path.
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 300; ++i) {
+    const EventId id = e.schedule_at(SimTime::from_us(10.0 + i), [&order, i] {
+      order.push_back(i);
+    });
+    if (i % 3 != 0) cancelled.push_back(id);
+  }
+  for (const EventId id : cancelled) EXPECT_TRUE(e.cancel(id));
+  e.run();
+  e.assert_drained();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], static_cast<int>(k) * 3);
+  }
 }
 
 TEST(EngineTest, RunUntilStopsAtHorizon) {
