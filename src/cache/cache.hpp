@@ -12,13 +12,15 @@
 
 #include <cstdint>
 
+#include "common/seed_streams.hpp"
 #include "common/types.hpp"
 
 namespace pio::cache {
 
 /// Engine Rng stream id reserved for epoch-warming order/pacing. Warm
-/// schedules must replay byte-identically for equal campaign seeds.
-inline constexpr std::uint64_t kWarmRngStream = 0xFA017003ULL;
+/// schedules must replay byte-identically for equal campaign seeds; claimed
+/// in the seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kWarmRngStream = seeds::kCacheWarmStream;
 
 /// Page replacement policy.
 enum class EvictionPolicy : std::uint8_t {

@@ -16,12 +16,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/seed_streams.hpp"
 #include "common/types.hpp"
 
 namespace pio::fault {
 
-/// Engine Rng stream id reserved for materializing stochastic fault plans.
-inline constexpr std::uint64_t kFaultRngStream = 0xFA017000ULL;
+/// Engine Rng stream id reserved for materializing stochastic fault plans;
+/// claimed in the seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kFaultRngStream = seeds::kFaultPlanStream;
 
 enum class ComponentKind : std::uint8_t {
   kOst,

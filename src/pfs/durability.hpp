@@ -20,12 +20,14 @@
 #include <vector>
 
 #include "common/interval_set.hpp"
+#include "common/seed_streams.hpp"
 #include "common/types.hpp"
 
 namespace pio::pfs {
 
-/// Engine Rng stream id reserved for rebuild pacing jitter.
-inline constexpr std::uint64_t kRebuildRngStream = 0xFA017002ULL;
+/// Engine Rng stream id reserved for rebuild pacing jitter; claimed in the
+/// seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kRebuildRngStream = seeds::kRebuildPaceStream;
 
 /// Identity of one acknowledged write. 0 is reserved for "hole / never
 /// written"; tokens only grow, so a larger token is always the newer data.

@@ -11,12 +11,14 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/seed_streams.hpp"
 #include "common/types.hpp"
 
 namespace pio::pfs {
 
-/// Engine Rng stream id reserved for retry backoff jitter.
-inline constexpr std::uint64_t kRetryRngStream = 0xFA017001ULL;
+/// Engine Rng stream id reserved for retry backoff jitter; claimed in the
+/// seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kRetryRngStream = seeds::kRetryJitterStream;
 
 /// Why a data-path operation failed. kNone means success.
 enum class IoError : std::uint8_t {

@@ -1,0 +1,20 @@
+// C2 fixture: by-reference lambda captures handed to deferring sinks
+// (schedule_at / submit). By-value captures must stay silent.
+namespace fix {
+
+struct Eng {
+  template <typename F>
+  void schedule_at(int, F&&) {}
+  template <typename F>
+  void submit(int, F&&) {}
+};
+
+inline void use(Eng& e) {
+  int x = 0;
+  e.schedule_at(1, [&] { (void)x; });
+  e.submit(2, [&x] { (void)x; });
+  e.schedule_at(3, [x] { (void)x; });
+  e.schedule_at(4, [=] { (void)x; });
+}
+
+}  // namespace fix

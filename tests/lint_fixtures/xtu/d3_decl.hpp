@@ -1,0 +1,16 @@
+// D3 fixture, declaration side: one unordered member and one ordered member.
+// Nothing here iterates them, so the file itself is D2-clean.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fix {
+
+struct PageTable {
+  std::unordered_map<std::uint64_t, int> pages_;
+  std::vector<int> rows_;
+};
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// D3 fixture, use side: iterates pages_ (declared unordered in d3_decl.hpp;
+// cross-file, so D2 cannot see it) and rows_ (declared ordered -> silent).
+#include "d3_decl.hpp"
+
+namespace fix {
+
+inline int walk(PageTable& t) {
+  int sum = 0;
+  for (const auto& p : t.pages_) sum += p.second;
+  for (const int r : t.rows_) sum += r;
+  return sum;
+}
+
+}  // namespace fix

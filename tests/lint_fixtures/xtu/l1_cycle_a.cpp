@@ -1,0 +1,20 @@
+// L1 fixture, forward direction: acquires m_a then m_b. On its own this is
+// a consistent order (no finding); combined with l1_cycle_b.cpp it closes
+// the m_a -> m_b -> m_a cycle.
+#include <mutex>
+
+namespace fix {
+
+struct Forward {
+  std::mutex m_a;
+  std::mutex m_b;
+  int v = 0;
+
+  void fwd() {
+    std::lock_guard<std::mutex> g1(m_a);
+    std::lock_guard<std::mutex> g2(m_b);
+    ++v;
+  }
+};
+
+}  // namespace fix

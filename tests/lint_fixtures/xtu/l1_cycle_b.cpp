@@ -1,0 +1,25 @@
+// L1 fixture, reverse direction: acquires m_b then m_a, closing the cycle
+// with l1_cycle_a.cpp. The multi-arg scoped_lock acquires both atomically
+// (deadlock-avoidance algorithm) and must not contribute an edge.
+#include <mutex>
+
+namespace fix {
+
+struct Reverse {
+  std::mutex m_a;
+  std::mutex m_b;
+  int v = 0;
+
+  void rev() {
+    std::lock_guard<std::mutex> g1(m_b);
+    std::lock_guard<std::mutex> g2(m_a);
+    ++v;
+  }
+
+  void both() {
+    std::scoped_lock g(m_a, m_b);
+    ++v;
+  }
+};
+
+}  // namespace fix

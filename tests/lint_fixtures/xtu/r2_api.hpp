@@ -1,0 +1,14 @@
+// R2 fixture, API side: a Result-returning function declared in a header.
+// Carries [[nodiscard]] so the per-file R1 rule stays silent.
+#pragma once
+
+namespace fix {
+
+template <typename T>
+struct Result {
+  T value{};
+};
+
+[[nodiscard]] Result<int> parse_thing();
+
+}  // namespace fix

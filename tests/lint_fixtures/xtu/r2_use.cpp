@@ -1,0 +1,13 @@
+// R2 fixture, call side: discards the Result of a function declared in a
+// different TU (r2_api.hpp). The bound call below must stay silent.
+#include "r2_api.hpp"
+
+namespace fix {
+
+inline void drive() {
+  parse_thing();
+  auto kept = parse_thing();
+  (void)kept;
+}
+
+}  // namespace fix

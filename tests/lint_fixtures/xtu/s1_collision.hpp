@@ -1,0 +1,11 @@
+// S1 positive: a stream id defined outside the registry, whose value also
+// collides with a registry claim (kBetaStream).
+#pragma once
+
+#include <cstdint>
+
+namespace fix {
+
+inline constexpr std::uint64_t kGammaStream = 0xAB010001ULL;
+
+}  // namespace fix

@@ -1,0 +1,10 @@
+// S1 positive: a raw integer literal equal to a claimed stream id. The
+// unrelated literal below it must stay silent.
+#include <cstdint>
+
+namespace fix {
+
+inline std::uint64_t claimed_value() { return 0xAB010000ULL; }
+inline std::uint64_t unrelated_value() { return 0xDEADBEEFULL; }
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Fixture seed-stream registry. The analyzer detects registries by path
+// suffix "seed_streams.hpp", so definitions here are the claimed streams
+// for the xtu fixture project.
+#pragma once
+
+#include <cstdint>
+
+namespace fix {
+
+inline constexpr std::uint64_t kAlphaStream = 0xAB010000ULL;
+inline constexpr std::uint64_t kBetaStream = 0xAB010001ULL;
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Allow-suppression fixture for the cross-TU rules: every violation below
+// carries an allow directive, so the project pass must report nothing here.
+//
+// piolint: allow-file(C2)
+#include <cstdint>
+
+namespace fix {
+
+// piolint: allow(S1)
+inline constexpr std::uint64_t kZetaStream = 0xAB010777ULL;
+
+struct Eng {
+  template <typename F>
+  void schedule_at(int, F&&) {}
+};
+
+inline void use(Eng& e) {
+  int x = 0;
+  e.schedule_at(1, [&] { (void)x; });
+}
+
+}  // namespace fix

@@ -47,8 +47,8 @@ TEST(BytesTest, SubtractionUnderflowThrows) {
 
 TEST(BandwidthTest, TransferTime) {
   const auto bw = Bandwidth::from_mib_per_sec(100.0);
-  EXPECT_NEAR(bw.transfer_time(100_MiB).sec(), 1.0, 1e-9);
-  EXPECT_NEAR(bw.transfer_time(50_MiB).ms(), 500.0, 1e-6);
+  EXPECT_NEAR(bw.transfer_time(100_MiB).sec(), 1.0, 1e-9);  // piolint: allow(T1) NEAR tolerance
+  EXPECT_NEAR(bw.transfer_time(50_MiB).ms(), 500.0, 1e-6);  // piolint: allow(T1) NEAR tolerance
   EXPECT_THROW((void)Bandwidth{0.0}.transfer_time(1_KiB), std::domain_error);
 }
 

@@ -115,6 +115,7 @@ TEST(DeterminismRegression, EngineEventOrderIsReproducible) {
     // A self-rescheduling cascade with random delays plus same-time events:
     // ties must fire in insertion order, draws must replay exactly.
     for (int i = 0; i < 8; ++i) {
+      // piolint: allow(C2) — engine is drained by run() in this same scope.
       engine.schedule_at(SimTime::from_ns(100), [&h, i] { h.mix(static_cast<std::uint64_t>(i)); });
     }
     std::function<void()> cascade = [&] {

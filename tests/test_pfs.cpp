@@ -1,5 +1,9 @@
 // Unit tests for the parallel-file-system model: striping, disks, OST, MDS,
 // burst buffer, and the end-to-end facade.
+//
+// piolint: allow-file(C2) — test bodies schedule against a stack-local
+// engine/model and drain it in the same scope, so by-reference captures
+// cannot outlive their frame; library code gets no such exemption.
 #include <gtest/gtest.h>
 
 #include <map>

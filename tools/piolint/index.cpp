@@ -1,0 +1,658 @@
+#include "piolint/index.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "exec/pool.hpp"
+
+namespace pio::lint {
+
+namespace {
+
+using lex::balance_angles;
+using lex::balance_parens;
+using lex::is_ident;
+using lex::line_of;
+using lex::skip_ws;
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llX", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Pass-1 fact extraction (all scans run on stripped code).
+// ---------------------------------------------------------------------------
+
+// Stream-id constant definitions: `constexpr <int-type> k...Stream... = <int
+// literal>`. An initialiser that is another named constant (the registry
+// alias pattern) is deliberately not a definition.
+void collect_stream_defs(const std::string& code, FileFacts& facts) {
+  static const std::regex kDef(
+      R"(\bconstexpr\s+(?:std\s*::\s*)?(?:std::)?u?int64_t\s+(k\w*Stream\w*)\s*=\s*)"
+      R"((0[xX][0-9a-fA-F']+|\d[\d']*)\s*(?:[uU]?[lL]{0,2})\s*;)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kDef), end; it != end; ++it) {
+    std::string lit = (*it)[2].str();
+    lit.erase(std::remove(lit.begin(), lit.end(), '\''), lit.end());
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(lit, nullptr, 0);
+    } catch (...) {
+      continue;
+    }
+    facts.stream_defs.push_back(
+        {(*it)[1].str(), value, line_of(code, static_cast<std::size_t>(it->position()))});
+  }
+}
+
+// Hex integer literals, pass-2 fodder for the raw-stream-id check. Hex only:
+// stream ids are conventionally hex, and decimal literals (sizes, counts)
+// would drown the index in noise.
+void collect_int_literals(const std::string& code, FileFacts& facts) {
+  static const std::regex kHex(R"(0[xX][0-9a-fA-F']+)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kHex), end; it != end; ++it) {
+    std::string lit = it->str().substr(2);
+    lit.erase(std::remove(lit.begin(), lit.end(), '\''), lit.end());
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(lit, nullptr, 16);
+    } catch (...) {
+      continue;
+    }
+    facts.int_literals.push_back({value, line_of(code, static_cast<std::size_t>(it->position()))});
+  }
+}
+
+// Functions returning pio::Result<T>, by declared name (the terminal
+// identifier for out-of-line qualified definitions).
+void collect_result_fns(const std::string& code, FileFacts& facts) {
+  static const std::regex kResult(R"(\b(?:pio\s*::\s*)?Result\s*<)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kResult), end; it != end; ++it) {
+    const auto open =
+        static_cast<std::size_t>(it->position()) + static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t after = balance_angles(code, open);
+    if (after == std::string::npos) continue;
+    std::size_t p = skip_ws(code, after);
+    std::size_t seg_start = p;
+    std::string last;
+    while (p < code.size()) {
+      if (is_ident(code[p])) {
+        ++p;
+      } else if (code[p] == ':' && p + 1 < code.size() && code[p + 1] == ':') {
+        last = code.substr(seg_start, p - seg_start);
+        p += 2;
+        seg_start = p;
+      } else {
+        break;
+      }
+    }
+    if (p == seg_start && last.empty()) continue;
+    if (p > seg_start) last = code.substr(seg_start, p - seg_start);
+    const std::size_t q = skip_ws(code, p);
+    if (q >= code.size() || code[q] != '(') continue;  // variable, member, value
+    if (last == "if" || last == "while" || last == "for" || last == "switch" ||
+        last == "return" || last.empty()) {
+      continue;
+    }
+    facts.result_fns.insert(last);
+  }
+}
+
+// Functions declared with a plain (non-Result) return type. Pass 2 uses
+// these to keep R2 precise: a name declared both ways somewhere in the
+// project (`write` on an I/O tier vs `write` on pio::h5::Dataset) is
+// ambiguous under name-only matching, so R2 stays silent for it.
+void collect_plain_fns(const std::string& code, FileFacts& facts) {
+  static const std::regex kPlain(
+      R"(\b(?:void|bool|int|unsigned|long|float|double|auto|char)\s+([A-Za-z_]\w*)\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kPlain), end; it != end; ++it) {
+    facts.plain_fns.insert((*it)[1].str());
+  }
+}
+
+// Statement-position calls whose value is discarded: a call chain of plain
+// identifiers (`a::b.c->d(...)`) that starts a statement and whose closing
+// ')' is directly followed by ';'. Chains with intermediate calls
+// (`a().b();`) are skipped — a lexer-level tool errs toward silence.
+void collect_discarded_calls(const std::string& code, FileFacts& facts) {
+  static const std::regex kCall(R"(\b([A-Za-z_]\w*)\s*\()");
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",   "for",        "switch",        "return", "new",
+      "delete", "sizeof",  "alignof",    "catch",         "throw",  "assert",
+      "case",   "goto",    "co_return",  "co_await",      "defined"};
+  for (std::sregex_iterator it(code.begin(), code.end(), kCall), end; it != end; ++it) {
+    const std::string name = (*it)[1].str();
+    if (kKeywords.count(name) != 0) continue;
+
+    // Walk back over the qualification chain to the statement head.
+    auto skip_ws_back = [&](std::size_t r) {
+      while (r > 0 && std::isspace(static_cast<unsigned char>(code[r - 1])) != 0) --r;
+      return r;
+    };
+    std::size_t q = static_cast<std::size_t>(it->position());
+    bool bare_chain = true;
+    while (true) {
+      std::size_t r = skip_ws_back(q);
+      if (r >= 2 && code[r - 1] == ':' && code[r - 2] == ':') {
+        r -= 2;
+      } else if (r >= 2 && code[r - 1] == '>' && code[r - 2] == '-') {
+        r -= 2;
+      } else if (r >= 1 && code[r - 1] == '.') {
+        r -= 1;
+      } else {
+        q = r;
+        break;
+      }
+      r = skip_ws_back(r);
+      std::size_t s = r;
+      while (s > 0 && is_ident(code[s - 1])) --s;
+      if (s == r) {  // separator not preceded by a plain identifier
+        bare_chain = false;
+        break;
+      }
+      q = s;
+    }
+    if (!bare_chain) continue;
+    if (q != 0) {
+      const char before = code[q - 1];
+      if (before != ';' && before != '{' && before != '}') continue;
+    }
+    // The chain-head identifier must not itself be a keyword (`return x(...)`).
+    {
+      std::size_t s = q;
+      std::size_t e = s;
+      while (e < code.size() && is_ident(code[e])) ++e;
+      if (kKeywords.count(code.substr(s, e - s)) != 0) continue;
+    }
+
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t after = balance_parens(code, open);
+    if (after == std::string::npos) continue;
+    const std::size_t tail = skip_ws(code, after);
+    if (tail >= code.size() || code[tail] != ';') continue;
+    facts.discarded_calls.push_back(
+        {name, line_of(code, static_cast<std::size_t>(it->position()))});
+  }
+}
+
+// Lambdas with by-reference captures inside the argument list of a deferring
+// sink. `for_all`/`map_ordered` are deliberately absent: they block until the
+// callable has run, so by-reference captures there are sound.
+void collect_deferred_captures(const std::string& code, FileFacts& facts) {
+  static const std::regex kSink(R"(\b(schedule_at|schedule_after|submit)\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kSink), end; it != end; ++it) {
+    const std::string sink = (*it)[1].str();
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t after = balance_parens(code, open);
+    if (after == std::string::npos) continue;
+    // Scan the argument range for lambda introducers: '[' whose previous
+    // non-ws char is '(' or ',' (an expression position, not a subscript).
+    for (std::size_t i = open + 1; i + 1 < after; ++i) {
+      if (code[i] != '[') continue;
+      std::size_t r = i;
+      while (r > 0 && std::isspace(static_cast<unsigned char>(code[r - 1])) != 0) --r;
+      if (r == 0 || (code[r - 1] != '(' && code[r - 1] != ',')) continue;
+      // Matching ']' of the capture list.
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i; j < after; ++j) {
+        if (code[j] == '[') ++depth;
+        if (code[j] == ']' && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == std::string::npos) break;
+      // Split the capture list on top-level commas.
+      const std::string list = code.substr(i + 1, close - i - 1);
+      std::vector<std::string> tokens;
+      std::string cur;
+      int nest = 0;
+      for (const char c : list) {
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++nest;
+        if (c == ')' || c == ']' || c == '}' || c == '>') --nest;
+        if (c == ',' && nest == 0) {
+          tokens.push_back(cur);
+          cur.clear();
+        } else {
+          cur.push_back(c);
+        }
+      }
+      tokens.push_back(cur);
+      for (std::string tok : tokens) {
+        tok.erase(std::remove_if(tok.begin(), tok.end(),
+                                 [](char c) {
+                                   return std::isspace(static_cast<unsigned char>(c)) != 0;
+                                 }),
+                  tok.end());
+        // Flag `&` (capture-default) and `&name` / `&name = init`; `this`,
+        // `*this`, `=`, and by-value/init captures are lifetime-safe.
+        if (tok == "&" || (tok.size() > 1 && tok[0] == '&' && is_ident(tok[1]))) {
+          facts.deferred_captures.push_back(
+              {sink, tok.substr(0, tok.find('=')), line_of(code, i)});
+        }
+      }
+      i = close;  // continue after this capture list
+    }
+  }
+}
+
+// Mutex members and lock-order edges. A guard constructed at brace depth d
+// holds its mutex until the enclosing block closes; acquiring another mutex
+// while one is held records a directed edge held -> acquired.
+void collect_locks(const std::string& code, FileFacts& facts) {
+  static const std::regex kMutexDecl(
+      R"(\b(?:mutex|shared_mutex|recursive_mutex|timed_mutex)\s+([A-Za-z_]\w*)\s*;)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kMutexDecl), end; it != end; ++it) {
+    facts.mutex_decls.insert((*it)[1].str());
+  }
+
+  struct LockSite {
+    std::size_t pos = 0;
+    std::string name;  // normalised mutex expression
+  };
+  std::vector<LockSite> sites;
+  static const std::regex kGuard(R"(\b(scoped_lock|lock_guard|unique_lock|shared_lock)\b)");
+  for (std::sregex_iterator it(code.begin(), code.end(), kGuard), end; it != end; ++it) {
+    std::size_t p = skip_ws(code, static_cast<std::size_t>(it->position()) +
+                                      static_cast<std::size_t>(it->length()));
+    if (p < code.size() && code[p] == '<') {
+      const std::size_t after = balance_angles(code, p);
+      if (after == std::string::npos) continue;
+      p = skip_ws(code, after);
+    }
+    const std::size_t var_start = p;  // guard variable name (CTAD or not)
+    while (p < code.size() && is_ident(code[p])) ++p;
+    if (p == var_start) continue;
+    p = skip_ws(code, p);
+    if (p >= code.size() || (code[p] != '(' && code[p] != '{')) continue;
+    const char open_c = code[p];
+    const char close_c = open_c == '(' ? ')' : '}';
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t j = p; j < code.size(); ++j) {
+      if (code[j] == open_c) ++depth;
+      if (code[j] == close_c && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    std::string args = code.substr(p + 1, close - p - 1);
+    if (args.find("defer_lock") != std::string::npos ||
+        args.find("adopt_lock") != std::string::npos ||
+        args.find("try_to_lock") != std::string::npos) {
+      continue;  // not an (immediate) acquisition
+    }
+    // Top-level comma = multi-mutex scoped_lock: acquired atomically with
+    // deadlock avoidance, no ordering edge.
+    int nest = 0;
+    bool multi = false;
+    for (const char c : args) {
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++nest;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --nest;
+      if (c == ',' && nest == 0) multi = true;
+    }
+    if (multi) continue;
+    args.erase(std::remove_if(args.begin(), args.end(),
+                              [](char c) {
+                                return std::isspace(static_cast<unsigned char>(c)) != 0;
+                              }),
+               args.end());
+    if (args.empty()) continue;
+    sites.push_back({static_cast<std::size_t>(it->position()), std::move(args)});
+  }
+  if (sites.empty()) return;
+
+  struct Held {
+    int depth = 0;
+    std::string name;
+  };
+  std::vector<Held> held;
+  std::size_t next = 0;
+  int depth = 0;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (std::size_t i = 0; i < code.size() && next < sites.size(); ++i) {
+    if (code[i] == '{') {
+      ++depth;
+    } else if (code[i] == '}') {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+    }
+    if (i == sites[next].pos) {
+      const LockSite& site = sites[next];
+      for (const Held& h : held) {
+        if (seen.insert({h.name, site.name}).second) {
+          facts.lock_edges.push_back({h.name, site.name, line_of(code, site.pos)});
+        }
+      }
+      held.push_back({depth, site.name});
+      ++next;
+    }
+  }
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2 helpers.
+// ---------------------------------------------------------------------------
+
+struct ProjectSink {
+  const std::map<std::string, const FileFacts*>& facts_by_path;
+  std::vector<Diagnostic>& out;
+
+  void report(const std::string& file, int line, const char* rule, std::string message) const {
+    const auto it = facts_by_path.find(file);
+    if (it != facts_by_path.end() && it->second->allows.allowed(rule, line)) return;
+    out.push_back(Diagnostic{file, line, rule, std::move(message)});
+  }
+};
+
+void rule_s1(const ProjectIndex& index, const ProjectSink& sink) {
+  struct Def {
+    std::string name;
+    std::string file;
+    int line = 0;
+    bool in_registry = false;
+  };
+  std::map<std::uint64_t, std::vector<Def>> by_value;
+  for (const AnalyzedFile& f : index.files) {
+    for (const StreamDef& d : f.facts.stream_defs) {
+      by_value[d.value].push_back({d.name, f.facts.path, d.line, f.facts.is_seed_registry});
+    }
+  }
+  for (auto& [value, defs] : by_value) {
+    std::sort(defs.begin(), defs.end(), [](const Def& a, const Def& b) {
+      return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+    });
+    for (const Def& d : defs) {
+      if (defs.size() > 1) {
+        std::string others;
+        for (const Def& o : defs) {
+          if (o.file == d.file && o.line == d.line) continue;
+          if (!others.empty()) others += ", ";
+          others += "'" + o.name + "' (" + o.file + ":" + std::to_string(o.line) + ")";
+        }
+        sink.report(d.file, d.line, "S1",
+                    "seed-stream collision: '" + d.name + "' = " + hex(value) +
+                        " is also claimed by " + others +
+                        "; two subsystems sharing a stream id draw correlated randomness");
+      }
+      if (!d.in_registry) {
+        sink.report(d.file, d.line, "S1",
+                    "stream id '" + d.name +
+                        "' defined outside the seed-stream registry: claim the stream in "
+                        "src/common/seed_streams.hpp and reference it by name");
+      }
+    }
+  }
+
+  // Raw literals equal to a claimed stream id, outside the registry and off
+  // any definition line (those are reported above).
+  for (const AnalyzedFile& f : index.files) {
+    if (f.facts.is_seed_registry) continue;
+    std::set<int> def_lines;
+    for (const StreamDef& d : f.facts.stream_defs) def_lines.insert(d.line);
+    for (const IntLiteral& lit : f.facts.int_literals) {
+      if (def_lines.count(lit.line) != 0) continue;
+      const auto it = by_value.find(lit.value);
+      if (it == by_value.end()) continue;
+      sink.report(f.facts.path, lit.line, "S1",
+                  "raw stream-id literal " + hex(lit.value) + ": this value is claimed as '" +
+                      it->second.front().name +
+                      "'; reference the named constant from src/common/seed_streams.hpp");
+    }
+  }
+}
+
+void rule_d3(const ProjectIndex& index, const ProjectSink& sink) {
+  std::map<std::string, std::set<std::string>> unordered_by_name;  // name -> declaring files
+  std::set<std::string> ordered_names;
+  for (const AnalyzedFile& f : index.files) {
+    for (const std::string& n : f.facts.unordered_decls) unordered_by_name[n].insert(f.facts.path);
+    for (const std::string& n : f.facts.ordered_decls) ordered_names.insert(n);
+  }
+  for (const AnalyzedFile& f : index.files) {
+    for (const lex::IterUse& use : f.facts.iter_uses) {
+      if (f.facts.unordered_decls.count(use.name) != 0) continue;  // rule D2's domain
+      if (f.facts.ordered_decls.count(use.name) != 0) continue;
+      if (ordered_names.count(use.name) != 0) continue;  // ordered somewhere: ambiguous, skip
+      const auto it = unordered_by_name.find(use.name);
+      if (it == unordered_by_name.end()) continue;
+      std::string decl_file;
+      for (const std::string& p : it->second) {
+        if (p != f.facts.path) {
+          decl_file = p;
+          break;
+        }
+      }
+      if (decl_file.empty()) continue;
+      sink.report(f.facts.path, use.line, "D3",
+                  std::string(use.range_for ? "iteration" : "iterator walk") +
+                      " over unordered container '" + use.name + "' declared in " + decl_file +
+                      ": order is implementation-defined and must not feed ordered output "
+                      "(sort keys first, or justify with piolint: allow(D3))");
+    }
+  }
+}
+
+void rule_r2(const ProjectIndex& index, const ProjectSink& sink) {
+  std::map<std::string, std::set<std::string>> decls;  // fn name -> declaring files
+  std::set<std::string> ambiguous;  // also declared with a non-Result type somewhere
+  for (const AnalyzedFile& f : index.files) {
+    for (const std::string& n : f.facts.result_fns) decls[n].insert(f.facts.path);
+    for (const std::string& n : f.facts.plain_fns) ambiguous.insert(n);
+  }
+  for (const AnalyzedFile& f : index.files) {
+    for (const DiscardedCall& call : f.facts.discarded_calls) {
+      if (f.facts.result_fns.count(call.name) != 0) continue;  // same TU: compiler's job (R1)
+      if (ambiguous.count(call.name) != 0) continue;  // name-only matching would guess
+      const auto it = decls.find(call.name);
+      if (it == decls.end()) continue;
+      std::string decl_file;
+      for (const std::string& p : it->second) {
+        if (p != f.facts.path) {
+          decl_file = p;
+          break;
+        }
+      }
+      if (decl_file.empty()) continue;
+      sink.report(f.facts.path, call.line, "R2",
+                  "discarded pio::Result from '" + call.name + "' (declared in " + decl_file +
+                      "): a dropped Result is a swallowed I/O error; handle it or cast to "
+                      "(void) with a justifying comment");
+    }
+  }
+}
+
+void rule_c2(const ProjectIndex& index, const ProjectSink& sink) {
+  for (const AnalyzedFile& f : index.files) {
+    for (const DeferredRefCapture& cap : f.facts.deferred_captures) {
+      sink.report(f.facts.path, cap.line, "C2",
+                  "by-reference capture '" + cap.capture + "' in callable passed to deferred "
+                      "sink '" + cap.sink +
+                      "': the callable runs after this scope may have unwound; capture by "
+                      "value or an owning handle (piolint: allow(C2) if lifetime is proven)");
+    }
+  }
+}
+
+void rule_l1(const ProjectIndex& index, const ProjectSink& sink) {
+  struct Edge {
+    std::string file;
+    int line = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+  std::map<std::string, std::set<std::string>> adj;
+  for (const AnalyzedFile& f : index.files) {
+    for (const LockEdge& e : f.facts.lock_edges) {
+      const auto key = std::make_pair(e.held, e.acquired);
+      const auto it = edges.find(key);
+      if (it == edges.end() ||
+          std::tie(f.facts.path, e.line) < std::tie(it->second.file, it->second.line)) {
+        edges[key] = {f.facts.path, e.line};
+      }
+      adj[e.held].insert(e.acquired);
+    }
+  }
+  // An edge (a, b) is part of a cycle iff b reaches a. DFS over the (small)
+  // mutex graph; path reconstruction makes the report actionable.
+  for (const auto& [key, site] : edges) {
+    const auto& [a, b] = key;
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> stack = {b};
+    parent[b] = "";
+    bool found = (a == b);
+    while (!found && !stack.empty()) {
+      const std::string n = stack.back();
+      stack.pop_back();
+      const auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (const std::string& m : it->second) {
+        if (parent.count(m) != 0) continue;
+        parent[m] = n;
+        if (m == a) {
+          found = true;
+          break;
+        }
+        stack.push_back(m);
+      }
+    }
+    if (!found) continue;
+    std::string cycle = a + " -> " + b;
+    if (a != b) {
+      std::vector<std::string> path;
+      for (std::string n = a; !n.empty() && n != b; n = parent[n]) path.push_back(n);
+      for (auto it2 = path.rbegin(); it2 != path.rend(); ++it2) cycle += " -> " + *it2;
+    } else {
+      cycle = a + " -> " + a;
+    }
+    sink.report(site.file, site.line, "L1",
+                "lock-order cycle: " + cycle +
+                    "; acquire mutexes in one global order (or atomically via a multi-mutex "
+                    "std::scoped_lock)");
+  }
+}
+
+}  // namespace
+
+AnalyzedFile analyze_source(const std::string& path, const std::string& content) {
+  AnalyzedFile out;
+  out.facts.path = path;
+  out.facts.is_seed_registry = ends_with(path, "seed_streams.hpp");
+
+  const lex::Stripped stripped = lex::strip(content);
+  out.facts.allows = lex::parse_allows(stripped);
+  out.facts.unordered_decls =
+      lex::collect_decl_names(stripped.code, lex::unordered_decl_regex());
+  out.facts.ordered_decls = lex::collect_decl_names(stripped.code, lex::ordered_decl_regex());
+  out.facts.iter_uses = lex::collect_iteration_uses(stripped.code);
+  collect_stream_defs(stripped.code, out.facts);
+  collect_int_literals(stripped.code, out.facts);
+  collect_result_fns(stripped.code, out.facts);
+  collect_plain_fns(stripped.code, out.facts);
+  collect_discarded_calls(stripped.code, out.facts);
+  collect_deferred_captures(stripped.code, out.facts);
+  collect_locks(stripped.code, out.facts);
+
+  out.diagnostics = lint_source(path, content);
+  return out;
+}
+
+AnalyzedFile analyze_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    AnalyzedFile out;
+    out.facts.path = path;
+    out.diagnostics.push_back(Diagnostic{path, 0, "IO", "cannot open file"});
+    return out;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_source(path, buf.str());
+}
+
+ProjectIndex build_index(std::vector<std::string> files, int jobs) {
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  ProjectIndex index;
+  exec::Pool pool(jobs);
+  index.files =
+      pool.map_ordered(files.size(), [&files](std::size_t i) { return analyze_file(files[i]); });
+  return index;
+}
+
+std::vector<Diagnostic> lint_project(const ProjectIndex& index) {
+  std::map<std::string, const FileFacts*> facts_by_path;
+  for (const AnalyzedFile& f : index.files) facts_by_path[f.facts.path] = &f.facts;
+
+  std::vector<Diagnostic> diags;
+  const ProjectSink sink{facts_by_path, diags};
+  rule_s1(index, sink);
+  rule_d3(index, sink);
+  rule_r2(index, sink);
+  rule_c2(index, sink);
+  rule_l1(index, sink);
+
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return diags;
+}
+
+std::vector<Diagnostic> all_diagnostics(const ProjectIndex& index) {
+  std::vector<Diagnostic> diags;
+  for (const AnalyzedFile& f : index.files) {
+    diags.insert(diags.end(), f.diagnostics.begin(), f.diagnostics.end());
+  }
+  std::vector<Diagnostic> project = lint_project(index);
+  diags.insert(diags.end(), std::make_move_iterator(project.begin()),
+               std::make_move_iterator(project.end()));
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return diags;
+}
+
+std::string dump_index(const ProjectIndex& index) {
+  std::ostringstream out;
+  for (const AnalyzedFile& f : index.files) {
+    const FileFacts& facts = f.facts;
+    out << "file " << facts.path << (facts.is_seed_registry ? " [seed-registry]" : "") << "\n";
+    for (const std::string& n : facts.unordered_decls) out << "  unordered " << n << "\n";
+    for (const std::string& n : facts.ordered_decls) out << "  ordered " << n << "\n";
+    for (const lex::IterUse& u : facts.iter_uses) {
+      out << "  iter " << u.name << " line " << u.line << (u.range_for ? " range-for" : " begin")
+          << "\n";
+    }
+    for (const std::string& n : facts.result_fns) out << "  result-fn " << n << "\n";
+    for (const DiscardedCall& c : facts.discarded_calls) {
+      out << "  discard " << c.name << " line " << c.line << "\n";
+    }
+    for (const StreamDef& d : facts.stream_defs) {
+      out << "  stream " << d.name << " = " << hex(d.value) << " line " << d.line << "\n";
+    }
+    for (const DeferredRefCapture& c : facts.deferred_captures) {
+      out << "  defer-capture " << c.sink << " " << c.capture << " line " << c.line << "\n";
+    }
+    for (const std::string& m : facts.mutex_decls) out << "  mutex " << m << "\n";
+    for (const LockEdge& e : facts.lock_edges) {
+      out << "  lock-edge " << e.held << " -> " << e.acquired << " line " << e.line << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pio::lint

@@ -1,0 +1,124 @@
+// piolint cross-TU analysis: a two-pass, project-wide static analyzer.
+//
+// Pass 1 (`analyze_file`, parallelised over files by `build_index` via
+// exec::Pool::map_ordered) parses every translation unit into a lightweight
+// symbol/fact index *and* runs the classic per-file rules. Pass 2
+// (`lint_project`) runs rules that only make sense over the merged index:
+//
+//   S1  seed-stream registry: engine Rng stream-id constants must be defined
+//       exactly once, in src/common/seed_streams.hpp; duplicate values
+//       (stream collisions) and raw stream-id literals elsewhere are flagged
+//   D3  iteration over a std::unordered_{map,set} member declared in a
+//       *different* file (closes D2's same-file blind spot)
+//   R2  statement-position call that discards the pio::Result of a function
+//       declared in another TU
+//   C2  by-reference lambda capture handed to a deferring sink
+//       (Engine::schedule_at/schedule_after, Resource/OST submit) — the
+//       callable outlives the call site, so the capture likely dangles
+//   L1  lock-order cycle across the project's mutex-acquisition graph
+//
+// Output is deterministic by construction: the file list is sorted, pass 1
+// merges in submission order regardless of --jobs, all pass-2 state lives in
+// ordered containers, and diagnostics are sorted before emission — text,
+// JSON, and SARIF reports are byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "piolint/lex.hpp"
+#include "piolint/lint.hpp"
+
+namespace pio::lint {
+
+/// A named engine-Rng stream-id constant definition (`constexpr ... kFooStream
+/// = 0x...;`). Aliases initialised from another named constant are not
+/// definitions and are exempt — that is how subsystems reference the registry.
+struct StreamDef {
+  std::string name;
+  std::uint64_t value = 0;
+  int line = 0;
+};
+
+/// An integer literal that could be a raw stream id (compared against the
+/// project's StreamDef values in pass 2).
+struct IntLiteral {
+  std::uint64_t value = 0;
+  int line = 0;
+};
+
+/// A statement-position call whose return value is discarded: `foo(x);` or
+/// `obj.foo(x);` directly at statement scope.
+struct DiscardedCall {
+  std::string name;  // terminal identifier of the call chain
+  int line = 0;
+};
+
+/// A lambda with a by-reference capture passed to a deferring sink.
+struct DeferredRefCapture {
+  std::string sink;     // schedule_at / schedule_after / submit
+  std::string capture;  // the offending capture token ("&" or "&name")
+  int line = 0;
+};
+
+/// A lock-order edge: `held` was still held when `acquired` was locked.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  int line = 0;  // acquisition site of `acquired`
+};
+
+/// Everything pass 2 needs to know about one file.
+struct FileFacts {
+  std::string path;
+  std::set<std::string> unordered_decls;  // container names declared here
+  std::set<std::string> ordered_decls;
+  std::vector<lex::IterUse> iter_uses;    // every iteration site in the file
+  std::set<std::string> result_fns;       // functions declared here returning pio::Result<T>
+  std::set<std::string> plain_fns;        // functions declared here with a non-Result type
+  std::vector<DiscardedCall> discarded_calls;
+  std::vector<StreamDef> stream_defs;
+  std::vector<IntLiteral> int_literals;
+  std::vector<DeferredRefCapture> deferred_captures;
+  std::vector<LockEdge> lock_edges;
+  std::set<std::string> mutex_decls;      // mutex members declared here
+  bool is_seed_registry = false;          // path ends in "seed_streams.hpp"
+  lex::Allows allows;                     // pass-2 findings honour allow() too
+};
+
+/// Pass-1 result for one file: the fact index plus the per-file diagnostics.
+struct AnalyzedFile {
+  FileFacts facts;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// The merged project index, ordered by file path.
+struct ProjectIndex {
+  std::vector<AnalyzedFile> files;
+};
+
+/// Pass 1 over one in-memory TU.
+[[nodiscard]] AnalyzedFile analyze_source(const std::string& path, const std::string& content);
+
+/// Pass 1 over one file on disk. Unreadable files produce one "IO" diagnostic.
+[[nodiscard]] AnalyzedFile analyze_file(const std::string& path);
+
+/// Build the merged index for `files`, fanning pass 1 out over `jobs` threads
+/// (<= 0: resolve via exec::resolve_threads). Output order is the sorted input
+/// order at any job count.
+[[nodiscard]] ProjectIndex build_index(std::vector<std::string> files, int jobs = 1);
+
+/// Pass 2: cross-TU rules over the merged index. Returns only the project
+/// findings; per-file diagnostics live on each AnalyzedFile.
+[[nodiscard]] std::vector<Diagnostic> lint_project(const ProjectIndex& index);
+
+/// All diagnostics (per-file + project), sorted by (file, line, rule).
+[[nodiscard]] std::vector<Diagnostic> all_diagnostics(const ProjectIndex& index);
+
+/// Deterministic text serialisation of the fact index (not the diagnostics):
+/// the byte-stability oracle for the --jobs 1/4/8 invariance test.
+[[nodiscard]] std::string dump_index(const ProjectIndex& index);
+
+}  // namespace pio::lint

@@ -1,0 +1,363 @@
+// piolint lexical substrate, shared by the per-file rule engine (lint.cpp)
+// and the cross-TU project indexer (index.cpp).
+//
+// Everything here operates on *stripped* source: comment bodies and
+// string/char literal contents are blanked to spaces (newlines preserved, so
+// byte offsets map 1:1 to lines), which lets every downstream scan use plain
+// regex/char walks without tripping over tokens quoted in strings or docs.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pio::lint::lex {
+
+// ---------------------------------------------------------------------------
+// Source stripping.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string code;                       // literals/comments blanked
+  std::vector<std::string> comment_text;  // per 1-based line, "" if none
+};
+
+inline Stripped strip(const std::string& src) {
+  Stripped out;
+  out.code.reserve(src.size());
+  out.comment_text.emplace_back();  // index 0 unused
+  out.comment_text.emplace_back();
+  std::size_t line = 1;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  auto emit = [&](char c) {
+    out.code.push_back(c);
+    if (c == '\n') {
+      ++line;
+      out.comment_text.emplace_back();
+    }
+  };
+  auto blank = [&](char c) { emit(c == '\n' ? '\n' : ' '); };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R / u8R / LR / uR / UR.
+          bool raw = false;
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t j = i - 1;
+            while (j > 0 && (std::isalnum(static_cast<unsigned char>(src[j - 1])) != 0 ||
+                             src[j - 1] == '_')) {
+              --j;
+            }
+            const std::string prefix = src.substr(j, i - j);
+            raw = prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
+                  prefix == "LR";
+          }
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(') raw_delim.push_back(src[j++]);
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          emit('"');
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of numeric tokens, not
+          // char literals: a quote directly after an alnum stays code.
+          if (i > 0 && (std::isalnum(static_cast<unsigned char>(src[i - 1])) != 0)) {
+            emit(c);
+          } else {
+            state = State::kChar;
+            emit('\'');
+          }
+        } else {
+          emit(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          emit('\n');
+        } else {
+          out.comment_text[line].push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          if (c != '\n') out.comment_text[line].push_back(c);
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          emit('"');
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit('\'');
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() && src[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) blank(src[i + k]);
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else {
+          blank(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives:  // piolint: allow(D1)   // piolint: allow-file(D2,T1)
+// ---------------------------------------------------------------------------
+
+struct Allows {
+  std::set<std::string> file_wide;
+  std::vector<std::set<std::string>> per_line;  // 1-based
+
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
+    if (file_wide.count(rule) != 0) return true;
+    auto on = [&](int l) {
+      return l >= 1 && l < static_cast<int>(per_line.size()) &&
+             per_line[static_cast<std::size_t>(l)].count(rule) != 0;
+    };
+    // A directive suppresses its own line and the line directly below it.
+    return on(line) || on(line - 1);
+  }
+};
+
+inline Allows parse_allows(const Stripped& s) {
+  Allows a;
+  a.per_line.resize(s.comment_text.size());
+  static const std::regex kDirective(R"(piolint:\s*(allow|allow-file)\(([A-Za-z0-9_,\s]+)\))");
+  for (std::size_t line = 1; line < s.comment_text.size(); ++line) {
+    const std::string& text = s.comment_text[line];
+    if (text.find("piolint") == std::string::npos) continue;
+    for (std::sregex_iterator it(text.begin(), text.end(), kDirective), end; it != end; ++it) {
+      std::string rules = (*it)[2].str();
+      std::replace(rules.begin(), rules.end(), ',', ' ');
+      std::istringstream iss(rules);
+      std::string rule;
+      while (iss >> rule) {
+        if ((*it)[1].str() == "allow-file") {
+          a.file_wide.insert(rule);
+        } else {
+          a.per_line[line].insert(rule);
+        }
+      }
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Shared lexical helpers.
+// ---------------------------------------------------------------------------
+
+inline int line_of(const std::string& code, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(code.begin(), code.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+inline bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline std::size_t skip_ws(const std::string& code, std::size_t pos) {
+  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
+  return pos;
+}
+
+/// Starting at an opening '<', return the index just past its matching '>',
+/// or std::string::npos if unbalanced.
+inline std::size_t balance_angles(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (i > 0 && code[i - 1] == '-') continue;  // operator->
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{') {
+      return std::string::npos;  // gave up: not a template argument list
+    }
+  }
+  return std::string::npos;
+}
+
+/// Starting at an opening '(', return the index just past its matching ')',
+/// or std::string::npos if unbalanced.
+inline std::size_t balance_parens(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+inline bool header_path(const std::string& path) {
+  const auto ext_at = path.find_last_of('.');
+  if (ext_at == std::string::npos) return false;
+  const std::string ext = path.substr(ext_at);
+  return ext == ".hpp" || ext == ".h" || ext == ".hxx" || ext == ".inl" || ext == ".ipp";
+}
+
+inline std::vector<std::string> split_lines(const std::string& code) {
+  std::vector<std::string> lines;
+  lines.emplace_back();  // index 0 unused; lines are 1-based
+  std::string current;
+  for (const char c : code) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+inline void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Container-declaration / iteration-site extraction, shared by rule D2
+// (same-file) and the project indexer (cross-file rule D3).
+// ---------------------------------------------------------------------------
+
+/// Names declared with a container type matched by `decl` (the regex must end
+/// at the opening '<' of the template argument list). An identifier followed
+/// by '(' is a function returning the container, not a variable, and is
+/// skipped.
+inline std::set<std::string> collect_decl_names(const std::string& code, const std::regex& decl) {
+  std::set<std::string> names;
+  for (std::sregex_iterator it(code.begin(), code.end(), decl), end; it != end; ++it) {
+    const auto open = static_cast<std::size_t>(it->position() + it->length() - 1);
+    const std::size_t after = balance_angles(code, open);
+    if (after == std::string::npos) continue;
+    std::size_t p = skip_ws(code, after);
+    if (p < code.size() && code[p] == '&') p = skip_ws(code, p + 1);  // references
+    const std::size_t name_start = p;
+    while (p < code.size() && is_ident(code[p])) ++p;
+    if (p == name_start) continue;
+    const std::size_t q = skip_ws(code, p);
+    if (q < code.size() && code[q] == '(') continue;
+    names.insert(code.substr(name_start, p - name_start));
+  }
+  return names;
+}
+
+struct IterUse {
+  std::string name;
+  int line = 0;
+  bool range_for = true;  // false: explicit .begin()/.cbegin() walk
+};
+
+/// Every iteration site in the file: range-for statements (the trailing
+/// identifier of the range expression) and explicit `<name>.begin()` walks.
+inline std::vector<IterUse> collect_iteration_uses(const std::string& code) {
+  std::vector<IterUse> uses;
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;()]*:\s*([^)]*)\))");
+  for (std::sregex_iterator it(code.begin(), code.end(), kRangeFor), end; it != end; ++it) {
+    std::string range = (*it)[1].str();
+    while (!range.empty() && std::isspace(static_cast<unsigned char>(range.back())) != 0) {
+      range.pop_back();
+    }
+    std::size_t tail = range.size();
+    while (tail > 0 && is_ident(range[tail - 1])) --tail;
+    const std::string name = range.substr(tail);
+    if (name.empty()) continue;
+    uses.push_back({name, line_of(code, static_cast<std::size_t>(it->position())), true});
+  }
+  static const std::regex kBeginWalk(R"(\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kBeginWalk), end; it != end; ++it) {
+    uses.push_back(
+        {(*it)[1].str(), line_of(code, static_cast<std::size_t>(it->position())), false});
+  }
+  return uses;
+}
+
+/// The declaration regexes rules D2/D3 key on. `\bset<` does not match
+/// `unordered_set<` because '_' is a word character (no boundary).
+inline const std::regex& unordered_decl_regex() {
+  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  return kDecl;
+}
+
+inline const std::regex& ordered_decl_regex() {
+  static const std::regex kDecl(
+      R"(\b(?:map|multimap|set|multiset|vector|deque|list|array|basic_string|span)\s*<)");
+  return kDecl;
+}
+
+}  // namespace pio::lint::lex

@@ -9,232 +9,18 @@
 #include <set>
 #include <sstream>
 
+#include "piolint/lex.hpp"
+
 namespace pio::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Source stripping: replace comment bodies and string/char literal contents
-// with spaces (newlines preserved, so offsets and line numbers survive), and
-// collect the raw comment text per line for allow-directive parsing.
-// ---------------------------------------------------------------------------
-
-struct Stripped {
-  std::string code;                        // literals/comments blanked
-  std::vector<std::string> comment_text;   // per 1-based line, "" if none
-};
-
-Stripped strip(const std::string& src) {
-  Stripped out;
-  out.code.reserve(src.size());
-  out.comment_text.emplace_back();  // index 0 unused
-  out.comment_text.emplace_back();
-  std::size_t line = 1;
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-
-  auto emit = [&](char c) {
-    out.code.push_back(c);
-    if (c == '\n') {
-      ++line;
-      out.comment_text.emplace_back();
-    }
-  };
-  auto blank = [&](char c) { emit(c == '\n' ? '\n' : ' '); };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          blank(c);
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? Look back for R / u8R / LR / uR / UR.
-          bool raw = false;
-          if (i > 0 && src[i - 1] == 'R') {
-            std::size_t j = i - 1;
-            while (j > 0 && (std::isalnum(static_cast<unsigned char>(src[j - 1])) != 0 ||
-                             src[j - 1] == '_')) {
-              --j;
-            }
-            const std::string prefix = src.substr(j, i - j);
-            raw = prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
-                  prefix == "LR";
-          }
-          if (raw) {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < src.size() && src[j] != '(') raw_delim.push_back(src[j++]);
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-          emit('"');
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are part of numeric tokens, not
-          // char literals: a quote directly after an alnum stays code.
-          if (i > 0 && (std::isalnum(static_cast<unsigned char>(src[i - 1])) != 0)) {
-            emit(c);
-          } else {
-            state = State::kChar;
-            emit('\'');
-          }
-        } else {
-          emit(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          emit('\n');
-        } else {
-          out.comment_text[line].push_back(c);
-          blank(c);
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          blank(c);
-          blank(next);
-          ++i;
-        } else {
-          if (c != '\n') out.comment_text[line].push_back(c);
-          blank(c);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          emit('"');
-        } else {
-          blank(c);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          emit('\'');
-        } else {
-          blank(c);
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' && src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            i + 1 + raw_delim.size() < src.size() && src[i + 1 + raw_delim.size()] == '"') {
-          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) blank(src[i + k]);
-          i += raw_delim.size() + 1;
-          state = State::kCode;
-        } else {
-          blank(c);
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Allow directives.
-// ---------------------------------------------------------------------------
-
-struct Allows {
-  std::set<std::string> file_wide;
-  std::vector<std::set<std::string>> per_line;  // 1-based
-
-  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
-    if (file_wide.count(rule) != 0) return true;
-    auto on = [&](int l) {
-      return l >= 1 && l < static_cast<int>(per_line.size()) &&
-             per_line[static_cast<std::size_t>(l)].count(rule) != 0;
-    };
-    // A directive suppresses its own line and the line directly below it.
-    return on(line) || on(line - 1);
-  }
-};
-
-Allows parse_allows(const Stripped& s) {
-  Allows a;
-  a.per_line.resize(s.comment_text.size());
-  static const std::regex kDirective(R"(piolint:\s*(allow|allow-file)\(([A-Za-z0-9_,\s]+)\))");
-  for (std::size_t line = 1; line < s.comment_text.size(); ++line) {
-    const std::string& text = s.comment_text[line];
-    if (text.find("piolint") == std::string::npos) continue;
-    for (std::sregex_iterator it(text.begin(), text.end(), kDirective), end; it != end; ++it) {
-      std::string rules = (*it)[2].str();
-      std::replace(rules.begin(), rules.end(), ',', ' ');
-      std::istringstream iss(rules);
-      std::string rule;
-      while (iss >> rule) {
-        if ((*it)[1].str() == "allow-file") {
-          a.file_wide.insert(rule);
-        } else {
-          a.per_line[line].insert(rule);
-        }
-      }
-    }
-  }
-  return a;
-}
-
-// ---------------------------------------------------------------------------
-// Shared lexical helpers.
-// ---------------------------------------------------------------------------
-
-int line_of(const std::string& code, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(code.begin(), code.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
-}
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::size_t skip_ws(const std::string& code, std::size_t pos) {
-  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
-  return pos;
-}
-
-/// Starting at an opening '<', return the index just past its matching '>',
-/// or std::string::npos if unbalanced.
-std::size_t balance_angles(const std::string& code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++depth;
-    } else if (c == '>') {
-      if (i > 0 && code[i - 1] == '-') continue;  // operator->
-      if (--depth == 0) return i + 1;
-    } else if (c == ';' || c == '{') {
-      return std::string::npos;  // gave up: not a template argument list
-    }
-  }
-  return std::string::npos;
-}
-
-bool header_path(const std::string& path) {
-  const auto ext_at = path.find_last_of('.');
-  if (ext_at == std::string::npos) return false;
-  const std::string ext = path.substr(ext_at);
-  return ext == ".hpp" || ext == ".h" || ext == ".hxx";
-}
+using lex::balance_angles;
+using lex::header_path;
+using lex::is_ident;
+using lex::json_escape;
+using lex::line_of;
+using lex::skip_ws;
 
 // ---------------------------------------------------------------------------
 // Rules.
@@ -242,7 +28,7 @@ bool header_path(const std::string& path) {
 
 struct Sink {
   const std::string& path;
-  const Allows& allows;
+  const lex::Allows& allows;
   std::vector<Diagnostic>& out;
 
   void report(int line, const char* rule, std::string message) const {
@@ -274,47 +60,19 @@ void rule_d1(const std::string& code, const Sink& sink) {
 // D2: iteration over unordered containers declared in this file. Iteration
 // order is implementation-defined; it must never feed ordered output.
 void rule_d2(const std::string& code, const Sink& sink) {
-  std::set<std::string> unordered_vars;
-  static const std::regex kDecl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
-  for (std::sregex_iterator it(code.begin(), code.end(), kDecl), end; it != end; ++it) {
-    const auto open = static_cast<std::size_t>(it->position() + it->length() - 1);
-    const std::size_t after = balance_angles(code, open);
-    if (after == std::string::npos) continue;
-    std::size_t p = skip_ws(code, after);
-    if (p < code.size() && code[p] == '&') p = skip_ws(code, p + 1);  // references
-    const std::size_t name_start = p;
-    while (p < code.size() && is_ident(code[p])) ++p;
-    if (p == name_start) continue;
-    const std::size_t q = skip_ws(code, p);
-    // A variable/member/parameter name is followed by ; = , ) { or newline;
-    // an identifier followed by '(' is a function returning the container.
-    if (q < code.size() && code[q] == '(') continue;
-    unordered_vars.insert(code.substr(name_start, p - name_start));
-  }
+  const std::set<std::string> unordered_vars =
+      lex::collect_decl_names(code, lex::unordered_decl_regex());
   if (unordered_vars.empty()) return;
-
-  // Range-for whose range expression ends in one of the collected names.
-  static const std::regex kRangeFor(R"(\bfor\s*\([^;()]*:\s*([^)]*)\))");
-  for (std::sregex_iterator it(code.begin(), code.end(), kRangeFor), end; it != end; ++it) {
-    std::string range = (*it)[1].str();
-    while (!range.empty() && std::isspace(static_cast<unsigned char>(range.back())) != 0) {
-      range.pop_back();
-    }
-    std::size_t tail = range.size();
-    while (tail > 0 && is_ident(range[tail - 1])) --tail;
-    const std::string name = range.substr(tail);
-    if (unordered_vars.count(name) == 0) continue;
-    sink.report(line_of(code, static_cast<std::size_t>(it->position())), "D2",
-                "iteration over unordered container '" + name +
-                    "': order is implementation-defined and must not feed ordered output "
-                    "(sort keys first, or justify with piolint: allow(D2))");
-  }
-  // Explicit iterator walks: name.begin() / name.cbegin().
-  for (const auto& name : unordered_vars) {
-    const std::regex begin_call("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
-    for (std::sregex_iterator it(code.begin(), code.end(), begin_call), end; it != end; ++it) {
-      sink.report(line_of(code, static_cast<std::size_t>(it->position())), "D2",
-                  "iterator walk over unordered container '" + name +
+  for (const lex::IterUse& use : lex::collect_iteration_uses(code)) {
+    if (unordered_vars.count(use.name) == 0) continue;
+    if (use.range_for) {
+      sink.report(use.line, "D2",
+                  "iteration over unordered container '" + use.name +
+                      "': order is implementation-defined and must not feed ordered output "
+                      "(sort keys first, or justify with piolint: allow(D2))");
+    } else {
+      sink.report(use.line, "D2",
+                  "iterator walk over unordered container '" + use.name +
                       "': order is implementation-defined and must not feed ordered output");
     }
   }
@@ -437,41 +195,6 @@ void rule_h1(const std::string& path, const std::string& code,
   }
 }
 
-std::vector<std::string> split_lines(const std::string& code) {
-  std::vector<std::string> lines;
-  lines.emplace_back();  // index 0 unused; lines are 1-based
-  std::string current;
-  for (const char c : code) {
-    if (c == '\n') {
-      lines.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(std::move(current));
-  return lines;
-}
-
-void json_escape(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -482,14 +205,19 @@ const std::vector<RuleInfo>& rules() {
       {"R1", "pio::Result-returning function missing [[nodiscard]]"},
       {"P1", "raw std::thread/std::jthread/std::async outside exec::Pool internals"},
       {"H1", "header hygiene (#pragma once, no using-namespace)"},
+      {"S1", "seed-stream registry: collisions / stream ids outside seed_streams.hpp"},
+      {"D3", "iteration over an unordered container declared in another file"},
+      {"R2", "discarded pio::Result from a function declared in another TU"},
+      {"C2", "by-reference lambda capture passed to a deferred sink"},
+      {"L1", "lock-order cycle across the project's mutex graph"},
   };
   return kRules;
 }
 
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
-  const Stripped stripped = strip(content);
-  const Allows allows = parse_allows(stripped);
-  const std::vector<std::string> lines = split_lines(stripped.code);
+  const lex::Stripped stripped = lex::strip(content);
+  const lex::Allows allows = lex::parse_allows(stripped);
+  const std::vector<std::string> lines = lex::split_lines(stripped.code);
 
   std::vector<Diagnostic> diags;
   const Sink sink{path, allows, diags};
@@ -519,7 +247,13 @@ std::vector<Diagnostic> lint_file(const std::string& path) {
 
 std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
   namespace fs = std::filesystem;
-  static const std::set<std::string> kExts = {".hpp", ".h", ".hxx", ".cpp", ".cc", ".cxx"};
+  static const std::set<std::string> kExts = {".hpp", ".h",   ".hxx", ".cpp",
+                                              ".cc",  ".cxx", ".inl", ".ipp"};
+  // Subtrees never worth linting, even when a scan is rooted at the repo
+  // top: build output, VCS internals, and the deliberately-violating lint
+  // fixtures (which only make sense as test data). A skipped name only
+  // prunes *descent* — a path passed explicitly is always honoured.
+  static const std::set<std::string> kSkipDirs = {"build", ".git", "lint_fixtures"};
   std::vector<std::string> files;
   for (const auto& p : paths) {
     std::error_code ec;
@@ -530,6 +264,10 @@ std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
     if (!fs::is_directory(p, ec)) continue;
     for (fs::recursive_directory_iterator it(p, ec), end; it != end; it.increment(ec)) {
       if (ec) break;
+      if (it->is_directory(ec) && kSkipDirs.count(it->path().filename().string()) != 0) {
+        it.disable_recursion_pending();
+        continue;
+      }
       if (!it->is_regular_file(ec)) continue;
       if (kExts.count(it->path().extension().string()) != 0) {
         files.push_back(it->path().string());
@@ -560,6 +298,90 @@ std::string to_json(const std::vector<Diagnostic>& diags) {
   out += diags.empty() ? "]" : "\n]";
   out += "\n";
   return out;
+}
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  // Minimal SARIF 2.1.0: one run, the static rule table as
+  // tool.driver.rules, one result per diagnostic. Field order and the
+  // pre-sorted diagnostics keep the report byte-stable across thread counts.
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"piolint\",\n";
+  out += "          \"informationUri\": \"tools/piolint\",\n";
+  out += "          \"rules\": [\n";
+  const auto& rule_table = rules();
+  for (std::size_t i = 0; i < rule_table.size(); ++i) {
+    out += "            {\"id\": \"";
+    json_escape(out, rule_table[i].id);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    json_escape(out, rule_table[i].summary);
+    out += "\"}}";
+    out += i + 1 < rule_table.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n        }\n      },\n";
+  if (diags.empty()) {
+    out += "      \"results\": []\n    }\n  ]\n}\n";
+    return out;
+  }
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\"ruleId\": \"";
+    json_escape(out, d.rule);
+    out += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    json_escape(out, d.message);
+    out += "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"";
+    json_escape(out, d.file);
+    out += "\"}, \"region\": {\"startLine\": " + std::to_string(d.line < 1 ? 1 : d.line) +
+           "}}}]}";
+    out += i + 1 < diags.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n    }\n  ]\n}\n";
+  return out;
+}
+
+std::string baseline_key(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ":" + d.rule;
+}
+
+std::set<std::string> read_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim, skip blanks and '#' comments; keep only "file:line:rule" (a full
+    // to_text line is accepted — everything past the third colon is ignored).
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first);
+    if (line[0] == '#') continue;
+    std::size_t colon = line.find(':');
+    if (colon != std::string::npos) colon = line.find(':', colon + 1);
+    if (colon != std::string::npos) colon = line.find(':', colon + 1);
+    keys.insert(colon == std::string::npos ? line : line.substr(0, colon));
+  }
+  return keys;
+}
+
+std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diags,
+                                       const std::set<std::string>& baseline,
+                                       std::size_t* suppressed) {
+  if (suppressed != nullptr) *suppressed = 0;
+  if (baseline.empty()) return diags;
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (auto& d : diags) {
+    if (baseline.count(baseline_key(d)) != 0) {
+      if (suppressed != nullptr) ++*suppressed;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  return kept;
 }
 
 }  // namespace pio::lint

@@ -19,11 +19,16 @@
 //   H1  header hygiene: missing #pragma once, or using-namespace at header
 //       scope
 //
+// Cross-TU rules (S1, D3, R2, C2, L1) run over the merged project index —
+// see piolint/index.hpp.
+//
 // Escape hatches, checked per line (same line or the line directly above):
 //   // piolint: allow(D1)          suppress one or more rules: allow(D1,T1)
 //   // piolint: allow-file(D2)     suppress a rule for the whole file
 #pragma once
 
+#include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,9 +59,12 @@ struct RuleInfo {
 /// Lint a file on disk. Unreadable files produce a single "IO" diagnostic.
 [[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path);
 
-/// Recursively collect lintable files (.hpp/.h/.hxx/.cpp/.cc/.cxx) under
-/// each path; a path that is itself a regular file is taken as-is. Results
-/// are sorted so output is stable across platforms.
+/// Recursively collect lintable files (.hpp/.h/.hxx/.cpp/.cc/.cxx/.inl/.ipp)
+/// under each path; a path that is itself a regular file is taken as-is.
+/// Descent skips directories named `build`, `.git`, and `lint_fixtures`
+/// (deliberately-violating test data), so a scan rooted at the repo top does
+/// not lint build output. Results are sorted so output is stable across
+/// platforms.
 [[nodiscard]] std::vector<std::string> collect_files(const std::vector<std::string>& paths);
 
 /// Format one diagnostic as "file:line:rule: message".
@@ -64,5 +72,19 @@ struct RuleInfo {
 
 /// Format all diagnostics as a JSON array (stable field order).
 [[nodiscard]] std::string to_json(const std::vector<Diagnostic>& diags);
+
+/// Format all diagnostics as a SARIF 2.1.0 log (one run, static rule table,
+/// stable field order — byte-identical for equal diagnostic lists).
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+/// Baseline support: a checked-in file of known findings keyed
+/// "file:line:rule" (full `to_text` lines are accepted; '#' comments and
+/// blank lines are ignored). New findings fail the gate while pre-existing
+/// allows stay visible in the baseline file itself.
+[[nodiscard]] std::string baseline_key(const Diagnostic& d);
+[[nodiscard]] std::set<std::string> read_baseline(const std::string& path);
+[[nodiscard]] std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diags,
+                                                     const std::set<std::string>& baseline,
+                                                     std::size_t* suppressed = nullptr);
 
 }  // namespace pio::lint

@@ -1,34 +1,82 @@
 // piolint CLI: scan sources for PIOEval determinism/hygiene violations.
 //
-//   piolint [--json] [--list-rules] <file-or-dir>...
+//   piolint [--project] [--jobs N] [--format text|json|sarif] [--json]
+//           [--baseline FILE] [--write-baseline FILE] [--list-rules]
+//           <file-or-dir>...
+//
+// --project runs the two-pass cross-TU analyzer (rules S1/D3/R2/C2/L1) on
+// top of the per-file rules; --jobs fans pass 1 out over a deterministic
+// exec::Pool (output is byte-identical at any job count).
 //
 // Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "piolint/index.hpp"
 #include "piolint/lint.hpp"
 
 namespace {
 
 void usage() {
-  std::cerr << "usage: piolint [--json] [--list-rules] <file-or-dir>...\n"
-               "  --json        emit diagnostics as a JSON array\n"
-               "  --list-rules  print the rule table and exit\n"
-               "Suppress with '// piolint: allow(RULE)' (same or previous line)\n"
-               "or '// piolint: allow-file(RULE)' (whole file).\n";
+  std::cerr
+      << "usage: piolint [options] <file-or-dir>...\n"
+         "  --project           run cross-TU rules (S1, D3, R2, C2, L1) over the\n"
+         "                      merged project index, in addition to per-file rules\n"
+         "  --jobs N            lint N files in parallel (deterministic output)\n"
+         "  --format FORMAT     text (default), json, or sarif\n"
+         "  --json              shorthand for --format json\n"
+         "  --baseline FILE     suppress findings listed in FILE (file:line:rule)\n"
+         "  --write-baseline F  write the current findings to F and exit 0\n"
+         "  --list-rules        print the rule table and exit\n"
+         "Suppress with '// piolint: allow(RULE)' (same or previous line)\n"
+         "or '// piolint: allow-file(RULE)' (whole file).\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool project = false;
+  int jobs = 1;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "piolint: " << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (arg == "--json") {
-      json = true;
+      format = "json";
+    } else if (arg == "--format") {
+      format = value("--format");
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "piolint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--jobs") {
+      try {
+        jobs = std::stoi(value("--jobs"));
+      } catch (...) {
+        jobs = 0;
+      }
+      if (jobs < 1) {
+        std::cerr << "piolint: --jobs requires a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value("--write-baseline");
     } else if (arg == "--list-rules") {
       for (const auto& r : pio::lint::rules()) {
         std::printf("%-4s %s\n", r.id, r.summary);
@@ -56,21 +104,53 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Pass 1 (parallel): per-file rules + the fact index. Pass 2 (serial):
+  // cross-TU rules, only under --project.
+  const pio::lint::ProjectIndex index = pio::lint::build_index(files, jobs);
   std::vector<pio::lint::Diagnostic> all;
-  bool io_error = false;
-  for (const auto& f : files) {
-    for (auto& d : pio::lint::lint_file(f)) {
-      if (d.rule == "IO") io_error = true;
-      all.push_back(std::move(d));
+  if (project) {
+    all = pio::lint::all_diagnostics(index);
+  } else {
+    for (const auto& f : index.files) {
+      all.insert(all.end(), f.diagnostics.begin(), f.diagnostics.end());
     }
   }
+  bool io_error = false;
+  for (const auto& d : all) {
+    if (d.rule == "IO") io_error = true;
+  }
 
-  if (json) {
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "piolint: cannot write baseline '" << write_baseline_path << "'\n";
+      return 2;
+    }
+    out << "# piolint baseline: pre-existing findings, suppressed by --baseline.\n"
+           "# One finding per line, keyed file:line:rule (text after the third\n"
+           "# colon is informational). Remove entries as the findings are fixed.\n";
+    for (const auto& d : all) out << pio::lint::to_text(d) << "\n";
+    std::cerr << "piolint: wrote " << all.size() << " finding"
+              << (all.size() == 1 ? "" : "s") << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    all = pio::lint::apply_baseline(std::move(all), pio::lint::read_baseline(baseline_path),
+                                    &suppressed);
+  }
+
+  if (format == "json") {
     std::cout << pio::lint::to_json(all);
+  } else if (format == "sarif") {
+    std::cout << pio::lint::to_sarif(all);
   } else {
     for (const auto& d : all) std::cout << pio::lint::to_text(d) << "\n";
     std::cout << "piolint: " << files.size() << " files, " << all.size() << " finding"
-              << (all.size() == 1 ? "" : "s") << "\n";
+              << (all.size() == 1 ? "" : "s");
+    if (suppressed != 0) std::cout << " (" << suppressed << " baselined)";
+    std::cout << "\n";
   }
   if (io_error) return 2;
   return all.empty() ? 0 : 1;
