@@ -6,6 +6,10 @@
 #                                 self-scheduling cascade, cancel paths)
 #   BENCH_campaign_scaling.json — C-12 campaign thread-scaling curve with
 #                                 the cross-thread determinism digest
+#   BENCH_membership.json       — C-F3 cluster-membership curves: detection
+#                                 latency vs heartbeat grace, migration
+#                                 volume by placement mode, drain window vs
+#                                 rebuild cap
 #
 # Usage:  bench/run_benches.sh [build-dir]
 #
@@ -34,4 +38,8 @@ echo "== C-12 campaign scaling -> BENCH_campaign_scaling.json"
 "$build_dir/bench/bench_c12_campaign_scaling" \
   --json-out "$repo_root/BENCH_campaign_scaling.json"
 
-echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json"
+echo "== C-F3 cluster membership -> BENCH_membership.json"
+"$build_dir/bench/bench_cf3_membership" \
+  --json-out "$repo_root/BENCH_membership.json"
+
+echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json"

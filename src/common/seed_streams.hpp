@@ -49,6 +49,15 @@ inline constexpr std::uint64_t kRebuildPaceStream = 0xFA017002ULL;
 /// pio::cache — DL-epoch warming order/pacing (cache.hpp).
 inline constexpr std::uint64_t kCacheWarmStream = 0xFA017003ULL;
 
+/// pio::pfs — per-OST heartbeat emission jitter (cluster_map.hpp). Each OST
+/// forks its own substream(i) so adding an OST never shifts another's beats.
+inline constexpr std::uint64_t kHeartbeatJitterStream = 0xFA017004ULL;
+
+/// pio::pfs — membership-migration (drain) rebuild pacing jitter
+/// (cluster_map.hpp). Distinct from kRebuildPaceStream so crash-recovery
+/// resyncs and drain-driven migrations never share draws.
+inline constexpr std::uint64_t kDrainPaceStream = 0xFA017005ULL;
+
 namespace detail {
 
 inline constexpr std::uint64_t kAllStreams[] = {
@@ -56,6 +65,8 @@ inline constexpr std::uint64_t kAllStreams[] = {
     kRetryJitterStream,
     kRebuildPaceStream,
     kCacheWarmStream,
+    kHeartbeatJitterStream,
+    kDrainPaceStream,
 };
 
 constexpr bool all_distinct() {

@@ -110,6 +110,11 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   result_.data_lost_ops = res_after.data_lost_ops - res_before.data_lost_ops;
   result_.rebuilds_completed = res_after.rebuilds_completed - res_before.rebuilds_completed;
   result_.rebuilt_bytes = res_after.rebuilt_bytes - res_before.rebuilt_bytes;
+  result_.stale_map_retries = res_after.stale_map_retries - res_before.stale_map_retries;
+  result_.map_refreshes = res_after.map_refreshes - res_before.map_refreshes;
+  result_.down_detections = res_after.down_detections - res_before.down_detections;
+  result_.migration_marked_bytes =
+      res_after.migration_marked_bytes - res_before.migration_marked_bytes;
   return result_;
 }
 

@@ -59,6 +59,11 @@ struct SimRunResult {
   std::uint64_t data_lost_ops = 0;
   std::uint64_t rebuilds_completed = 0;
   Bytes rebuilt_bytes = Bytes::zero();
+  // Cluster-membership activity (all zero when the cluster map is disabled).
+  std::uint64_t stale_map_retries = 0;
+  std::uint64_t map_refreshes = 0;
+  std::uint64_t down_detections = 0;
+  Bytes migration_marked_bytes = Bytes::zero();
   // Client cache tier activity (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

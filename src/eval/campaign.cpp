@@ -37,7 +37,9 @@ std::string CampaignResult::to_string() const {
   out << "final calibration factor: " << format_double(final_calibration, 4) << "\n";
   std::uint64_t failed = 0, retries = 0, timeouts = 0, giveups = 0, failovers = 0;
   std::uint64_t degraded = 0, lost = 0, rebuilds = 0;
+  std::uint64_t stale = 0, refreshes = 0, detections = 0;
   Bytes rebuilt = Bytes::zero();
+  Bytes migrated = Bytes::zero();
   for (const auto& it : iterations) {
     for (const auto& p : it.points) {
       failed += p.failed_ops;
@@ -49,6 +51,10 @@ std::string CampaignResult::to_string() const {
       lost += p.data_lost_ops;
       rebuilds += p.rebuilds_completed;
       rebuilt += p.rebuilt_bytes;
+      stale += p.stale_map_retries;
+      refreshes += p.map_refreshes;
+      detections += p.down_detections;
+      migrated += p.migration_marked_bytes;
     }
   }
   if (failed + retries + timeouts + giveups + failovers > 0) {
@@ -60,6 +66,11 @@ std::string CampaignResult::to_string() const {
     out << "durability (measured runs): degraded_reads=" << degraded
         << " data_lost_ops=" << lost << " rebuilds_completed=" << rebuilds
         << " rebuilt=" << format_bytes(rebuilt) << "\n";
+  }
+  if (stale + refreshes + detections + migrated.count() > 0) {
+    out << "membership (measured runs): stale_map_retries=" << stale
+        << " map_refreshes=" << refreshes << " down_detections=" << detections
+        << " migration_marked=" << format_bytes(migrated) << "\n";
   }
   std::uint64_t chits = 0, cmisses = 0, cpf_issued = 0, cpf_used = 0, cpf_wasted = 0;
   std::uint64_t cwritebacks = 0, cabsorbed = 0;
@@ -166,6 +177,10 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.data_lost_ops = measured.data_lost_ops;
       point.rebuilds_completed = measured.rebuilds_completed;
       point.rebuilt_bytes = measured.rebuilt_bytes;
+      point.stale_map_retries = measured.stale_map_retries;
+      point.map_refreshes = measured.map_refreshes;
+      point.down_detections = measured.down_detections;
+      point.migration_marked_bytes = measured.migration_marked_bytes;
       point.cache_hits = measured.cache_hits;
       point.cache_misses = measured.cache_misses;
       point.cache_evictions = measured.cache_evictions;

@@ -1,0 +1,159 @@
+// PIOEval storage substrate: epoch-versioned cluster membership.
+//
+// Modeled on Ceph's OSDMap discipline: the cluster's view of which OSTs
+// exist and in what state is an *epoch-versioned map*, published by the
+// metadata server's monitor whenever membership changes. Clients cache a
+// possibly-stale epoch; an OST addressed through a map whose placement for
+// that stripe has since moved rejects the request with IoError::kStaleMap
+// and the client must refresh-and-retry (PfsModel wires this through the
+// existing RetryPolicy). Failure detection is *not* omniscient: OSTs emit
+// seeded-jittered heartbeats to the monitor as real DES traffic, and an OST
+// is only marked down after `heartbeat_grace` consecutive missed intervals —
+// so detection latency (and the client failures inside it) is a measurable,
+// sweepable quantity rather than zero (DESIGN.md §13).
+//
+// Placement is a pure function of (map, layout, file key, stripe index), in
+// two modes: round-robin over the placeable pool (any membership change
+// reshuffles almost everything — the baseline), and rendezvous/HRW hashing
+// (an epoch change migrates only the stripes whose winning OSTs changed).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/seed_streams.hpp"
+#include "common/types.hpp"
+#include "pfs/stripe.hpp"
+
+namespace pio::pfs {
+
+/// Engine Rng stream ids for heartbeat jitter and drain/migration pacing;
+/// claimed in the seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kHeartbeatRngStream = seeds::kHeartbeatJitterStream;
+inline constexpr std::uint64_t kDrainRngStream = seeds::kDrainPaceStream;
+
+/// One OST's state in a ClusterMap epoch.
+enum class OstState : std::uint8_t {
+  kUp,              ///< serving reads and writes; in the placement pool
+  kDraining,        ///< serving reads while its data migrates off; no new writes
+  kDown,            ///< detected dead (heartbeat grace expired); serving nothing
+  kDecommissioned,  ///< administratively removed (or not yet joined)
+};
+
+[[nodiscard]] const char* to_string(OstState state);
+
+/// How stripe replicas are assigned to the placeable OST pool.
+enum class PlacementMode : std::uint8_t {
+  kRoundRobin,       ///< lane index into the sorted pool; pool change reshuffles
+  kRendezvousHash,   ///< highest-random-weight; pool change migrates minimally
+};
+
+[[nodiscard]] const char* to_string(PlacementMode mode);
+
+/// A scripted administrative membership change (operator action). Crashes
+/// and recoveries are NOT scripted here — they come from the fault timeline
+/// and are *detected* via heartbeats.
+enum class MembershipChange : std::uint8_t { kJoin, kDrain, kDecommission };
+
+[[nodiscard]] const char* to_string(MembershipChange change);
+
+struct MembershipEvent {
+  SimTime at = SimTime::zero();
+  MembershipChange change = MembershipChange::kJoin;
+  OstIndex ost = 0;
+};
+
+/// Cluster-membership knobs for PfsModel (see DESIGN.md §13). Off by
+/// default: every PR2–PR6 semantics (omniscient timeline routing, static
+/// round-robin striping) is preserved exactly when `enabled` is false.
+struct ClusterMapConfig {
+  bool enabled = false;
+  PlacementMode placement = PlacementMode::kRoundRobin;
+  /// Nominal heartbeat period per OST; each beat is jittered by
+  /// +/- heartbeat_jitter_fraction on the kHeartbeatRngStream substream.
+  SimTime heartbeat_interval = SimTime::from_ms(5.0);
+  double heartbeat_jitter_fraction = 0.1;
+  /// Missed intervals before the monitor declares an OST down. Values >= 2
+  /// are recommended: with grace 1 a single jittered-late beat can flap.
+  std::uint32_t heartbeat_grace = 3;
+  /// Heartbeats are emitted in [0, horizon] only, like
+  /// fault::InjectorConfig::horizon — this bounds the event population so
+  /// runs drain. Membership events must fall within the horizon. Detection
+  /// is horizon-bound too: the monitor arms a grace deadline only when the
+  /// full window fits before the horizon, so the end of the heartbeat
+  /// stream never reads as a mass crash.
+  SimTime horizon = SimTime::from_sec(30.0);
+  /// OSTs that start outside the cluster (state kDecommissioned) — spare
+  /// capacity that a scripted kJoin event can add live.
+  std::vector<OstIndex> initial_absent;
+  /// Scripted operator actions, applied at their timestamps.
+  std::vector<MembershipEvent> membership;
+
+  ClusterMapConfig& join(OstIndex ost, SimTime at) {
+    membership.push_back({at, MembershipChange::kJoin, ost});
+    return *this;
+  }
+  ClusterMapConfig& drain(OstIndex ost, SimTime at) {
+    membership.push_back({at, MembershipChange::kDrain, ost});
+    return *this;
+  }
+  ClusterMapConfig& decommission(OstIndex ost, SimTime at) {
+    membership.push_back({at, MembershipChange::kDecommission, ost});
+    return *this;
+  }
+
+  /// The detection window: an OST silent this long is declared down.
+  [[nodiscard]] SimTime grace_period() const {
+    return heartbeat_interval * static_cast<std::int64_t>(heartbeat_grace);
+  }
+};
+
+/// One published epoch: a version number plus every OST's state. Epochs only
+/// grow; the monitor keeps the full history so clients holding any past
+/// epoch can be reasoned about (read fallback consults older placements).
+class ClusterMap {
+ public:
+  ClusterMap() = default;
+  ClusterMap(std::uint64_t epoch, std::vector<OstState> states)
+      : epoch_(epoch), states_(std::move(states)) {}
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(states_.size()); }
+  [[nodiscard]] OstState state(OstIndex ost) const { return states_.at(ost); }
+  /// Can serve reads for data it holds (kUp or kDraining).
+  [[nodiscard]] bool serving(OstIndex ost) const {
+    return states_.at(ost) == OstState::kUp || states_.at(ost) == OstState::kDraining;
+  }
+  /// In the write-placement pool (kUp only: drains take no new data).
+  [[nodiscard]] bool placeable(OstIndex ost) const { return states_.at(ost) == OstState::kUp; }
+  /// Placeable OSTs in ascending index order (the placement pool).
+  [[nodiscard]] std::vector<OstIndex> placeable_osts() const;
+
+  void set_state(OstIndex ost, OstState state) { states_.at(ost) = state; }
+  void bump_epoch() { ++epoch_; }
+
+ private:
+  std::uint64_t epoch_ = 1;
+  std::vector<OstState> states_;
+};
+
+/// Stable per-file placement key (FNV-1a of the path): part of the HRW hash
+/// input so two files with identical layouts still spread independently.
+[[nodiscard]] std::uint64_t file_placement_key(std::string_view path);
+
+/// The HRW weight of `ost` for stripe `stripe_index` of the file keyed
+/// `file_key`. Pure and fixed forever: campaign digests depend on it.
+[[nodiscard]] std::uint64_t placement_hash(std::uint64_t file_key, std::uint64_t stripe_index,
+                                           OstIndex ost);
+
+/// Replica targets for one stripe under `map`, primary first, pairwise
+/// distinct. Returns fewer than `replicas` entries when the placeable pool
+/// is smaller, and an empty vector when no OST is placeable.
+[[nodiscard]] std::vector<OstIndex> placement_targets(const ClusterMap& map, PlacementMode mode,
+                                                      const StripeLayout& layout,
+                                                      std::uint64_t file_key,
+                                                      std::uint64_t stripe_index,
+                                                      std::uint32_t replicas);
+
+}  // namespace pio::pfs

@@ -34,6 +34,8 @@ struct PfsModel::IoOpState {
   std::uint32_t attempt = 0;  ///< attempts started so far
   std::uint64_t file = 0;     ///< durability file token (0 = untracked)
   WriteToken token = 0;       ///< payload identity for tracked writes
+  std::uint64_t key = 0;      ///< placement key (cluster map mode)
+  std::uint64_t map_epoch = 1;  ///< client's cached epoch for this attempt
   std::function<void(IoResult)> done;
 };
 
@@ -56,7 +58,11 @@ struct PfsModel::BackendFanout {
 
   void fail(IoError e) {
     all_ok = false;
-    if (error != IoError::kDataLost) error = e;
+    if (error == IoError::kDataLost) return;
+    // A stale-map bounce must stay visible through other chunk failures:
+    // the refresh-and-retry path is the only one that can make progress.
+    if (error == IoError::kStaleMap && e != IoError::kDataLost) return;
+    error = e;
   }
   void finish_one(bool ok, IoError e) {
     if (!ok) fail(e);
@@ -72,11 +78,15 @@ struct PfsModel::Shipment {
   Bytes length = Bytes::zero();
   std::uint64_t file_lo = 0;
   std::uint64_t file_hi = 0;
+  /// Stale-map bounce: the OST rejects the addressing epoch with kStaleMap
+  /// (header out, error header back) without touching the device.
+  bool stale = false;
 };
 
 /// One recovering OST's resync pass over the ranges it missed while down.
 struct PfsModel::RebuildState {
   bool active = false;
+  bool migration = false;  ///< epoch-change migration pass (drain-stream paced)
   std::vector<DirtyRange> queue;  ///< pieces in (file, offset) order
   std::size_t next = 0;           ///< queue index of the next piece
   Bytes total = Bytes::zero();
@@ -88,9 +98,39 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
     : engine_(engine),
       config_(config),
       retry_rng_(engine.rng_stream(kRetryRngStream)),
-      rebuild_rng_(engine.rng_stream(kRebuildRngStream)) {
+      rebuild_rng_(engine.rng_stream(kRebuildRngStream)),
+      heartbeat_rng_(engine.rng_stream(kHeartbeatRngStream)),
+      drain_rng_(engine.rng_stream(kDrainRngStream)) {
   if (config.clients == 0 || config.io_nodes == 0 || config.osts == 0) {
     throw std::invalid_argument("PfsModel: clients, io_nodes, osts must all be > 0");
+  }
+  if (config.cluster.enabled) {
+    if (config.bb_placement != BbPlacement::kNone) {
+      throw std::invalid_argument(
+          "PfsModel: the cluster map is incompatible with burst buffers in this "
+          "release (the staging tier would bypass the stale-map protocol)");
+    }
+    if (config.cluster.heartbeat_interval <= SimTime::zero()) {
+      throw std::invalid_argument("PfsModel: cluster.heartbeat_interval must be > 0");
+    }
+    if (config.cluster.heartbeat_grace == 0) {
+      throw std::invalid_argument("PfsModel: cluster.heartbeat_grace must be >= 1");
+    }
+    for (const OstIndex absent : config.cluster.initial_absent) {
+      if (absent >= config.osts) {
+        throw std::invalid_argument("PfsModel: cluster.initial_absent names a bad OST");
+      }
+    }
+    for (const MembershipEvent& ev : config.cluster.membership) {
+      if (ev.ost >= config.osts) {
+        throw std::invalid_argument("PfsModel: cluster.membership names a bad OST");
+      }
+      if (ev.at > config.cluster.horizon) {
+        throw std::invalid_argument(
+            "PfsModel: cluster.membership event past the heartbeat horizon (the "
+            "monitor would never observe its consequences)");
+      }
+    }
   }
   if (!config.durability.track_contents && config.mds.default_layout.replicas > 1) {
     throw std::invalid_argument(
@@ -131,14 +171,45 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
     mds_->set_fault_timeline(&timeline_);
     for (auto& ost : osts_) ost->set_fault_timeline(&timeline_);
   }
-  if (tracking() && !timeline_.empty()) {
+  if (tracking() && !timeline_.empty() && !config.cluster.enabled) {
     // Online rebuild: every scripted/injected OST recovery wakes the resync
-    // planner, which re-copies whatever that OST missed while down.
+    // planner, which re-copies whatever that OST missed while down. This
+    // trigger is omniscient (it reads the timeline) and is therefore
+    // replaced by heartbeat detection + migration planning in cluster mode.
     for (std::uint32_t i = 0; i < config.osts; ++i) {
       const auto intervals = timeline_.down_intervals({fault::ComponentKind::kOst, i});
       for (const auto& [start, end] : intervals) {
         engine_.schedule_at(end, [this, i] { start_rebuild(i); });
       }
+    }
+  }
+  if (config.cluster.enabled) {
+    std::vector<OstState> states(config.osts, OstState::kUp);
+    for (const OstIndex absent : config.cluster.initial_absent) {
+      states[absent] = OstState::kDecommissioned;
+    }
+    map_ = ClusterMap{1, std::move(states)};
+    map_history_.push_back(map_);
+    client_epoch_.assign(config.clients, 1);
+    hb_deadline_.assign(config.osts, 0);
+    hb_ticking_.assign(config.osts, 0);
+    hb_rng_.reserve(config.osts);
+    for (std::uint32_t i = 0; i < config.osts; ++i) {
+      hb_rng_.push_back(heartbeat_rng_.substream(i));
+    }
+    for (std::uint32_t i = 0; i < config.osts; ++i) {
+      if (map_.state(i) == OstState::kDecommissioned) continue;
+      arm_heartbeat(i);
+      // Arm the initial grace deadline too: an OST dead from t=0 must still
+      // be detected, not silently trusted forever. (Unless the grace window
+      // itself outlives the heartbeat horizon — detection is horizon-bound.)
+      if (config.cluster.grace_period() <= config.cluster.horizon) {
+        hb_deadline_[i] = engine_.schedule_after(config.cluster.grace_period(),
+                                                 [this, i] { heartbeat_deadline(i); });
+      }
+    }
+    for (const MembershipEvent& ev : config.cluster.membership) {
+      engine_.schedule_at(ev.at, [this, ev] { apply_membership(ev); });
     }
   }
   const std::uint32_t buffer_count = config.bb_placement == BbPlacement::kNone ? 0
@@ -158,8 +229,10 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
           const auto it = token_info_.find(file);
           if (it == token_info_.end()) throw std::logic_error("BB drain: unknown file token");
           // Drains are untracked (file = 0): burst buffers and durability
-          // tracking are mutually exclusive by construction.
-          backend_io(drain_ion, 0, it->second.second, offset, size, /*is_write=*/true, 0,
+          // tracking are mutually exclusive by construction. (So are burst
+          // buffers and the cluster map, hence key/epoch are inert here.)
+          backend_io(drain_ion, 0, it->second.layout, offset, size, /*is_write=*/true, 0,
+                     /*key=*/0, /*epoch=*/1,
                      [done = std::move(on_done)](bool /*ok*/, IoError /*error*/) mutable {
                        if (done) done();
                      });
@@ -258,8 +331,186 @@ bool PfsModel::ost_down(OstIndex ost, SimTime t) const {
   return timeline_.down({fault::ComponentKind::kOst, ost}, t);
 }
 
+// -- cluster membership ------------------------------------------------------
+
+SimTime PfsModel::next_heartbeat_delay(OstIndex ost) {
+  const ClusterMapConfig& cm = config_.cluster;
+  double sec = cm.heartbeat_interval.sec();
+  if (cm.heartbeat_jitter_fraction > 0.0) {
+    sec *= 1.0 + hb_rng_[ost].uniform(-cm.heartbeat_jitter_fraction,
+                                      cm.heartbeat_jitter_fraction);
+  }
+  return std::max(SimTime::from_us(1.0), SimTime::from_sec_ceil(sec));
+}
+
+void PfsModel::arm_heartbeat(OstIndex ost) {
+  if (hb_ticking_[ost] != 0) return;
+  hb_ticking_[ost] = 1;
+  engine_.schedule_after(next_heartbeat_delay(ost), [this, ost] { heartbeat_tick(ost); });
+}
+
+void PfsModel::heartbeat_tick(OstIndex ost) {
+  // The loop ends for good on decommission or past the horizon (bounded
+  // weather window, like the fault injector's): nothing left to re-arm it.
+  if (map_.state(ost) == OstState::kDecommissioned || engine_.now() > config_.cluster.horizon) {
+    hb_ticking_[ost] = 0;
+    return;
+  }
+  // Detection is NOT omniscient, but emission must be honest: a truly-dead
+  // OST cannot send. The timeline is ground truth *at the sender only*.
+  if (!ost_down(ost, engine_.now())) {
+    storage_fabric_->send(storage_ep_of_ost(ost), storage_ep_of_mds(), kHeader,
+                          [this, ost] { monitor_heard(ost); });
+  }
+  engine_.schedule_after(next_heartbeat_delay(ost), [this, ost] { heartbeat_tick(ost); });
+}
+
+void PfsModel::monitor_heard(OstIndex ost) {
+  if (map_.state(ost) == OstState::kDecommissioned) return;  // parting shot, ignored
+  if (hb_deadline_[ost] != 0) engine_.cancel(hb_deadline_[ost]);
+  hb_deadline_[ost] = 0;
+  // Re-arm only while the full grace window fits inside the horizon:
+  // heartbeats stop at the horizon (bounded weather window), so a deadline
+  // armed past it would mass-declare the silent-but-healthy cluster down.
+  if (engine_.now() + config_.cluster.grace_period() <= config_.cluster.horizon) {
+    hb_deadline_[ost] = engine_.schedule_after(config_.cluster.grace_period(),
+                                               [this, ost] { heartbeat_deadline(ost); });
+  }
+  if (map_.state(ost) == OstState::kDown) {
+    ++res_stats_.up_detections;
+    map_.set_state(ost, OstState::kUp);
+    emit_resilience(ResilienceEventKind::kDetectedUp, 0, IoError::kNone, ost);
+    publish_epoch();
+  }
+}
+
+void PfsModel::heartbeat_deadline(OstIndex ost) {
+  hb_deadline_[ost] = 0;
+  const OstState state = map_.state(ost);
+  if (state != OstState::kUp && state != OstState::kDraining) return;
+  ++res_stats_.down_detections;
+  map_.set_state(ost, OstState::kDown);
+  emit_resilience(ResilienceEventKind::kDetectedDown, 0, IoError::kOstDown, ost);
+  publish_epoch();
+}
+
+void PfsModel::publish_epoch() {
+  map_.bump_epoch();
+  map_history_.push_back(map_);
+  if (tracking()) plan_migration();
+}
+
+void PfsModel::apply_membership(const MembershipEvent& ev) {
+  const OstIndex ost = ev.ost;
+  switch (ev.change) {
+    case MembershipChange::kJoin: {
+      const OstState state = map_.state(ost);
+      if (state == OstState::kUp || state == OstState::kDraining) return;  // already in
+      map_.set_state(ost, OstState::kUp);
+      if (engine_.now() <= config_.cluster.horizon) {
+        arm_heartbeat(ost);
+        // Same horizon discipline as monitor_heard: no grace window that
+        // would outlive the heartbeat horizon.
+        if (hb_deadline_[ost] == 0 &&
+            engine_.now() + config_.cluster.grace_period() <= config_.cluster.horizon) {
+          hb_deadline_[ost] = engine_.schedule_after(config_.cluster.grace_period(),
+                                                     [this, ost] { heartbeat_deadline(ost); });
+        }
+      }
+      break;
+    }
+    case MembershipChange::kDrain:
+      if (map_.state(ost) != OstState::kUp) return;
+      map_.set_state(ost, OstState::kDraining);
+      break;
+    case MembershipChange::kDecommission:
+      if (map_.state(ost) == OstState::kDecommissioned) return;
+      map_.set_state(ost, OstState::kDecommissioned);
+      if (hb_deadline_[ost] != 0) {
+        engine_.cancel(hb_deadline_[ost]);
+        hb_deadline_[ost] = 0;
+      }
+      break;
+  }
+  publish_epoch();
+}
+
+void PfsModel::plan_migration() {
+  if (!tracking()) return;
+  const PlacementMode mode = config_.cluster.placement;
+  std::vector<OstIndex> wake;
+  for (const std::uint64_t file : ledger_.acked_files()) {
+    const auto info = token_info_.find(file);
+    if (info == token_info_.end()) continue;
+    const StripeLayout& layout = info->second.layout;
+    const std::uint32_t replicas = std::max<std::uint32_t>(1, layout.replicas);
+    const std::uint64_t ss = layout.stripe_size.count();
+    for (const auto& seg : ledger_.acked_segments(file)) {
+      const auto chunks = decompose(layout, config_.osts, seg.lo, Bytes{seg.hi - seg.lo});
+      for (const auto& chunk : chunks) {
+        const std::uint64_t lo = chunk.file_offset;
+        const std::uint64_t hi = lo + chunk.length.count();
+        const auto targets =
+            placement_targets(map_, mode, layout, info->second.key, lo / ss, replicas);
+        for (const OstIndex target : targets) {
+          if (ledger_.read_ok(file, target, lo, hi)) continue;
+          ledger_.mark_missed(target, file, lo, hi);
+          res_stats_.migration_marked_bytes = res_stats_.migration_marked_bytes + Bytes{hi - lo};
+          wake.push_back(target);
+        }
+      }
+    }
+  }
+  std::sort(wake.begin(), wake.end());
+  wake.erase(std::unique(wake.begin(), wake.end()), wake.end());
+  for (const OstIndex target : wake) {
+    // A target the monitor believes dead cannot resync now; its debt stays
+    // in the ledger and the next epoch that sees it serving re-plans.
+    if (!map_.serving(target)) continue;
+    start_rebuild(target, /*migration=*/true);
+  }
+}
+
+void PfsModel::refresh_map(ClientId client, std::function<void()> done) {
+  ++res_stats_.map_refreshes;
+  const std::uint32_t ion = ion_of(client);
+  // Header round trip: client -> ION (compute) -> MDS monitor (storage) and
+  // back. The epoch is snapshotted when the reply *arrives*, so a refresh
+  // can itself race another publication — exactly like a real monitor.
+  compute_fabric_->send(client, compute_ep_of_ion(ion), kHeader, [this, client, ion,
+                                                                 done = std::move(done)]() mutable {
+    storage_fabric_->send(ion, storage_ep_of_mds(), kHeader, [this, client, ion,
+                                                              done = std::move(done)]() mutable {
+      storage_fabric_->send(storage_ep_of_mds(), ion, kHeader, [this, client, ion,
+                                                                done = std::move(done)]() mutable {
+        compute_fabric_->send(compute_ep_of_ion(ion), client, kHeader,
+                              [this, client, done = std::move(done)]() mutable {
+                                client_epoch_[client] = map_.epoch();
+                                if (done) done();
+                              });
+      });
+    });
+  });
+}
+
+std::vector<OstIndex> PfsModel::read_candidates(std::uint64_t key, const StripeLayout& layout,
+                                                std::uint64_t stripe_index,
+                                                std::uint64_t from_epoch) const {
+  const std::uint32_t replicas = tracking() ? std::max<std::uint32_t>(1, layout.replicas) : 1;
+  const PlacementMode mode = config_.cluster.placement;
+  std::vector<OstIndex> out;
+  for (std::uint64_t e = std::min<std::uint64_t>(from_epoch, map_history_.size()); e >= 1; --e) {
+    for (const OstIndex t :
+         placement_targets(map_history_[e - 1], mode, layout, key, stripe_index, replicas)) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    }
+  }
+  return out;
+}
+
 void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
                           std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
+                          std::uint64_t key, std::uint64_t epoch,
                           std::function<void(bool ok, IoError error)> on_done) {
   const auto chunks = decompose(layout, config_.osts, offset, size);
   const bool tracked = tracking() && file != 0;
@@ -276,6 +527,72 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
   for (const auto& chunk : chunks) {
     const std::uint64_t flo = chunk.file_offset;
     const std::uint64_t fhi = chunk.file_offset + chunk.length.count();
+    if (cluster_enabled()) {
+      // Cluster-map placement: targets come from the client's cached epoch,
+      // never from the fault timeline — clients only know what the monitor
+      // has published. decompose() is reused for stripe tiling only; the
+      // per-OST object offset is the file offset itself (collision-free and
+      // placement-independent, so migrated chunks keep their address).
+      const std::uint64_t stripe = flo / layout.stripe_size.count();
+      const ClusterMap& cached = map_at(epoch);
+      const PlacementMode mode = config_.cluster.placement;
+      auto targets = placement_targets(cached, mode, layout, key, stripe, replicas);
+      if (epoch != map_.epoch() &&
+          placement_targets(map_, mode, layout, key, stripe, replicas) != targets) {
+        // The authoritative placement moved since the client's map: the
+        // addressed OST rejects the epoch instead of serving (Ceph's
+        // stale-OSDMap discipline). Bounce the whole chunk.
+        const OstIndex bounce = !targets.empty() ? targets.front() : chunk.ost;
+        ships.push_back(Shipment{bounce, flo, chunk.length, flo, fhi, /*stale=*/true});
+        continue;
+      }
+      if (targets.empty()) {
+        fan->fail(IoError::kOstDown);  // no placeable OST in the cached map
+        continue;
+      }
+      if (is_write) {
+        // Fan out to every placement target the cached map lists. A target
+        // that is really dead but not yet detected rejects at the door and
+        // fails the op — the measurable detection window. (No omniscient
+        // mark_missed here: migration planning at the next epoch settles
+        // the debts detection reveals.)
+        for (const OstIndex target : targets) {
+          ships.push_back(Shipment{target, flo, chunk.length, flo, fhi});
+        }
+        continue;
+      }
+      // Read: walk the fallback chain (this epoch's placement, then older
+      // epochs') and serve from the first candidate the client believes
+      // serving that holds the acknowledged data.
+      constexpr OstIndex kNoOst = UINT32_MAX;
+      OstIndex serve = kNoOst;
+      OstIndex first_serving = kNoOst;
+      for (const OstIndex candidate : read_candidates(key, layout, stripe, epoch)) {
+        if (!cached.serving(candidate)) continue;
+        if (first_serving == kNoOst) first_serving = candidate;
+        if (!tracked || ledger_.read_ok(file, candidate, flo, fhi)) {
+          serve = candidate;
+          break;
+        }
+      }
+      if (serve != kNoOst) {
+        if (tracked && serve != targets.front()) {
+          ++res_stats_.degraded_reads;
+          emit_resilience(ResilienceEventKind::kDegradedRead, 0, IoError::kNone, serve,
+                          chunk.length);
+        }
+        ships.push_back(Shipment{serve, flo, chunk.length, flo, fhi});
+      } else if (first_serving != kNoOst) {
+        // Somebody serving, nobody holding: the read completes and the
+        // content check reports kDataLost.
+        ships.push_back(Shipment{first_serving, flo, chunk.length, flo, fhi});
+      } else {
+        // Nobody the client believes serving: address the primary and let
+        // reality answer (a door rejection is retryable).
+        ships.push_back(Shipment{targets.front(), flo, chunk.length, flo, fhi});
+      }
+      continue;
+    }
     if (replicas <= 1) {
       // Unreplicated (or untracked) path: degraded-mode striping may route
       // around OSTs known down at dispatch — which ships acknowledged data
@@ -344,6 +661,16 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
 
   for (const auto& ship : ships) {
     const net::EndpointId ost_ep = storage_ep_of_ost(ship.target);
+    if (ship.stale) {
+      // Epoch check happens at the door, before any device work: request
+      // header out, kStaleMap error header straight back.
+      storage_fabric_->send(ion, ost_ep, kHeader, [this, ion, ost_ep, fan]() mutable {
+        storage_fabric_->send(ost_ep, ion, kHeader, [fan]() mutable {
+          fan->finish_one(false, IoError::kStaleMap);
+        });
+      });
+      continue;
+    }
     if (is_write) {
       // Ship data to the OST, write it, then a small ack (or error) returns.
       storage_fabric_->send(ion, ost_ep, ship.length, [this, ship, ion, ost_ep, fan, file,
@@ -428,6 +755,23 @@ void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, I
     return;
   }
   const RetryPolicy& retry = config_.retry;
+  if (error == IoError::kStaleMap) {
+    // A stale map is not weather — backing off would just retry through the
+    // same outdated epoch. Refresh the client's map (a real round trip to
+    // the monitor) and retry immediately once the new epoch lands.
+    if (op->attempt < retry.max_attempts) {
+      ++res_stats_.stale_map_retries;
+      emit_resilience(ResilienceEventKind::kStaleMapRetry, op->attempt, error);
+      refresh_map(op->client, [this, op] { start_attempt(op); });
+      return;
+    }
+    if (retry.retries_enabled()) {
+      ++res_stats_.giveups;
+      emit_resilience(ResilienceEventKind::kGiveUp, op->attempt, error);
+    }
+    settle(op, false, error);
+    return;
+  }
   if (op->attempt < retry.max_attempts) {
     ++res_stats_.retries;
     emit_resilience(ResilienceEventKind::kRetry, op->attempt, error);
@@ -445,6 +789,9 @@ void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, I
 void PfsModel::start_attempt(const std::shared_ptr<IoOpState>& op) {
   ++op->attempt;
   ++res_stats_.attempts;
+  // Each attempt addresses through the epoch the client holds *now* — a
+  // refresh between attempts is what makes stale-map retries converge.
+  if (cluster_enabled()) op->map_epoch = client_epoch_[op->client];
   auto attempt = std::make_shared<AttemptState>();
   if (config_.retry.op_timeout > SimTime::zero()) {
     attempt->timeout_event =
@@ -503,7 +850,7 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
       // No buffer (or full, or stalled): write through to the OSTs.
       if (bb != nullptr) bb->note_bypass(op->size);
       backend_io(ion, op->file, op->layout, op->offset, op->size, true, op->token,
-                 std::move(backend_done));
+                 op->key, op->map_epoch, std::move(backend_done));
     });
   } else {
     // Small read request to the ION; data returns over the compute fabric.
@@ -527,7 +874,7 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
       }
       if (bb != nullptr) bb->note_miss(op->size);
       backend_io(ion, op->file, op->layout, op->offset, op->size, false, 0,
-                 std::move(backend_done));
+                 op->key, op->map_epoch, std::move(backend_done));
     });
   }
 }
@@ -559,7 +906,7 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
   }
 
   const std::uint64_t token = file_token(path);
-  token_info_[token] = {path, layout};
+  token_info_[token] = FileInfo{path, layout, file_placement_key(path)};
 
   auto op = std::make_shared<IoOpState>();
   op->client = client;
@@ -569,6 +916,7 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
   op->size = size;
   op->is_write = is_write;
   op->issued = issued;
+  op->key = file_placement_key(path);
   if (tracking()) {
     op->file = token;
     // One token per logical op: every attempt and chunk of this write
@@ -579,12 +927,13 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
   start_attempt(op);
 }
 
-void PfsModel::start_rebuild(OstIndex ost) {
+void PfsModel::start_rebuild(OstIndex ost, bool migration) {
   if (!tracking()) return;
   auto& slot = rebuild_[ost];
   if (slot == nullptr) slot = std::make_unique<RebuildState>();
   RebuildState& rb = *slot;
   if (rb.active) return;
+  rb.migration = migration;
   rb.queue.clear();
   rb.next = 0;
   rb.total = Bytes::zero();
@@ -597,7 +946,7 @@ void PfsModel::start_rebuild(OstIndex ost) {
     const auto info = token_info_.find(range.file);
     if (info == token_info_.end()) continue;
     const auto chunks =
-        decompose(info->second.second, config_.osts, range.lo, Bytes{range.hi - range.lo});
+        decompose(info->second.layout, config_.osts, range.lo, Bytes{range.hi - range.lo});
     for (const auto& chunk : chunks) {
       const std::uint64_t chunk_hi = chunk.file_offset + chunk.length.count();
       for (std::uint64_t lo = chunk.file_offset; lo < chunk_hi;) {
@@ -635,7 +984,7 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
     skip();
     return;
   }
-  const StripeLayout& layout = info->second.second;
+  const StripeLayout& layout = info->second.layout;
   const auto chunks =
       decompose(layout, config_.osts, piece.lo, Bytes{piece.hi - piece.lo});
   if (chunks.size() != 1) {  // defensive: pieces never cross chunk boundaries
@@ -646,12 +995,27 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
   const std::uint32_t replicas = std::max<std::uint32_t>(1, layout.replicas);
   constexpr OstIndex kNoOst = UINT32_MAX;
   OstIndex src = kNoOst;
-  for (std::uint32_t r = 0; r < replicas; ++r) {
-    const OstIndex candidate = replica_ost(chunk.ost, r, config_.osts);
-    if (candidate == ost || ost_down(candidate, t0)) continue;
-    if (ledger_.read_ok(piece.file, candidate, piece.lo, piece.hi)) {
-      src = candidate;
-      break;
+  if (cluster_enabled()) {
+    // Source selection sees only detected state (the monitor's map), never
+    // the timeline: a believed-serving-but-dead source rejects the read at
+    // the door and the piece stays owed for a later pass.
+    const std::uint64_t stripe = piece.lo / layout.stripe_size.count();
+    for (const OstIndex candidate :
+         read_candidates(info->second.key, layout, stripe, map_.epoch())) {
+      if (candidate == ost || !map_.serving(candidate)) continue;
+      if (ledger_.read_ok(piece.file, candidate, piece.lo, piece.hi)) {
+        src = candidate;
+        break;
+      }
+    }
+  } else {
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const OstIndex candidate = replica_ost(chunk.ost, r, config_.osts);
+      if (candidate == ost || ost_down(candidate, t0)) continue;
+      if (ledger_.read_ok(piece.file, candidate, piece.lo, piece.hi)) {
+        src = candidate;
+        break;
+      }
     }
   }
   if (src == kNoOst) {
@@ -662,25 +1026,30 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
   // Resync is real DES traffic: a device read on the source replica, a hop
   // across the storage fabric, a device write on the rebuilding OST — so it
   // contends with foreground I/O exactly like production resync streams.
-  osts_[src]->submit(chunk.object_offset, len, false, [this, ost, src, piece, chunk, len,
-                                                       t0](bool read_ok) mutable {
+  // Cluster mode addresses objects by file offset (placement-independent);
+  // legacy mode keeps the round-robin lane's object offset.
+  const std::uint64_t obj = cluster_enabled() ? piece.lo : chunk.object_offset;
+  osts_[src]->submit(obj, len, false, [this, ost, src, piece, obj, len,
+                                       t0](bool read_ok) mutable {
     if (!read_ok) {
       engine_.schedule_after(SimTime::zero(), [this, ost] { run_rebuild_piece(ost); });
       return;
     }
     storage_fabric_->send(
         storage_ep_of_ost(src), storage_ep_of_ost(ost), len,
-        [this, ost, src, piece, chunk, len, t0]() mutable {
-          osts_[ost]->submit(chunk.object_offset, len, true, [this, ost, src, piece, len,
-                                                              t0](bool write_ok) mutable {
+        [this, ost, src, piece, obj, len, t0]() mutable {
+          osts_[ost]->submit(obj, len, true, [this, ost, src, piece, len,
+                                              t0](bool write_ok) mutable {
             RebuildState& state = *rebuild_.at(ost);
             if (!write_ok) {
               // The rebuilding OST crashed again mid-resync: park the pass.
               // Its next recovery event restarts it from the (still-dirty)
               // ledger; a transient rejection with the OST up retries now.
               state.active = false;
+              const bool mig = state.migration;
               if (!ost_down(ost, engine_.now())) {
-                engine_.schedule_after(SimTime::zero(), [this, ost] { start_rebuild(ost); });
+                engine_.schedule_after(SimTime::zero(),
+                                       [this, ost, mig] { start_rebuild(ost, mig); });
               }
               return;
             }
@@ -688,10 +1057,13 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
             state.done = state.done + len;
             res_stats_.rebuilt_bytes = res_stats_.rebuilt_bytes + len;
             // Pace the next piece against the rebuild bandwidth cap, with a
-            // seeded jitter so parallel resyncs do not lockstep.
+            // seeded jitter so parallel resyncs do not lockstep. Migration
+            // passes draw from the drain stream, crash resyncs from the
+            // rebuild stream — the two never perturb each other's draws.
             double pace_sec = config_.durability.rebuild_bandwidth.transfer_time(len).sec();
             const double jitter = config_.durability.rebuild_jitter_fraction;
-            if (jitter > 0.0) pace_sec *= 1.0 + rebuild_rng_.uniform(-jitter, jitter);
+            Rng& pace_rng = state.migration ? drain_rng_ : rebuild_rng_;
+            if (jitter > 0.0) pace_sec *= 1.0 + pace_rng.uniform(-jitter, jitter);
             const SimTime next_at =
                 std::max(engine_.now(), t0 + SimTime::from_sec_ceil(pace_sec));
             engine_.schedule_at(next_at, [this, ost] { run_rebuild_piece(ost); });
@@ -713,21 +1085,36 @@ PfsModel::DurabilityReport PfsModel::durability_report() const {
   for (const std::uint64_t file : ledger_.acked_files()) {
     const auto info = token_info_.find(file);
     if (info == token_info_.end()) continue;
-    const StripeLayout& layout = info->second.second;
+    const StripeLayout& layout = info->second.layout;
     const std::uint32_t replicas = std::max<std::uint32_t>(1, layout.replicas);
     for (const auto& seg : ledger_.acked_segments(file)) {
       report.acked = report.acked + Bytes{seg.hi - seg.lo};
       // Audit per chunk against the chunk's read set: the replicas a read
       // would consult. Data that failover misdirected outside the read set
-      // (the R=1 hole) is audited as lost — reads cannot reach it.
+      // (the R=1 hole) is audited as lost — reads cannot reach it. In
+      // cluster mode the read set is the placement-aware fallback chain
+      // restricted to OSTs the monitor believes serving, so the audit is F4:
+      // "readable through the read path after any membership sequence".
       const auto chunks = decompose(layout, config_.osts, seg.lo, Bytes{seg.hi - seg.lo});
       for (const auto& chunk : chunks) {
         const std::uint64_t chunk_lo = chunk.file_offset;
         const std::uint64_t chunk_hi = chunk.file_offset + chunk.length.count();
         bool held = false;
-        for (std::uint32_t r = 0; r < replicas && !held; ++r) {
-          held = ledger_.read_ok(file, replica_ost(chunk.ost, r, config_.osts), chunk_lo,
-                                 chunk_hi);
+        if (cluster_enabled()) {
+          const std::uint64_t stripe = chunk_lo / layout.stripe_size.count();
+          for (const OstIndex candidate :
+               read_candidates(info->second.key, layout, stripe, map_.epoch())) {
+            if (map_.serving(candidate) &&
+                ledger_.read_ok(file, candidate, chunk_lo, chunk_hi)) {
+              held = true;
+              break;
+            }
+          }
+        } else {
+          for (std::uint32_t r = 0; r < replicas && !held; ++r) {
+            held = ledger_.read_ok(file, replica_ost(chunk.ost, r, config_.osts), chunk_lo,
+                                   chunk_hi);
+          }
         }
         if (!held) {
           report.lost = report.lost + Bytes{chunk_hi - chunk_lo};

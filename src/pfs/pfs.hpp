@@ -30,6 +30,7 @@
 #include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "pfs/burst_buffer.hpp"
+#include "pfs/cluster_map.hpp"
 #include "pfs/disk.hpp"
 #include "pfs/durability.hpp"
 #include "pfs/mds.hpp"
@@ -84,6 +85,12 @@ struct PfsConfig {
   /// Incompatible with burst buffers in this release (a write-back tier
   /// that drops dirty blocks on a failed drain cannot honour F3).
   DurabilityConfig durability{};
+  /// Epoch-versioned cluster membership: heartbeat failure detection, live
+  /// OST join/drain/decommission, stale-map client protocol, and placement
+  /// modes (DESIGN.md §13). Off by default (static omniscient semantics
+  /// preserved exactly). Incompatible with burst buffers in this release
+  /// (the staging tier would bypass the stale-map addressing protocol).
+  ClusterMapConfig cluster{};
   /// Scripted fault events, applied verbatim.
   fault::FaultPlan faults{};
   /// Optional stochastic injector; its events (materialized from the engine
@@ -159,6 +166,21 @@ class PfsModel {
   /// The run's fault weather (empty timeline when no faults configured).
   [[nodiscard]] const fault::Timeline& fault_timeline() const { return timeline_; }
 
+  /// True when the epoch-versioned cluster membership layer is enabled.
+  [[nodiscard]] bool cluster_enabled() const { return config_.cluster.enabled; }
+  /// The monitor's current (authoritative) cluster map. Meaningful only
+  /// when cluster_enabled().
+  [[nodiscard]] const ClusterMap& cluster_map() const { return map_; }
+  /// Every published epoch, oldest first (index epoch-1). Meaningful only
+  /// when cluster_enabled().
+  [[nodiscard]] const std::vector<ClusterMap>& cluster_map_history() const {
+    return map_history_;
+  }
+  /// The map epoch `client` currently holds (1 when cluster is disabled).
+  [[nodiscard]] std::uint64_t client_epoch(ClientId client) const {
+    return cluster_enabled() ? client_epoch_.at(client) : 1;
+  }
+
   /// Aggregate client-side resilience counters.
   [[nodiscard]] const ResilienceStats& resilience_stats() const { return res_stats_; }
 
@@ -194,7 +216,11 @@ class PfsModel {
   /// Campaign-end invariants (sim::check), call after
   /// Engine::assert_drained(). F2: every op abandoned by a retry timeout
   /// must have drained its orphan completions. F3 (durability tracking
-  /// only): no acknowledged write may be lost.
+  /// only): no acknowledged write may be lost. With the cluster map enabled
+  /// the same audit is F4: every acknowledged byte must be readable through
+  /// the *placement-aware* read path (current epoch's targets plus the
+  /// older-epoch fallback chain, serving OSTs only) across any
+  /// join/drain/crash/decommission sequence.
   void assert_quiescent() const {
     sim::check::abandoned_ops_drained(abandoned_in_flight_);
     if (tracking()) {
@@ -236,8 +262,13 @@ class PfsModel {
   /// that is up *and* holds the acknowledged data (non-primary = degraded
   /// read), and a read that no consulted replica can serve correctly fails
   /// with kDataLost. `file` = 0 (burst-buffer drains) means untracked.
+  /// With the cluster map enabled, `key` is the file's placement key and
+  /// `epoch` the issuing client's cached map epoch: placement is computed
+  /// from that (possibly stale) epoch's map, and a chunk whose authoritative
+  /// placement has since moved is bounced with kStaleMap instead of served.
   void backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
                   std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
+                  std::uint64_t key, std::uint64_t epoch,
                   std::function<void(bool ok, IoError error)> on_done);
 
   // One logical io() op across its (possibly many) attempts.
@@ -261,11 +292,45 @@ class PfsModel {
 
   /// True iff OST `ost` is inside a down interval at `t`.
   [[nodiscard]] bool ost_down(OstIndex ost, SimTime t) const;
-  /// Begin (or no-op) a resync pass for a just-recovered OST.
-  void start_rebuild(OstIndex ost);
+  /// Begin (or no-op) a resync pass for a just-recovered OST. `migration`
+  /// marks an epoch-change migration pass (paced on the drain stream).
+  void start_rebuild(OstIndex ost, bool migration = false);
   /// Copy the next owed piece, paced against the rebuild bandwidth cap.
   void run_rebuild_piece(OstIndex ost);
   void finish_rebuild(OstIndex ost);
+
+  // -- cluster membership (all no-ops / unused when cluster is disabled) ---
+
+  /// The map at `epoch` (1-based; epochs are published densely).
+  [[nodiscard]] const ClusterMap& map_at(std::uint64_t epoch) const {
+    return map_history_.at(epoch - 1);
+  }
+  /// Start the per-OST heartbeat loop if it is not already ticking.
+  void arm_heartbeat(OstIndex ost);
+  void heartbeat_tick(OstIndex ost);
+  /// Monitor side: a heartbeat from `ost` arrived at the MDS endpoint.
+  void monitor_heard(OstIndex ost);
+  /// Monitor side: `ost` has been silent for a full grace period.
+  void heartbeat_deadline(OstIndex ost);
+  [[nodiscard]] SimTime next_heartbeat_delay(OstIndex ost);
+  /// Bump the epoch, append to history, and (tracking only) plan migration.
+  void publish_epoch();
+  void apply_membership(const MembershipEvent& ev);
+  /// Walk every acknowledged range; mark + schedule rebuild for each current
+  /// placement target that lacks the data (drains, joins, and post-crash
+  /// resync all reduce to this).
+  void plan_migration();
+  /// Model a client map-refresh round trip (client -> ION -> MDS and back);
+  /// the client's cached epoch becomes current on completion.
+  void refresh_map(ClientId client, std::function<void()> done);
+  /// Read-path fallback chain for one stripe: placement targets of every
+  /// epoch from `from_epoch` back to 1, deduplicated, newest first. Shared
+  /// by foreground reads, rebuild source selection, and the F4 audit so the
+  /// audit means exactly "readable through the read path".
+  [[nodiscard]] std::vector<OstIndex> read_candidates(std::uint64_t key,
+                                                      const StripeLayout& layout,
+                                                      std::uint64_t stripe_index,
+                                                      std::uint64_t from_epoch) const;
 
   /// Small fixed header size used for request/ack messages.
   static constexpr Bytes kHeader = Bytes{256};
@@ -287,9 +352,23 @@ class PfsModel {
   std::uint64_t next_file_token_ = 1;
   std::unordered_map<std::string, std::uint64_t> file_tokens_;  // path -> BB file id
   std::uint64_t file_token(const std::string& path);
-  std::unordered_map<std::uint64_t, std::pair<std::string, StripeLayout>> token_info_;
+  struct FileInfo {
+    std::string path;
+    StripeLayout layout{};
+    std::uint64_t key = 0;  ///< placement key (file_placement_key(path))
+  };
+  std::unordered_map<std::uint64_t, FileInfo> token_info_;
   DurabilityLedger ledger_;
   std::map<OstIndex, std::unique_ptr<RebuildState>> rebuild_;
+  // Cluster membership (populated only when config.cluster.enabled).
+  ClusterMap map_;                       ///< the monitor's current map
+  std::vector<ClusterMap> map_history_;  ///< every published epoch (index e-1)
+  std::vector<std::uint64_t> client_epoch_;  ///< per-client cached epoch
+  Rng heartbeat_rng_;
+  Rng drain_rng_;
+  std::vector<Rng> hb_rng_;              ///< per-OST jitter substreams
+  std::vector<sim::EventId> hb_deadline_;  ///< armed grace-expiry event (0 = none)
+  std::vector<std::uint8_t> hb_ticking_;   ///< heartbeat loop alive flags
 };
 
 }  // namespace pio::pfs

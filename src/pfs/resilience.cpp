@@ -13,6 +13,7 @@ const char* to_string(IoError error) {
     case IoError::kMdsDown: return "mds-down";
     case IoError::kTimeout: return "timeout";
     case IoError::kDataLost: return "data-lost";
+    case IoError::kStaleMap: return "stale-map";
   }
   return "?";
 }
@@ -26,6 +27,9 @@ const char* to_string(ResilienceEventKind kind) {
     case ResilienceEventKind::kDegradedRead: return "degraded-read";
     case ResilienceEventKind::kRebuildStart: return "rebuild-start";
     case ResilienceEventKind::kRebuildDone: return "rebuild-done";
+    case ResilienceEventKind::kStaleMapRetry: return "stale-map-retry";
+    case ResilienceEventKind::kDetectedDown: return "detected-down";
+    case ResilienceEventKind::kDetectedUp: return "detected-up";
   }
   return "?";
 }

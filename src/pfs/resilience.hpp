@@ -28,6 +28,8 @@ enum class IoError : std::uint8_t {
   kMdsDown,   ///< metadata service unreachable
   kTimeout,   ///< the op exceeded RetryPolicy::op_timeout on every attempt
   kDataLost,  ///< no replica holds the acknowledged data (durability breach)
+  kStaleMap,  ///< addressed an OST through an outdated ClusterMap epoch;
+              ///< refresh the map and retry (DESIGN.md §13)
 };
 
 [[nodiscard]] const char* to_string(IoError error);
@@ -69,6 +71,9 @@ enum class ResilienceEventKind : std::uint8_t {
   kDegradedRead,  ///< read served by a non-primary replica (primary down/stale)
   kRebuildStart,  ///< a recovered OST began resyncing missed chunks
   kRebuildDone,   ///< the resync drained (bytes = total re-copied)
+  kStaleMapRetry, ///< a kStaleMap rejection triggered a map refresh + retry
+  kDetectedDown,  ///< the monitor declared an OST down (heartbeat grace expired)
+  kDetectedUp,    ///< the monitor saw a heartbeat from a down OST again
 };
 
 [[nodiscard]] const char* to_string(ResilienceEventKind kind);
@@ -95,6 +100,15 @@ struct ResilienceStats {
   std::uint64_t rebuilds_started = 0;   ///< OST resync passes begun
   std::uint64_t rebuilds_completed = 0; ///< OST resync passes drained
   Bytes rebuilt_bytes = Bytes::zero();  ///< total bytes re-copied by resync
+  // Cluster-membership counters (all zero when ClusterMapConfig::enabled is
+  // false; see DESIGN.md §13).
+  std::uint64_t stale_map_retries = 0;  ///< ops bounced by kStaleMap and retried
+  std::uint64_t map_refreshes = 0;      ///< client map-refresh round trips
+  std::uint64_t down_detections = 0;    ///< monitor down declarations (grace expiry)
+  std::uint64_t up_detections = 0;      ///< monitor up re-declarations (beat resumed)
+  /// Bytes scheduled for migration by epoch changes (re-marks of ranges
+  /// still owed across consecutive epochs count each time).
+  Bytes migration_marked_bytes = Bytes::zero();
 };
 
 }  // namespace pio::pfs

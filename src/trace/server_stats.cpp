@@ -57,6 +57,9 @@ void ServerStatsCollector::on_resilience_record(const pfs::ResilienceRecord& rec
     case pfs::ResilienceEventKind::kGiveUp: ++sample.giveups; break;
     case pfs::ResilienceEventKind::kFailover: ++sample.failovers; break;
     case pfs::ResilienceEventKind::kDegradedRead: ++sample.degraded_reads; break;
+    case pfs::ResilienceEventKind::kStaleMapRetry: ++sample.stale_map_retries; break;
+    case pfs::ResilienceEventKind::kDetectedDown: ++sample.down_detections; break;
+    case pfs::ResilienceEventKind::kDetectedUp: ++sample.up_detections; break;
     case pfs::ResilienceEventKind::kRebuildStart:
     case pfs::ResilienceEventKind::kRebuildDone: {
       auto& rebuild = rebuild_series_[record.ost][sample.window];

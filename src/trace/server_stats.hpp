@@ -48,6 +48,9 @@ struct ResilienceSample {
   std::uint64_t giveups = 0;
   std::uint64_t failovers = 0;
   std::uint64_t degraded_reads = 0;  ///< reads served by a non-primary replica
+  std::uint64_t stale_map_retries = 0;  ///< kStaleMap bounces refreshed + retried
+  std::uint64_t down_detections = 0;    ///< monitor down declarations this window
+  std::uint64_t up_detections = 0;      ///< monitor up re-declarations this window
 };
 
 using ResilienceSeries = std::map<std::uint64_t, ResilienceSample>;

@@ -241,6 +241,74 @@ TEST(DeterminismRegression, DifferentSeedDurabilityCampaignsDiverge) {
   EXPECT_NE(run_durability_campaign(21), run_durability_campaign(22));
 }
 
+/// A membership-churn campaign: epoch-versioned cluster map with rendezvous
+/// placement, a scripted drain, and an OST crash detected through jittered
+/// heartbeats (kHeartbeatRngStream) whose migration resync paces on
+/// kDrainRngStream. The digest covers the trace, every membership counter,
+/// and the final epoch, so a detector or migration planner drawing outside
+/// engine streams diverges immediately (extends the C-12 oracle).
+std::uint64_t run_membership_campaign(std::uint64_t engine_seed) {
+  auto config = small_pfs();
+  config.durability.track_contents = true;
+  config.durability.rebuild_bandwidth = Bandwidth::from_mib_per_sec(128.0);
+  config.mds.default_layout.replicas = 2;
+  config.cluster.enabled = true;
+  config.cluster.placement = pfs::PlacementMode::kRendezvousHash;
+  config.cluster.heartbeat_interval = SimTime::from_ms(2.0);
+  config.cluster.heartbeat_grace = 2;
+  config.cluster.horizon = SimTime::from_ms(80.0);
+  config.cluster.drain(3, SimTime::from_ms(10.0));
+  config.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0));
+  config.retry.max_attempts = 4;
+  config.retry.base_backoff = SimTime::from_ms(1.0);
+
+  sim::Engine engine{engine_seed};
+  pfs::PfsModel model{engine, config};
+  // Detection, stale-map and migration events carry heartbeat-jittered
+  // timestamps; mixing them makes the digest sensitive to the whole
+  // membership machinery, not just the foreground traffic.
+  Fnv1a h;
+  model.set_resilience_observer([&h](const pfs::ResilienceRecord& r) {
+    h.mix(static_cast<std::uint64_t>(r.kind));
+    h.mix(static_cast<std::uint64_t>(r.at.ns()));
+    h.mix(static_cast<std::uint64_t>(r.ost));
+    h.mix(r.bytes.count());
+  });
+  driver::SimRunConfig run_config;
+  run_config.layout.replicas = 2;  // the driver's create layout wins over the MDS default
+  driver::ExecutionDrivenSimulator sim{engine, model, run_config};
+  workload::IorConfig ior;
+  ior.ranks = 4;
+  ior.block_size = Bytes::from_mib(4);
+  ior.transfer_size = Bytes::from_mib(1);
+  trace::Tracer tracer;
+  const auto result = sim.run(*workload::ior_like(ior), &tracer);
+  engine.run();  // drain migration resync passes past the workload
+  engine.assert_drained();
+  model.assert_quiescent();
+  h.mix(hash_trace(tracer.snapshot()));
+  h.mix(static_cast<std::uint64_t>(result.makespan.ns()));
+  h.mix(model.resilience_stats().stale_map_retries);
+  h.mix(model.resilience_stats().map_refreshes);
+  h.mix(model.resilience_stats().down_detections);
+  h.mix(model.resilience_stats().up_detections);
+  h.mix(model.resilience_stats().migration_marked_bytes.count());
+  h.mix(model.cluster_map().epoch());
+  h.mix(engine.events_executed());
+  return h.digest();
+}
+
+TEST(DeterminismRegression, SameSeedMembershipCampaignsHashIdentical) {
+  const std::uint64_t first = run_membership_campaign(41);
+  const std::uint64_t second = run_membership_campaign(41);
+  EXPECT_EQ(first, second) << "same-seed membership campaign diverged: heartbeat or "
+                              "migration pacing is drawing outside engine streams";
+}
+
+TEST(DeterminismRegression, DifferentSeedMembershipCampaignsDiverge) {
+  EXPECT_NE(run_membership_campaign(41), run_membership_campaign(42));
+}
+
 /// A cached campaign: shuffled DLIO epochs behind the client cache tier
 /// (write-back, 2Q replacement, epoch-aware warming on kWarmRngStream). The
 /// digest covers the trace — kCache annotations included — plus every cache

@@ -217,6 +217,10 @@ std::uint64_t hash_campaign(const eval::CampaignResult& result) {
       h.mix(p.data_lost_ops);
       h.mix(p.rebuilds_completed);
       h.mix(p.rebuilt_bytes.count());
+      h.mix(p.stale_map_retries);
+      h.mix(p.map_refreshes);
+      h.mix(p.down_detections);
+      h.mix(p.migration_marked_bytes.count());
       h.mix(p.cache_hits);
       h.mix(p.cache_misses);
       h.mix(p.cache_evictions);
@@ -324,6 +328,35 @@ TEST(CampaignThreadDeterminism, DurabilityCampaignHashesIdenticalAt1_2_8Threads)
   // them.
   config.model.durability.track_contents = true;
   config.seed = 21;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, MembershipCampaignHashesIdenticalAt1_2_8Threads) {
+  // Membership churn on the testbed: epoch-versioned cluster map, jittered
+  // heartbeats, a scripted drain and a crash detected (not observed
+  // omnisciently) mid-sweep. Every stale-map bounce, refresh and migration
+  // mark flows into the digest, which must not move with the thread count.
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  config.testbed.durability.track_contents = true;
+  config.testbed.durability.rebuild_bandwidth = Bandwidth::from_mib_per_sec(128.0);
+  config.layout.replicas = 2;  // the driver's create layout wins over the MDS default
+  config.testbed.cluster.enabled = true;
+  config.testbed.cluster.placement = pfs::PlacementMode::kRendezvousHash;
+  config.testbed.cluster.heartbeat_interval = SimTime::from_ms(2.0);
+  config.testbed.cluster.heartbeat_grace = 2;
+  config.testbed.cluster.horizon = SimTime::from_ms(80.0);
+  config.testbed.cluster.drain(2, SimTime::from_ms(10.0));
+  config.testbed.faults.ost_down(1, SimTime::from_ms(2.0), SimTime::from_ms(12.0));
+  config.testbed.retry.max_attempts = 4;
+  config.testbed.retry.base_backoff = SimTime::from_ms(1.0);
+  config.model = small_pfs();
+  // The replicated create layout applies to the model replay too (same
+  // tracking requirement as the durability campaign above).
+  config.model.durability.track_contents = true;
+  config.seed = 41;
   const auto serial = run_campaign_at(1, config);
   EXPECT_EQ(serial, run_campaign_at(2, config));
   EXPECT_EQ(serial, run_campaign_at(8, config));
