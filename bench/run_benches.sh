@@ -10,6 +10,11 @@
 #                                 latency vs heartbeat grace, migration
 #                                 volume by placement mode, drain window vs
 #                                 rebuild cap
+#   BENCH_overload.json         — C-F4 overload-control comparison: naive
+#                                 retry storm (congestion collapse) vs the
+#                                 controlled stack (admission control, retry
+#                                 budget, breakers, deadlines) through a
+#                                 transient capacity loss
 #
 # Usage:  bench/run_benches.sh [build-dir]
 #
@@ -42,4 +47,8 @@ echo "== C-F3 cluster membership -> BENCH_membership.json"
 "$build_dir/bench/bench_cf3_membership" \
   --json-out "$repo_root/BENCH_membership.json"
 
-echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json"
+echo "== C-F4 overload control -> BENCH_overload.json"
+"$build_dir/bench/bench_cf4_overload" \
+  --json-out "$repo_root/BENCH_overload.json"
+
+echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json $repo_root/BENCH_overload.json"

@@ -58,6 +58,11 @@ inline constexpr std::uint64_t kHeartbeatJitterStream = 0xFA017004ULL;
 /// resyncs and drain-driven migrations never share draws.
 inline constexpr std::uint64_t kDrainPaceStream = 0xFA017005ULL;
 
+/// pio::pfs — circuit-breaker open-window jitter (resilience.hpp). Each
+/// breaker's open duration is decorrelated so half-open probes from many
+/// clients never synchronize into a probe storm.
+inline constexpr std::uint64_t kBreakerProbeStream = 0xFA017006ULL;
+
 namespace detail {
 
 inline constexpr std::uint64_t kAllStreams[] = {
@@ -67,6 +72,7 @@ inline constexpr std::uint64_t kAllStreams[] = {
     kCacheWarmStream,
     kHeartbeatJitterStream,
     kDrainPaceStream,
+    kBreakerProbeStream,
 };
 
 constexpr bool all_distinct() {

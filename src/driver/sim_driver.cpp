@@ -60,6 +60,7 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   result_.rank_finish.assign(n, SimTime::zero());
   active_ranks_ = n;
   const pfs::ResilienceStats res_before = model_.resilience_stats();
+  const pfs::PfsModel::ServerOverloadTotals srv_before = model_.server_overload_totals();
   const SimTime start_time = engine_.now();
   for (std::size_t r = 0; r < n; ++r) {
     ranks_[r].stream = workload.stream(static_cast<std::int32_t>(r));
@@ -115,6 +116,14 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   result_.down_detections = res_after.down_detections - res_before.down_detections;
   result_.migration_marked_bytes =
       res_after.migration_marked_bytes - res_before.migration_marked_bytes;
+  result_.overload_rejections = res_after.overload_rejections - res_before.overload_rejections;
+  result_.budget_denied = res_after.budget_denied - res_before.budget_denied;
+  result_.breaker_opens = res_after.breaker_opens - res_before.breaker_opens;
+  result_.breaker_fast_fails = res_after.breaker_fast_fails - res_before.breaker_fast_fails;
+  result_.deadline_giveups = res_after.deadline_giveups - res_before.deadline_giveups;
+  const pfs::PfsModel::ServerOverloadTotals srv_after = model_.server_overload_totals();
+  result_.server_overload_rejected = srv_after.rejected - srv_before.rejected;
+  result_.server_shed = srv_after.shed - srv_before.shed;
   return result_;
 }
 

@@ -64,6 +64,15 @@ struct SimRunResult {
   std::uint64_t map_refreshes = 0;
   std::uint64_t down_detections = 0;
   Bytes migration_marked_bytes = Bytes::zero();
+  // Overload-control activity (all zero with the admission / budget /
+  // breaker / deadline knobs at their off defaults; DESIGN.md §14).
+  std::uint64_t overload_rejections = 0;     ///< attempts failed with kOverloaded
+  std::uint64_t budget_denied = 0;           ///< retries denied by the token bucket
+  std::uint64_t breaker_opens = 0;           ///< circuit-breaker open transitions
+  std::uint64_t breaker_fast_fails = 0;      ///< chunks fast-failed client-side
+  std::uint64_t deadline_giveups = 0;        ///< ops settled kDeadlineExceeded
+  std::uint64_t server_overload_rejected = 0; ///< door bounces across MDS + OSTs
+  std::uint64_t server_shed = 0;              ///< CoDel sheds across MDS + OSTs
   // Client cache tier activity (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

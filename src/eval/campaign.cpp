@@ -72,6 +72,25 @@ std::string CampaignResult::to_string() const {
         << " map_refreshes=" << refreshes << " down_detections=" << detections
         << " migration_marked=" << format_bytes(migrated) << "\n";
   }
+  std::uint64_t orej = 0, odenied = 0, oopens = 0, ofast = 0, odeadline = 0;
+  std::uint64_t osrv_rej = 0, osrv_shed = 0;
+  for (const auto& it : iterations) {
+    for (const auto& p : it.points) {
+      orej += p.overload_rejections;
+      odenied += p.budget_denied;
+      oopens += p.breaker_opens;
+      ofast += p.breaker_fast_fails;
+      odeadline += p.deadline_giveups;
+      osrv_rej += p.server_overload_rejected;
+      osrv_shed += p.server_shed;
+    }
+  }
+  if (orej + odenied + oopens + ofast + odeadline + osrv_rej + osrv_shed > 0) {
+    out << "overload (measured runs): rejected=" << orej << " budget_denied=" << odenied
+        << " breaker_opens=" << oopens << " fast_fails=" << ofast
+        << " deadline_giveups=" << odeadline << " server_rejected=" << osrv_rej
+        << " server_shed=" << osrv_shed << "\n";
+  }
   std::uint64_t chits = 0, cmisses = 0, cpf_issued = 0, cpf_used = 0, cpf_wasted = 0;
   std::uint64_t cwritebacks = 0, cabsorbed = 0;
   for (const auto& it : iterations) {
@@ -181,6 +200,13 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
       point.map_refreshes = measured.map_refreshes;
       point.down_detections = measured.down_detections;
       point.migration_marked_bytes = measured.migration_marked_bytes;
+      point.overload_rejections = measured.overload_rejections;
+      point.budget_denied = measured.budget_denied;
+      point.breaker_opens = measured.breaker_opens;
+      point.breaker_fast_fails = measured.breaker_fast_fails;
+      point.deadline_giveups = measured.deadline_giveups;
+      point.server_overload_rejected = measured.server_overload_rejected;
+      point.server_shed = measured.server_shed;
       point.cache_hits = measured.cache_hits;
       point.cache_misses = measured.cache_misses;
       point.cache_evictions = measured.cache_evictions;

@@ -82,6 +82,15 @@ struct CampaignPoint {
   std::uint64_t map_refreshes = 0;
   std::uint64_t down_detections = 0;
   Bytes migration_marked_bytes = Bytes::zero();
+  // Overload-control activity on the measurement run (zero with the
+  // admission / budget / breaker / deadline knobs off; DESIGN.md §14).
+  std::uint64_t overload_rejections = 0;
+  std::uint64_t budget_denied = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_fast_fails = 0;
+  std::uint64_t deadline_giveups = 0;
+  std::uint64_t server_overload_rejected = 0;
+  std::uint64_t server_shed = 0;
   // Client cache activity on the measurement run (zero with the cache off).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

@@ -47,6 +47,22 @@ bool MetadataServer::standby_active(SimTime t) const {
          timeline_->down(component_id(), t) && t >= standby_ready(t);
 }
 
+void MetadataServer::respond_error(MetaOp op, const std::string& path, SimTime enqueued,
+                                   MetaStatus status, std::function<void(MetaResult)> done) {
+  engine_.schedule_after(SimTime::zero(),
+                         [this, op, path, enqueued, status, done = std::move(done)]() mutable {
+                           ++stats_.ops_total;
+                           ++stats_.ops_by_type[op];
+                           ++stats_.errors;
+                           if (observer_) {
+                             observer_(MdsOpRecord{op, enqueued, engine_.now(), status, path});
+                           }
+                           MetaResult result;
+                           result.status = status;
+                           if (done) done(std::move(result));
+                         });
+}
+
 void MetadataServer::request(MetaOp op, const std::string& path,
                              std::function<void(MetaResult)> on_done,
                              std::optional<StripeLayout> layout) {
@@ -54,6 +70,7 @@ void MetadataServer::request(MetaOp op, const std::string& path,
     throw std::invalid_argument("MetadataServer::request: path must be absolute");
   }
   const SimTime enqueued = engine_.now();
+  ++stats_.requests;
 
   // A request that arrives while the MDS is down either bounces at the door
   // (no standby: no thread consumed, no namespace mutation) or stalls until
@@ -74,19 +91,18 @@ void MetadataServer::request(MetaOp op, const std::string& path,
       });
       return;
     }
-    engine_.schedule_after(SimTime::zero(),
-                           [this, op, path, enqueued, done = std::move(on_done)]() mutable {
-                             ++stats_.ops_total;
-                             ++stats_.ops_by_type[op];
-                             ++stats_.errors;
-                             if (observer_) {
-                               observer_(MdsOpRecord{op, enqueued, engine_.now(),
-                                                     MetaStatus::kUnavailable, path});
-                             }
-                             MetaResult result;
-                             result.status = MetaStatus::kUnavailable;
-                             if (done) done(std::move(result));
-                           });
+    respond_error(op, path, enqueued, MetaStatus::kUnavailable, std::move(on_done));
+    return;
+  }
+
+  // Admission control (DESIGN.md §14): a metadata storm deep enough to back
+  // up the thread pool past the bound is bounced at the door instead of
+  // queueing without limit. The data path's retry machinery does not apply
+  // here — a bounced meta op surfaces as a failed op, like kUnavailable.
+  if (admission_.policy == AdmissionPolicy::kRejectAtDoor &&
+      threads_.waiters() >= admission_.max_queue_depth) {
+    ++stats_.overload_rejected;
+    respond_error(op, path, enqueued, MetaStatus::kOverloaded, std::move(on_done));
     return;
   }
 
@@ -97,6 +113,18 @@ void MetadataServer::enqueue(MetaOp op, const std::string& path,
                              const std::optional<StripeLayout>& layout, SimTime enqueued,
                              std::function<void(MetaResult)> done) {
   threads_.acquire(1, [this, op, path, layout, enqueued, done = std::move(done)]() mutable {
+    // CoDel-style shed at grant: a request that waited past the sojourn
+    // target is dropped before consuming service — its issuer has long
+    // since concluded the MDS is overloaded. The sojourn histogram records
+    // the queueing delay of served and shed requests alike.
+    const SimTime waited = engine_.now() - enqueued;
+    stats_.sojourn_us.add(static_cast<std::uint64_t>(waited.ns() / 1000));
+    if (admission_.policy == AdmissionPolicy::kCodelShed && waited > admission_.shed_target) {
+      threads_.release(1);
+      ++stats_.shed_ops;
+      respond_error(op, path, enqueued, MetaStatus::kOverloaded, std::move(done));
+      return;
+    }
     // A slowdown (e.g. lock-contention storm) in effect at service start
     // stretches this op's cost by the active factor.
     SimTime cost = cost_of(op, path);

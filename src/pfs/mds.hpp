@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/types.hpp"
 #include "fault/fault.hpp"
+#include "pfs/resilience.hpp"
 #include "pfs/stripe.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
@@ -42,6 +44,8 @@ enum class MetaStatus : std::uint8_t {
   kNotDir,
   kNotEmpty,
   kUnavailable,  ///< MDS down (fault timeline); no namespace mutation applied
+  kOverloaded,   ///< rejected or shed by admission control (DESIGN.md §14);
+                 ///< no namespace mutation applied
 };
 
 /// Inode as stored by the MDS.
@@ -103,6 +107,13 @@ struct MdsStats {
   SimTime busy_time = SimTime::zero();
   std::uint64_t failover_stalls = 0;     ///< requests that waited for standby takeover
   std::uint64_t standby_takeovers = 0;   ///< down intervals absorbed by the standby
+  // Admission accounting (F5a): requests == ops_total at quiescence — every
+  // request resolves exactly once (served, error, bounced, or shed).
+  std::uint64_t requests = 0;            ///< requests entering request()
+  std::uint64_t overload_rejected = 0;   ///< bounced at the door (queue bound)
+  std::uint64_t shed_ops = 0;            ///< dropped at grant (sojourn > target)
+  /// Queueing delay (µs) of requests at thread grant, served and shed alike.
+  Log2Histogram sojourn_us;
 };
 
 class MetadataServer {
@@ -132,6 +143,10 @@ class MetadataServer {
   /// slowdown intervals scale per-op service costs.
   void set_fault_timeline(const fault::Timeline* timeline) { timeline_ = timeline; }
 
+  /// Configure the admission policy (default: unbounded, the legacy
+  /// behaviour). Bounded modes respond MetaStatus::kOverloaded.
+  void set_admission(const AdmissionConfig& admission) { admission_ = admission; }
+
   [[nodiscard]] static fault::ComponentId component_id() {
     return {fault::ComponentKind::kMds, 0};
   }
@@ -160,12 +175,17 @@ class MetadataServer {
   [[nodiscard]] bool standby_active(SimTime t) const;
   void enqueue(MetaOp op, const std::string& path, const std::optional<StripeLayout>& layout,
                SimTime enqueued, std::function<void(MetaResult)> done);
+  /// Terminal non-served response (door bounce / shed): account, observe,
+  /// and deliver `status` on the next delta.
+  void respond_error(MetaOp op, const std::string& path, SimTime enqueued, MetaStatus status,
+                     std::function<void(MetaResult)> done);
   /// Apply + account + release the service thread + deliver the result.
   void complete(MetaOp op, const std::string& path, const std::optional<StripeLayout>& layout,
                 SimTime enqueued, SimTime cost, std::function<void(MetaResult)> done);
 
   sim::Engine& engine_;
   MdsConfig config_;
+  AdmissionConfig admission_{};
   sim::TokenPool threads_;
   // Sorted map so Readdir can range-scan children of a directory prefix.
   std::map<std::string, Inode> namespace_;

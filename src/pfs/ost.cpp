@@ -1,8 +1,21 @@
 #include "pfs/ost.hpp"
 
+#include <algorithm>
+
 #include "sim/check.hpp"
 
 namespace pio::pfs {
+
+const char* to_string(OstOutcome outcome) {
+  switch (outcome) {
+    case OstOutcome::kOk: return "ok";
+    case OstOutcome::kRejectedDown: return "rejected-down";
+    case OstOutcome::kRejectedOverload: return "rejected-overload";
+    case OstOutcome::kShed: return "shed";
+    case OstOutcome::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
 
 OstServer::OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<DiskModel> disk)
     : engine_(engine),
@@ -12,21 +25,48 @@ OstServer::OstServer(sim::Engine& engine, std::uint32_t index, std::unique_ptr<D
   if (!disk_) throw std::invalid_argument("OstServer: null disk model");
 }
 
-void OstServer::finish(OstOpRecord record, bool ok, std::function<void(bool)> done) {
+void OstServer::set_admission(const AdmissionConfig& admission) {
+  admission_ = admission;
+  queue_.set_shed_target(admission.policy == AdmissionPolicy::kCodelShed
+                             ? admission.shed_target
+                             : SimTime::zero());
+}
+
+SimTime OstServer::reject_retry_after() const {
+  // Estimate the drain time for the depth in excess of the bound from the
+  // queue's observed mean service time; before any completion the floor
+  // stands in. The hint is advisory pacing, not a reservation.
+  const sim::ServerStats& qs = queue_.stats();
+  const std::uint64_t depth = queue_.queue_depth();
+  const std::uint64_t excess =
+      depth >= admission_.max_queue_depth ? depth - admission_.max_queue_depth + 1 : 1;
+  SimTime hint = admission_.retry_after_floor;
+  if (qs.jobs_completed > 0) {
+    const SimTime mean_service = qs.busy_time / static_cast<std::int64_t>(qs.jobs_completed);
+    hint = std::max(hint, mean_service * static_cast<std::int64_t>(excess));
+  }
+  return hint;
+}
+
+void OstServer::finish(OstOpRecord record, OstCompletion completion,
+                       std::function<void(OstCompletion)> done) {
   record.completed = engine_.now();
-  record.ok = ok;
+  record.ok = completion.ok();
+  record.outcome = completion.outcome;
   // Invariant F1 applies to *successful* completions only: a rejection is the
   // "connection refused" notice and legitimately fires while the OST is down.
-  if (ok && timeline_) {
+  if (completion.ok() && timeline_) {
     timeline_->check_handler_allowed(component_id(), engine_.now());
   }
+  if (completion.ok()) ++stats_.completed_ops;
   if (observer_) observer_(record);
-  if (done) done(ok);
+  if (done) done(completion);
 }
 
 void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
-                       std::function<void(bool ok)> on_done) {
+                       std::function<void(OstCompletion)> on_done) {
   const SimTime now = engine_.now();
+  ++stats_.submitted_ops;
   OstOpRecord record;
   record.ost = index_;
   record.enqueued = now;
@@ -40,8 +80,25 @@ void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
   if (timeline_ && timeline_->down(component_id(), now)) {
     ++stats_.rejected_ops;
     engine_.schedule_after(SimTime::zero(), [this, record, done = std::move(on_done)]() mutable {
-      finish(record, false, std::move(done));
+      finish(record, OstCompletion{OstOutcome::kRejectedDown, SimTime::zero()},
+             std::move(done));
     });
+    return;
+  }
+
+  // Admission control (DESIGN.md §14): reject-at-door bounces the request
+  // before any device or queue state is touched, with a retry-after hint so
+  // well-behaved clients pace their retries to the drain rate.
+  if (admission_.policy == AdmissionPolicy::kRejectAtDoor &&
+      queue_.queue_depth() >= admission_.max_queue_depth) {
+    ++stats_.overload_rejected_ops;
+    const SimTime retry_after = reject_retry_after();
+    engine_.schedule_after(SimTime::zero(),
+                           [this, record, retry_after, done = std::move(on_done)]() mutable {
+                             finish(record,
+                                    OstCompletion{OstOutcome::kRejectedOverload, retry_after},
+                                    std::move(done));
+                           });
     return;
   }
 
@@ -49,6 +106,8 @@ void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
   // also service order for a FIFO queue, so head-position state stays
   // consistent with the order requests actually hit the platter. Straggler
   // slowdowns scale the device estimate by the factor in effect now.
+  // (A later shed skips the service but keeps this estimate's head motion —
+  // an accepted approximation: sheds are rare relative to served ops.)
   SimTime service = disk_->service_time(DiskRequest{object_offset, size, is_write});
   if (timeline_) service = timeline_->scaled(component_id(), now, service);
   if (is_write) {
@@ -58,19 +117,35 @@ void OstServer::submit(std::uint64_t object_offset, Bytes size, bool is_write,
     ++stats_.read_ops;
     stats_.bytes_read += size;
   }
-  queue_.submit(service, [this, record, done = std::move(on_done)]() mutable {
+  auto serve = [this, record, done = std::move(on_done)](bool shed) mutable {
+    if (shed) {
+      ++stats_.shed_ops;
+      finish(record,
+             OstCompletion{OstOutcome::kShed, std::max(admission_.retry_after_floor,
+                                                       admission_.shed_target)},
+             std::move(done));
+      return;
+    }
     // If a crash hit while this op was queued or in service, the op is lost:
     // its failure surfaces at recovery, never inside the down interval (F1).
     if (timeline_ && timeline_->down(component_id(), engine_.now())) {
       ++stats_.interrupted_ops;
       const SimTime recovery = timeline_->down_until(component_id(), engine_.now());
       engine_.schedule_at(recovery, [this, record, done = std::move(done)]() mutable {
-        finish(record, false, std::move(done));
+        finish(record, OstCompletion{OstOutcome::kInterrupted, SimTime::zero()},
+               std::move(done));
       });
       return;
     }
-    finish(record, true, std::move(done));
-  });
+    finish(record, OstCompletion{OstOutcome::kOk, SimTime::zero()}, std::move(done));
+  };
+  if (admission_.policy == AdmissionPolicy::kCodelShed) {
+    auto shared = std::make_shared<decltype(serve)>(std::move(serve));
+    queue_.submit(service, [shared]() mutable { (*shared)(false); },
+                  [shared]() mutable { (*shared)(true); });
+  } else {
+    queue_.submit(service, [serve = std::move(serve)]() mutable { serve(false); });
+  }
 }
 
 }  // namespace pio::pfs

@@ -16,10 +16,37 @@
 #include "common/types.hpp"
 #include "fault/fault.hpp"
 #include "pfs/disk.hpp"
+#include "pfs/resilience.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 
 namespace pio::pfs {
+
+/// How one OST operation resolved. Every submit() resolves exactly one way
+/// (invariant F5a audits the accounting at quiescence).
+enum class OstOutcome : std::uint8_t {
+  kOk,
+  kRejectedDown,      ///< arrived during a down interval
+  kRejectedOverload,  ///< bounced at the door by admission control
+  kShed,              ///< dropped at dequeue (queueing delay > sojourn target)
+  kInterrupted,       ///< in queue/service when a crash hit
+};
+
+[[nodiscard]] const char* to_string(OstOutcome outcome);
+
+/// Completion delivered to the submitter.
+struct OstCompletion {
+  OstOutcome outcome = OstOutcome::kOk;
+  /// Server-suggested earliest useful retry time (admission rejections and
+  /// sheds only; zero otherwise).
+  SimTime retry_after = SimTime::zero();
+
+  [[nodiscard]] bool ok() const { return outcome == OstOutcome::kOk; }
+  /// True for the admission-control outcomes (door rejection or shed).
+  [[nodiscard]] bool overloaded() const {
+    return outcome == OstOutcome::kRejectedOverload || outcome == OstOutcome::kShed;
+  }
+};
 
 /// Completion record for one OST operation (server-side monitoring unit).
 struct OstOpRecord {
@@ -30,7 +57,8 @@ struct OstOpRecord {
   Bytes size = Bytes::zero();
   bool is_write = false;
   std::uint64_t queue_depth_at_enqueue = 0;
-  bool ok = true;  ///< false: rejected while down, or interrupted by a crash
+  bool ok = true;  ///< false: rejected, shed, or interrupted by a crash
+  OstOutcome outcome = OstOutcome::kOk;
 };
 
 /// Aggregate OST counters.
@@ -41,6 +69,12 @@ struct OstStats {
   Bytes bytes_written = Bytes::zero();
   std::uint64_t rejected_ops = 0;     ///< arrived during a down interval
   std::uint64_t interrupted_ops = 0;  ///< in service when a crash hit
+  // Admission accounting (F5a): submitted == completed + rejected +
+  // overload_rejected + shed + interrupted at quiescence.
+  std::uint64_t submitted_ops = 0;          ///< every submit() call
+  std::uint64_t completed_ops = 0;          ///< ok device completions
+  std::uint64_t overload_rejected_ops = 0;  ///< bounced at the door
+  std::uint64_t shed_ops = 0;               ///< dropped at dequeue
 };
 
 class OstServer {
@@ -51,10 +85,14 @@ class OstServer {
   OstServer(const OstServer&) = delete;
   OstServer& operator=(const OstServer&) = delete;
 
-  /// Enqueue a device op; `on_done(ok)` fires when the device completes it
-  /// (ok) or the fault timeline rejects/interrupts it (not ok).
+  /// Enqueue a device op; `on_done` fires when the device completes it or
+  /// the fault timeline / admission control rejects, sheds or interrupts it.
   void submit(std::uint64_t object_offset, Bytes size, bool is_write,
-              std::function<void(bool ok)> on_done);
+              std::function<void(OstCompletion)> on_done);
+
+  /// Configure the admission policy (default: unbounded, the legacy
+  /// behaviour). kCodelShed arms the queue's sojourn target.
+  void set_admission(const AdmissionConfig& admission);
 
   /// Attach the fault timeline (owned by the PFS facade; must outlive the
   /// OST's use). Null detaches — fair-weather behaviour.
@@ -75,13 +113,18 @@ class OstServer {
   }
 
  private:
-  void finish(OstOpRecord record, bool ok, std::function<void(bool)> done);
+  void finish(OstOpRecord record, OstCompletion completion,
+              std::function<void(OstCompletion)> done);
+  /// Retry-after hint for a door rejection: roughly the time for the queue
+  /// to drain back under the bound, floored by the configured minimum.
+  [[nodiscard]] SimTime reject_retry_after() const;
 
   sim::Engine& engine_;
   std::uint32_t index_;
   std::unique_ptr<DiskModel> disk_;
   sim::FifoServer queue_;
   OstStats stats_;
+  AdmissionConfig admission_{};
   const fault::Timeline* timeline_ = nullptr;
   std::function<void(const OstOpRecord&)> observer_;
 };

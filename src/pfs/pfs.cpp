@@ -36,6 +36,10 @@ struct PfsModel::IoOpState {
   WriteToken token = 0;       ///< payload identity for tracked writes
   std::uint64_t key = 0;      ///< placement key (cluster map mode)
   std::uint64_t map_epoch = 1;  ///< client's cached epoch for this attempt
+  // Overload control (DESIGN.md §14); all inert at their defaults.
+  SimTime deadline = SimTime::zero();        ///< absolute end-to-end deadline (0 = none)
+  SimTime attempt_started = SimTime::zero(); ///< current attempt's start (RTT sample)
+  SimTime retry_after = SimTime::zero();     ///< server pacing hint from the last attempt
   std::function<void(IoResult)> done;
 };
 
@@ -54,7 +58,8 @@ struct PfsModel::BackendFanout {
   std::size_t remaining = 0;
   bool all_ok = true;
   IoError error = IoError::kNone;
-  std::function<void(bool, IoError)> done;
+  SimTime retry_after = SimTime::zero();  ///< largest server pacing hint seen
+  std::function<void(bool, IoError, SimTime)> done;
 
   void fail(IoError e) {
     all_ok = false;
@@ -64,9 +69,14 @@ struct PfsModel::BackendFanout {
     if (error == IoError::kStaleMap && e != IoError::kDataLost) return;
     error = e;
   }
+  void hint(SimTime t) {
+    if (t > retry_after) retry_after = t;
+  }
   void finish_one(bool ok, IoError e) {
     if (!ok) fail(e);
-    if (--remaining == 0 && done) done(all_ok, all_ok ? IoError::kNone : error);
+    if (--remaining == 0 && done) {
+      done(all_ok, all_ok ? IoError::kNone : error, retry_after);
+    }
   }
 };
 
@@ -99,6 +109,9 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
       config_(config),
       retry_rng_(engine.rng_stream(kRetryRngStream)),
       rebuild_rng_(engine.rng_stream(kRebuildRngStream)),
+      breaker_rng_(engine.rng_stream(kBreakerRngStream)),
+      latency_(config.retry),
+      budget_(config.retry.budget_ratio, config.retry.budget_cap),
       heartbeat_rng_(engine.rng_stream(kHeartbeatRngStream)),
       drain_rng_(engine.rng_stream(kDrainRngStream)) {
   if (config.clients == 0 || config.io_nodes == 0 || config.osts == 0) {
@@ -160,6 +173,17 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
   osts_.reserve(config.osts);
   for (std::uint32_t i = 0; i < config.osts; ++i) {
     osts_.push_back(std::make_unique<OstServer>(engine, i, make_disk(config, engine, i)));
+  }
+  if (config.admission.enabled()) {
+    mds_->set_admission(config.admission);
+    for (auto& ost : osts_) ost->set_admission(config.admission);
+  }
+  if (config.retry.breaker) {
+    breakers_.reserve(config.osts);
+    for (std::uint32_t i = 0; i < config.osts; ++i) {
+      breakers_.emplace_back(config.retry.breaker_threshold, config.retry.breaker_open_base,
+                             config.retry.breaker_open_jitter);
+    }
   }
   if (!timeline_.empty()) {
     // Attach the weather only when there is any: the fair-weather hot path
@@ -233,7 +257,8 @@ PfsModel::PfsModel(sim::Engine& engine, const PfsConfig& config)
           // buffers and the cluster map, hence key/epoch are inert here.)
           backend_io(drain_ion, 0, it->second.layout, offset, size, /*is_write=*/true, 0,
                      /*key=*/0, /*epoch=*/1,
-                     [done = std::move(on_done)](bool /*ok*/, IoError /*error*/) mutable {
+                     [done = std::move(on_done)](bool /*ok*/, IoError /*error*/,
+                                                 SimTime /*retry_after*/) mutable {
                        if (done) done();
                      });
         },
@@ -511,7 +536,7 @@ std::vector<OstIndex> PfsModel::read_candidates(std::uint64_t key, const StripeL
 void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
                           std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
                           std::uint64_t key, std::uint64_t epoch,
-                          std::function<void(bool ok, IoError error)> on_done) {
+                          std::function<void(bool ok, IoError error, SimTime retry_after)> on_done) {
   const auto chunks = decompose(layout, config_.osts, offset, size);
   const bool tracked = tracking() && file != 0;
   const std::uint32_t replicas = tracked ? layout.replicas : 1;
@@ -653,7 +678,9 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
 
   if (ships.empty()) {
     engine_.schedule_after(SimTime::zero(), [fan]() mutable {
-      if (fan->done) fan->done(fan->all_ok, fan->all_ok ? IoError::kNone : fan->error);
+      if (fan->done) {
+        fan->done(fan->all_ok, fan->all_ok ? IoError::kNone : fan->error, fan->retry_after);
+      }
     });
     return;
   }
@@ -663,7 +690,8 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
     const net::EndpointId ost_ep = storage_ep_of_ost(ship.target);
     if (ship.stale) {
       // Epoch check happens at the door, before any device work: request
-      // header out, kStaleMap error header straight back.
+      // header out, kStaleMap error header straight back. (No breaker gate:
+      // a stale bounce is protocol, not server health.)
       storage_fabric_->send(ion, ost_ep, kHeader, [this, ion, ost_ep, fan]() mutable {
         storage_fabric_->send(ost_ep, ion, kHeader, [fan]() mutable {
           fan->finish_one(false, IoError::kStaleMap);
@@ -671,19 +699,40 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
       });
       continue;
     }
+    // Circuit breaker gate: chunks addressed to a server whose breaker is
+    // open fast-fail on the client without touching the fabric or the OST.
+    if (config_.retry.breaker) {
+      const CircuitBreaker::Gate gate = breakers_[ship.target].admit(engine_.now());
+      if (!gate.allowed) {
+        ++res_stats_.breaker_fast_fails;
+        engine_.schedule_after(SimTime::zero(), [fan]() mutable {
+          fan->finish_one(false, IoError::kCircuitOpen);
+        });
+        continue;
+      }
+      if (gate.probe) {
+        ++res_stats_.breaker_probes;
+        emit_resilience(ResilienceEventKind::kBreakerProbe, 0, IoError::kNone, ship.target);
+      }
+    }
     if (is_write) {
       // Ship data to the OST, write it, then a small ack (or error) returns.
       storage_fabric_->send(ion, ost_ep, ship.length, [this, ship, ion, ost_ep, fan, file,
                                                        tracked, wtoken]() mutable {
         osts_[ship.target]->submit(
             ship.object_offset, ship.length, true,
-            [this, ship, ion, ost_ep, fan, file, tracked, wtoken](bool ok) mutable {
-              if (ok && tracked) {
+            [this, ship, ion, ost_ep, fan, file, tracked, wtoken](OstCompletion c) mutable {
+              breaker_note(ship.target, c.ok());
+              fan->hint(c.retry_after);
+              if (c.ok() && tracked) {
                 ledger_.apply(file, ship.target, ship.file_lo, ship.file_hi, wtoken);
               }
-              storage_fabric_->send(ost_ep, ion, kHeader, [fan, ok]() mutable {
-                fan->finish_one(ok, ok ? IoError::kNone : IoError::kOstDown);
-              });
+              const IoError fail_error =
+                  c.overloaded() ? IoError::kOverloaded : IoError::kOstDown;
+              storage_fabric_->send(ost_ep, ion, kHeader,
+                                    [fan, ok = c.ok(), fail_error]() mutable {
+                                      fan->finish_one(ok, ok ? IoError::kNone : fail_error);
+                                    });
             });
       });
     } else {
@@ -692,22 +741,28 @@ void PfsModel::backend_io(std::uint32_t ion, std::uint64_t file, const StripeLay
                                                    tracked]() mutable {
         osts_[ship.target]->submit(
             ship.object_offset, ship.length, false,
-            [this, ship, ion, ost_ep, fan, file, tracked](bool ok) mutable {
+            [this, ship, ion, ost_ep, fan, file, tracked](OstCompletion c) mutable {
+              breaker_note(ship.target, c.ok());
+              fan->hint(c.retry_after);
+              const bool ok = c.ok();
               // Re-check content at completion: a resync finishing between
               // dispatch and completion legitimately saves the read.
               const bool content_ok =
                   !ok || !tracked ||
                   ledger_.read_ok(file, ship.target, ship.file_lo, ship.file_hi);
               const Bytes payload = ok ? ship.length : kHeader;
-              storage_fabric_->send(ost_ep, ion, payload, [fan, ok, content_ok]() mutable {
-                if (!ok) {
-                  fan->finish_one(false, IoError::kOstDown);
-                } else if (!content_ok) {
-                  fan->finish_one(false, IoError::kDataLost);
-                } else {
-                  fan->finish_one(true, IoError::kNone);
-                }
-              });
+              const IoError fail_error =
+                  c.overloaded() ? IoError::kOverloaded : IoError::kOstDown;
+              storage_fabric_->send(ost_ep, ion, payload,
+                                    [fan, ok, content_ok, fail_error]() mutable {
+                                      if (!ok) {
+                                        fan->finish_one(false, fail_error);
+                                      } else if (!content_ok) {
+                                        fan->finish_one(false, IoError::kDataLost);
+                                      } else {
+                                        fan->finish_one(true, IoError::kNone);
+                                      }
+                                    });
             });
       });
     }
@@ -718,6 +773,22 @@ void PfsModel::emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, 
                                std::uint32_t ost, Bytes bytes) {
   if (res_observer_) {
     res_observer_(ResilienceRecord{kind, engine_.now(), attempt, error, ost, bytes});
+  }
+}
+
+void PfsModel::breaker_note(OstIndex ost, bool ok) {
+  if (!config_.retry.breaker) return;
+  CircuitBreaker& breaker = breakers_[ost];
+  if (ok) {
+    if (breaker.record_success()) {
+      ++res_stats_.breaker_closes;
+      emit_resilience(ResilienceEventKind::kBreakerClose, 0, IoError::kNone, ost);
+    }
+    return;
+  }
+  if (breaker.record_failure(engine_.now(), breaker_rng_)) {
+    ++res_stats_.breaker_opens;
+    emit_resilience(ResilienceEventKind::kBreakerOpen, 0, IoError::kNone, ost);
   }
 }
 
@@ -745,16 +816,32 @@ void PfsModel::settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError err
 }
 
 void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, IoError error) {
+  const RetryPolicy& retry = config_.retry;
   if (ok) {
+    if (retry.adaptive_timeout) {
+      latency_.observe(engine_.now() - op->attempt_started);
+    }
+    if (retry.retry_budget) {
+      budget_.deposit();
+      ++res_stats_.budget_deposits;
+    }
     settle(op, true, IoError::kNone);
     return;
   }
+  if (error == IoError::kOverloaded) ++res_stats_.overload_rejections;
   if (error == IoError::kDataLost) {
     // Lost data cannot be retried back into existence: settle immediately.
     settle(op, false, error);
     return;
   }
-  const RetryPolicy& retry = config_.retry;
+  // End-to-end deadline: once the op's budget is spent, retrying is work
+  // nobody is waiting for — settle now whatever the per-attempt error was.
+  if (op->deadline > SimTime::zero() && engine_.now() >= op->deadline) {
+    ++res_stats_.deadline_giveups;
+    emit_resilience(ResilienceEventKind::kDeadlineGiveUp, op->attempt, error);
+    settle(op, false, IoError::kDeadlineExceeded);
+    return;
+  }
   if (error == IoError::kStaleMap) {
     // A stale map is not weather — backing off would just retry through the
     // same outdated epoch. Refresh the client's map (a real round trip to
@@ -773,9 +860,30 @@ void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, I
     return;
   }
   if (op->attempt < retry.max_attempts) {
+    // Pace to the server's retry-after hint when it exceeds the backoff
+    // (the jitter draw happens regardless, keeping the stream aligned).
+    SimTime delay = backoff_delay(retry, op->attempt, retry_rng_);
+    if (op->retry_after > delay) delay = op->retry_after;
+    // A retry that cannot even start before the deadline gives up now.
+    if (op->deadline > SimTime::zero() && engine_.now() + delay >= op->deadline) {
+      ++res_stats_.deadline_giveups;
+      emit_resilience(ResilienceEventKind::kDeadlineGiveUp, op->attempt, error);
+      settle(op, false, IoError::kDeadlineExceeded);
+      return;
+    }
+    // Token-bucket retry budget: a denied retry settles with the original
+    // error — under overload this is what caps retry amplification (F5b).
+    if (retry.retry_budget) {
+      if (!budget_.try_spend()) {
+        ++res_stats_.budget_denied;
+        emit_resilience(ResilienceEventKind::kBudgetExhausted, op->attempt, error);
+        settle(op, false, error);
+        return;
+      }
+      ++res_stats_.budget_spent;
+    }
     ++res_stats_.retries;
     emit_resilience(ResilienceEventKind::kRetry, op->attempt, error);
-    const SimTime delay = backoff_delay(retry, op->attempt, retry_rng_);
     engine_.schedule_after(delay, [this, op] { start_attempt(op); });
     return;
   }
@@ -787,15 +895,34 @@ void PfsModel::attempt_finished(const std::shared_ptr<IoOpState>& op, bool ok, I
 }
 
 void PfsModel::start_attempt(const std::shared_ptr<IoOpState>& op) {
+  // A retry can land here past the deadline without crossing the backoff
+  // path's check (stale-map refresh round trips take real time).
+  if (op->deadline > SimTime::zero() && op->attempt > 0 && engine_.now() >= op->deadline) {
+    ++res_stats_.deadline_giveups;
+    emit_resilience(ResilienceEventKind::kDeadlineGiveUp, op->attempt,
+                    IoError::kDeadlineExceeded);
+    settle(op, false, IoError::kDeadlineExceeded);
+    return;
+  }
   ++op->attempt;
   ++res_stats_.attempts;
+  op->attempt_started = engine_.now();
+  op->retry_after = SimTime::zero();
   // Each attempt addresses through the epoch the client holds *now* — a
   // refresh between attempts is what makes stale-map retries converge.
   if (cluster_enabled()) op->map_epoch = client_epoch_[op->client];
   auto attempt = std::make_shared<AttemptState>();
-  if (config_.retry.op_timeout > SimTime::zero()) {
+  // Per-attempt timeout: the adaptive estimator's RTO when enabled, else the
+  // fixed op_timeout; either way capped to what remains of the deadline.
+  SimTime timeout =
+      config_.retry.adaptive_timeout ? latency_.timeout() : config_.retry.op_timeout;
+  if (op->deadline > SimTime::zero()) {
+    const SimTime remaining = op->deadline - engine_.now();
+    if (timeout <= SimTime::zero() || timeout > remaining) timeout = remaining;
+  }
+  if (timeout > SimTime::zero()) {
     attempt->timeout_event =
-        engine_.schedule_after(config_.retry.op_timeout, [this, op, attempt] {
+        engine_.schedule_after(timeout, [this, op, attempt] {
           if (attempt->settled) return;
           // Abandon the attempt: whatever it still has in flight will drain
           // through the model as counted orphans (invariant F2).
@@ -831,7 +958,9 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
     // Data travels client -> ION over the compute fabric.
     compute_fabric_->send(op->client, compute_ep_of_ion(ion), op->size,
                           [this, op, ion, complete]() mutable {
-      auto backend_done = [this, op, ion, complete](bool ok, IoError error) mutable {
+      auto backend_done = [this, op, ion, complete](bool ok, IoError error,
+                                                    SimTime retry_after) mutable {
+        op->retry_after = retry_after;  // server pacing hint for the retry path
         // Ack (or error) header back to the client.
         compute_fabric_->send(compute_ep_of_ion(ion), op->client, kHeader,
                               [complete, ok, error]() mutable {
@@ -843,8 +972,9 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
           bb != nullptr && timeline_.down(bb_id_for_ion(ion), engine_.now());
       if (bb != nullptr && !bb_stalled && bb->can_absorb(op->size)) {
         const std::uint64_t token = file_token(op->path);
-        bb->write(token, op->offset, op->size,
-                  [backend_done]() mutable { backend_done(true, IoError::kNone); });
+        bb->write(token, op->offset, op->size, [backend_done]() mutable {
+          backend_done(true, IoError::kNone, SimTime::zero());
+        });
         return;  // absorbed; drain happens in the background
       }
       // No buffer (or full, or stalled): write through to the OSTs.
@@ -856,7 +986,9 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
     // Small read request to the ION; data returns over the compute fabric.
     compute_fabric_->send(op->client, compute_ep_of_ion(ion), kHeader,
                           [this, op, ion, complete]() mutable {
-      auto backend_done = [this, op, ion, complete](bool ok, IoError error) mutable {
+      auto backend_done = [this, op, ion, complete](bool ok, IoError error,
+                                                    SimTime retry_after) mutable {
+        op->retry_after = retry_after;  // server pacing hint for the retry path
         const Bytes payload = ok ? op->size : kHeader;  // errors return small
         compute_fabric_->send(compute_ep_of_ion(ion), op->client, payload,
                               [complete, ok, error]() mutable {
@@ -868,8 +1000,9 @@ void PfsModel::run_attempt(const std::shared_ptr<IoOpState>& op,
           bb != nullptr && timeline_.down(bb_id_for_ion(ion), engine_.now());
       const std::uint64_t token = file_token(op->path);
       if (bb != nullptr && !bb_stalled && bb->resident(token, op->offset, op->size)) {
-        bb->read(token, op->offset, op->size,
-                 [backend_done]() mutable { backend_done(true, IoError::kNone); });
+        bb->read(token, op->offset, op->size, [backend_done]() mutable {
+          backend_done(true, IoError::kNone, SimTime::zero());
+        });
         return;  // served from the staging tier
       }
       if (bb != nullptr) bb->note_miss(op->size);
@@ -917,6 +1050,9 @@ void PfsModel::io(ClientId client, const std::string& path, const StripeLayout& 
   op->is_write = is_write;
   op->issued = issued;
   op->key = file_placement_key(path);
+  if (config_.retry.op_deadline > SimTime::zero()) {
+    op->deadline = issued + config_.retry.op_deadline;
+  }
   if (tracking()) {
     op->file = token;
     // One token per logical op: every attempt and chunk of this write
@@ -1030,8 +1166,8 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
   // legacy mode keeps the round-robin lane's object offset.
   const std::uint64_t obj = cluster_enabled() ? piece.lo : chunk.object_offset;
   osts_[src]->submit(obj, len, false, [this, ost, src, piece, obj, len,
-                                       t0](bool read_ok) mutable {
-    if (!read_ok) {
+                                       t0](OstCompletion read_c) mutable {
+    if (!read_c.ok()) {
       engine_.schedule_after(SimTime::zero(), [this, ost] { run_rebuild_piece(ost); });
       return;
     }
@@ -1039,9 +1175,9 @@ void PfsModel::run_rebuild_piece(OstIndex ost) {
         storage_ep_of_ost(src), storage_ep_of_ost(ost), len,
         [this, ost, src, piece, obj, len, t0]() mutable {
           osts_[ost]->submit(obj, len, true, [this, ost, src, piece, len,
-                                              t0](bool write_ok) mutable {
+                                              t0](OstCompletion write_c) mutable {
             RebuildState& state = *rebuild_.at(ost);
-            if (!write_ok) {
+            if (!write_c.ok()) {
               // The rebuilding OST crashed again mid-resync: park the pass.
               // Its next recovery event restarts it from the (still-dirty)
               // ledger; a transient rejection with the OST up retries now.
@@ -1140,6 +1276,44 @@ PfsModel::RebuildStatus PfsModel::rebuild_status(OstIndex ost) const {
         Bytes{rb.total.count() - rb.done.count()});
   }
   return status;
+}
+
+void PfsModel::assert_quiescent() const {
+  sim::check::abandoned_ops_drained(abandoned_in_flight_);
+  if (tracking()) {
+    sim::check::acked_writes_durable(durability_report().lost.count());
+  }
+  // F5a: every submission resolved exactly one way. Audited unconditionally
+  // — the identity must hold with admission control off too.
+  for (const auto& ost : osts_) {
+    const OstStats& s = ost->stats();
+    sim::check::admission_accounting_exact(
+        s.submitted_ops,
+        s.completed_ops + s.rejected_ops + s.overload_rejected_ops + s.shed_ops +
+            s.interrupted_ops,
+        "ost");
+  }
+  const MdsStats& m = mds_->stats();
+  sim::check::admission_accounting_exact(m.requests, m.ops_total, "mds");
+  // F5b: with the token bucket on, retries spent can never exceed the
+  // initial burst plus ratio * deposits — amplification is bounded.
+  if (config_.retry.retry_budget) {
+    sim::check::retry_amplification_bounded(
+        res_stats_.budget_spent,
+        config_.retry.budget_cap +
+            config_.retry.budget_ratio * static_cast<double>(res_stats_.budget_deposits));
+  }
+}
+
+PfsModel::ServerOverloadTotals PfsModel::server_overload_totals() const {
+  ServerOverloadTotals totals;
+  for (const auto& ost : osts_) {
+    totals.rejected += ost->stats().overload_rejected_ops;
+    totals.shed += ost->stats().shed_ops;
+  }
+  totals.rejected += mds_->stats().overload_rejected;
+  totals.shed += mds_->stats().shed_ops;
+  return totals;
 }
 
 bool PfsModel::buffers_quiescent() const {

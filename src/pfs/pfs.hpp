@@ -79,6 +79,10 @@ struct PfsConfig {
   BurstBufferConfig bb{};
   /// Client-side retry/degraded-mode policy (default: fail-fast).
   RetryPolicy retry{};
+  /// Server-side admission control, applied to the MDS and every OST
+  /// (DESIGN.md §14). Off by default (kUnbounded): no door checks, no
+  /// sheds, pre-overload queueing semantics preserved bit-for-bit.
+  AdmissionConfig admission{};
   /// Durability layer: write-token content tracking, replica fan-out for
   /// layouts with replicas > 1, degraded reads, online OST rebuild, and
   /// invariant F3. Off by default (PR2 fault semantics preserved exactly).
@@ -220,13 +224,18 @@ class PfsModel {
   /// the same audit is F4: every acknowledged byte must be readable through
   /// the *placement-aware* read path (current epoch's targets plus the
   /// older-epoch fallback chain, serving OSTs only) across any
-  /// join/drain/crash/decommission sequence.
-  void assert_quiescent() const {
-    sim::check::abandoned_ops_drained(abandoned_in_flight_);
-    if (tracking()) {
-      sim::check::acked_writes_durable(durability_report().lost.count());
-    }
-  }
+  /// join/drain/crash/decommission sequence. F5a: admission accounting is
+  /// exact on every server (submitted == completed + rejected + shed).
+  /// F5b (retry budget only): retries spent never exceed the burst cap plus
+  /// ratio * deposits — retry amplification is bounded by construction.
+  void assert_quiescent() const;
+
+  /// Server-side overload totals summed across the MDS and every OST.
+  struct ServerOverloadTotals {
+    std::uint64_t rejected = 0;  ///< bounced at the door (queue bound)
+    std::uint64_t shed = 0;      ///< dropped at dequeue (sojourn target)
+  };
+  [[nodiscard]] ServerOverloadTotals server_overload_totals() const;
 
   /// Subscribe to every OST + MDS op record (server-side monitoring).
   void set_ost_observer(std::function<void(const OstOpRecord&)> observer);
@@ -266,10 +275,13 @@ class PfsModel {
   /// `epoch` the issuing client's cached map epoch: placement is computed
   /// from that (possibly stale) epoch's map, and a chunk whose authoritative
   /// placement has since moved is bounced with kStaleMap instead of served.
+  /// `on_done` additionally carries the largest server retry-after hint seen
+  /// across the fan-out (zero unless some shipment was rejected or shed by
+  /// admission control) so the retry path can pace to the drain rate.
   void backend_io(std::uint32_t ion, std::uint64_t file, const StripeLayout& layout,
                   std::uint64_t offset, Bytes size, bool is_write, WriteToken wtoken,
                   std::uint64_t key, std::uint64_t epoch,
-                  std::function<void(bool ok, IoError error)> on_done);
+                  std::function<void(bool ok, IoError error, SimTime retry_after)> on_done);
 
   // One logical io() op across its (possibly many) attempts.
   struct IoOpState;
@@ -289,6 +301,9 @@ class PfsModel {
   void settle(const std::shared_ptr<IoOpState>& op, bool ok, IoError error);
   void emit_resilience(ResilienceEventKind kind, std::uint32_t attempt, IoError error,
                        std::uint32_t ost = 0, Bytes bytes = Bytes::zero());
+  /// Feed one shipment outcome to `ost`'s circuit breaker (no-op unless
+  /// RetryPolicy::breaker); counts and emits open/close transitions.
+  void breaker_note(OstIndex ost, bool ok);
 
   /// True iff OST `ost` is inside a down interval at `t`.
   [[nodiscard]] bool ost_down(OstIndex ost, SimTime t) const;
@@ -345,6 +360,12 @@ class PfsModel {
   std::vector<std::unique_ptr<BurstBuffer>> buffers_;
   Rng retry_rng_;
   Rng rebuild_rng_;
+  Rng breaker_rng_;
+  // Client-side overload control (inert unless the RetryPolicy knobs are
+  // on: no draws, no state changes, no extra events).
+  LatencyEstimator latency_;
+  RetryBudget budget_;
+  std::vector<CircuitBreaker> breakers_;  ///< per-OST; empty unless retry.breaker
   ResilienceStats res_stats_;
   std::function<void(const ResilienceRecord&)> res_observer_;
   /// Ops abandoned by a timeout whose in-flight events have not yet drained.

@@ -20,6 +20,10 @@ namespace pio::pfs {
 /// seed-stream registry (common/seed_streams.hpp, rule S1).
 inline constexpr std::uint64_t kRetryRngStream = seeds::kRetryJitterStream;
 
+/// Engine Rng stream id reserved for circuit-breaker open-window jitter;
+/// claimed in the seed-stream registry (common/seed_streams.hpp, rule S1).
+inline constexpr std::uint64_t kBreakerRngStream = seeds::kBreakerProbeStream;
+
 /// Why a data-path operation failed. kNone means success.
 enum class IoError : std::uint8_t {
   kNone,
@@ -30,9 +34,41 @@ enum class IoError : std::uint8_t {
   kDataLost,  ///< no replica holds the acknowledged data (durability breach)
   kStaleMap,  ///< addressed an OST through an outdated ClusterMap epoch;
               ///< refresh the map and retry (DESIGN.md §13)
+  kOverloaded,        ///< server admission control rejected or shed the op;
+                      ///< carries a retry-after hint (DESIGN.md §14)
+  kCircuitOpen,       ///< the client's per-server circuit breaker fast-failed
+                      ///< the op without touching the server
+  kDeadlineExceeded,  ///< the op's end-to-end deadline expired across attempts
 };
 
 [[nodiscard]] const char* to_string(IoError error);
+
+/// Server-side admission policy for bounded queues (DESIGN.md §14).
+enum class AdmissionPolicy : std::uint8_t {
+  kUnbounded,     ///< legacy behaviour: the queue grows without limit
+  kRejectAtDoor,  ///< bounce arrivals once the queue depth reaches the bound
+  kCodelShed,     ///< admit at the door, drop at dequeue once the job's
+                  ///< queueing delay exceeds the sojourn target (CoDel-style)
+};
+
+[[nodiscard]] const char* to_string(AdmissionPolicy policy);
+
+/// Admission-control knobs shared by OstServer and MetadataServer. The
+/// default policy is kUnbounded, which preserves pre-overload semantics
+/// bit-for-bit (no door checks, no sheds, no extra draws).
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kUnbounded;
+  /// kRejectAtDoor: arrivals finding this many ops queued are bounced with
+  /// IoError::kOverloaded and a retry-after hint.
+  std::uint64_t max_queue_depth = 64;
+  /// kCodelShed: an op whose queueing delay exceeds this when it reaches the
+  /// head of the queue is dropped without service.
+  SimTime shed_target = SimTime::from_ms(5.0);
+  /// Lower bound on the retry-after hint attached to rejections.
+  SimTime retry_after_floor = SimTime::from_ms(1.0);
+
+  [[nodiscard]] bool enabled() const { return policy != AdmissionPolicy::kUnbounded; }
+};
 
 /// Client-side retry/degraded-mode policy for PfsModel::io. The default is
 /// fail-fast: one attempt, no timeout, no failover — faults surface as
@@ -52,7 +88,151 @@ struct RetryPolicy {
   /// next healthy one at dispatch time.
   bool failover = false;
 
+  // -- overload-control knobs (all off by default; DESIGN.md §14) ----------
+
+  /// Adaptive per-attempt timeouts from the EWMA+variance latency estimator
+  /// (Jacobson/Karels): timeout = clamp(srtt + rto_k * rttvar). Replaces the
+  /// fixed op_timeout while enabled; initial_timeout is used until the
+  /// estimator has seen a successful attempt.
+  bool adaptive_timeout = false;
+  SimTime initial_timeout = SimTime::from_ms(10.0);
+  SimTime min_timeout = SimTime::from_ms(1.0);
+  SimTime max_timeout = SimTime::from_ms(500.0);
+  double srtt_gain = 0.125;  ///< alpha: weight of a new sample in srtt
+  double rttvar_gain = 0.25; ///< beta: weight of a new deviation in rttvar
+  double rto_k = 4.0;        ///< timeout = srtt + rto_k * rttvar
+
+  /// End-to-end deadline: the op's remaining budget shrinks across attempts
+  /// instead of resetting — each attempt's timeout is capped to what is
+  /// left, and a retry that cannot start before the deadline gives up with
+  /// kDeadlineExceeded. Zero disables.
+  SimTime op_deadline = SimTime::zero();
+
+  /// Token-bucket retry budget: retries are capped to a fraction of
+  /// successful traffic (each success deposits budget_ratio tokens, each
+  /// retry spends one, burst bounded by budget_cap), killing retry
+  /// amplification under overload. Stale-map retries are exempt — they are
+  /// a metadata protocol step, not recovery traffic.
+  bool retry_budget = false;
+  double budget_ratio = 0.2;
+  double budget_cap = 10.0;
+
+  /// Per-server circuit breakers (closed/open/half-open): after
+  /// breaker_threshold consecutive shipment failures a server's breaker
+  /// opens and chunks addressed to it fast-fail with kCircuitOpen for a
+  /// jittered open window, after which a single half-open probe decides
+  /// between closing and re-opening. Jitter draws from kBreakerRngStream.
+  bool breaker = false;
+  std::uint32_t breaker_threshold = 5;
+  SimTime breaker_open_base = SimTime::from_ms(50.0);
+  double breaker_open_jitter = 0.2;
+
   [[nodiscard]] bool retries_enabled() const { return max_attempts > 1; }
+};
+
+/// Jacobson/Karels RTT estimator driving adaptive per-attempt timeouts:
+/// srtt and rttvar are EWMAs of successful attempt latencies, and the
+/// timeout is srtt + k * rttvar clamped to [min_timeout, max_timeout].
+/// Until the first sample the configured initial_timeout applies.
+class LatencyEstimator {
+ public:
+  LatencyEstimator() = default;
+  explicit LatencyEstimator(const RetryPolicy& policy)
+      : initial_(policy.initial_timeout),
+        min_(policy.min_timeout),
+        max_(policy.max_timeout),
+        alpha_(policy.srtt_gain),
+        beta_(policy.rttvar_gain),
+        k_(policy.rto_k) {}
+
+  void observe(SimTime sample);
+
+  /// Current per-attempt timeout (clamped; initial_timeout when unseeded).
+  [[nodiscard]] SimTime timeout() const;
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] SimTime srtt() const { return SimTime::from_sec_ceil(srtt_sec_); }
+  [[nodiscard]] SimTime rttvar() const { return SimTime::from_sec_ceil(rttvar_sec_); }
+
+ private:
+  SimTime initial_ = SimTime::from_ms(10.0);
+  SimTime min_ = SimTime::from_ms(1.0);
+  SimTime max_ = SimTime::from_ms(500.0);
+  double alpha_ = 0.125;
+  double beta_ = 0.25;
+  double k_ = 4.0;
+  bool seeded_ = false;
+  double srtt_sec_ = 0.0;
+  double rttvar_sec_ = 0.0;
+};
+
+/// Token-bucket retry budget (Finagle/gRPC discipline): successes earn
+/// fractional tokens, each retry spends a whole one, and the bucket is
+/// capped — so sustained retry traffic can never exceed ratio * goodput
+/// plus the initial burst. Counter bookkeeping lives with the caller.
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  RetryBudget(double ratio, double cap)
+      : ratio_(ratio), cap_(cap), tokens_(cap) {}
+
+  /// A logical op succeeded: earn ratio tokens (capped).
+  void deposit() { tokens_ = tokens_ + ratio_ > cap_ ? cap_ : tokens_ + ratio_; }
+  /// Try to pay for one retry; false = budget exhausted, do not retry.
+  [[nodiscard]] bool try_spend() {
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  double ratio_ = 0.2;
+  double cap_ = 10.0;
+  double tokens_ = 10.0;
+};
+
+/// Per-server circuit breaker: closed (counting consecutive failures) ->
+/// open (fast-fail for a jittered window) -> half-open (one probe decides).
+/// Transition bookkeeping is returned to the caller so counters and events
+/// stay in PfsModel's ResilienceStats.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() = default;
+  CircuitBreaker(std::uint32_t threshold, SimTime open_base, double open_jitter)
+      : threshold_(threshold), open_base_(open_base), open_jitter_(open_jitter) {}
+
+  struct Gate {
+    bool allowed = true;
+    bool probe = false;  ///< this admission is the half-open probe
+  };
+
+  /// May a request be sent to this server at `now`? Transitions open ->
+  /// half-open once the open window has elapsed (that admission is the
+  /// single probe; further requests fast-fail until it resolves).
+  [[nodiscard]] Gate admit(SimTime now);
+
+  /// Record a shipment success. Returns true when the breaker closed
+  /// (a half-open probe succeeded).
+  bool record_success();
+
+  /// Record a shipment failure. Returns true when the breaker (re)opened;
+  /// the open window is open_base jittered via `rng` (kBreakerRngStream).
+  bool record_failure(SimTime now, Rng& rng);
+
+  [[nodiscard]] State state() const { return state_; }
+
+ private:
+  [[nodiscard]] SimTime open_window(Rng& rng) const;
+
+  std::uint32_t threshold_ = 5;
+  SimTime open_base_ = SimTime::from_ms(50.0);
+  double open_jitter_ = 0.2;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  SimTime open_until_ = SimTime::zero();
 };
 
 /// Deterministic capped exponential backoff with seeded jitter. `attempt` is
@@ -74,6 +254,11 @@ enum class ResilienceEventKind : std::uint8_t {
   kStaleMapRetry, ///< a kStaleMap rejection triggered a map refresh + retry
   kDetectedDown,  ///< the monitor declared an OST down (heartbeat grace expired)
   kDetectedUp,    ///< the monitor saw a heartbeat from a down OST again
+  kBudgetExhausted, ///< a retry was denied by the token-bucket retry budget
+  kBreakerOpen,     ///< a per-server circuit breaker opened (or re-opened)
+  kBreakerProbe,    ///< a half-open breaker admitted its single probe
+  kBreakerClose,    ///< a probe succeeded and the breaker closed
+  kDeadlineGiveUp,  ///< the op's end-to-end deadline expired across attempts
 };
 
 [[nodiscard]] const char* to_string(ResilienceEventKind kind);
@@ -109,6 +294,17 @@ struct ResilienceStats {
   /// Bytes scheduled for migration by epoch changes (re-marks of ranges
   /// still owed across consecutive epochs count each time).
   Bytes migration_marked_bytes = Bytes::zero();
+  // Overload-control counters (all zero unless the corresponding admission /
+  // budget / breaker / deadline knobs are enabled; DESIGN.md §14).
+  std::uint64_t overload_rejections = 0; ///< attempts that failed with kOverloaded
+  std::uint64_t budget_deposits = 0;     ///< successful ops that earned budget
+  std::uint64_t budget_spent = 0;        ///< retries paid for by the budget
+  std::uint64_t budget_denied = 0;       ///< retries denied (bucket empty)
+  std::uint64_t breaker_opens = 0;       ///< breaker open/re-open transitions
+  std::uint64_t breaker_closes = 0;      ///< half-open probes that closed a breaker
+  std::uint64_t breaker_probes = 0;      ///< half-open probes admitted
+  std::uint64_t breaker_fast_fails = 0;  ///< chunks fast-failed by an open breaker
+  std::uint64_t deadline_giveups = 0;    ///< ops settled with kDeadlineExceeded
 };
 
 }  // namespace pio::pfs

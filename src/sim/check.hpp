@@ -84,4 +84,33 @@ inline void acked_writes_durable(std::uint64_t lost_bytes) {
                 : std::string{});
 }
 
+// -- overload-era invariants (F5) ------------------------------------------
+//
+// Introduced with admission control: once servers can reject or shed work,
+// every submitted op must be accounted for exactly once, and client retries
+// must stay within the configured budget (DESIGN.md §14).
+
+/// F5a: admission accounting is exact. At quiescence, every op submitted to
+/// a server resolved exactly one way: completed ok, rejected at the door
+/// (down or overloaded), shed at dequeue, or interrupted by a crash.
+/// `accounted` is the sum of those outcome counters; it must equal
+/// `submitted` — a gap means an op vanished (or was double-counted).
+inline void admission_accounting_exact(std::uint64_t submitted, std::uint64_t accounted,
+                                       const char* server) {
+  that(submitted == accounted, "overload.admission-accounting",
+       kEnabled ? std::string(server) + ": submitted=" + std::to_string(submitted) +
+                      " accounted=" + std::to_string(accounted)
+                : std::string{});
+}
+
+/// F5b: retry amplification is bounded. With a token-bucket retry budget
+/// enabled, the retries actually spent can never exceed the initial burst
+/// allowance plus the per-success earn rate: spent <= cap + ratio * deposits.
+inline void retry_amplification_bounded(std::uint64_t spent, double allowed) {
+  that(static_cast<double>(spent) <= allowed + 1e-9, "overload.retry-amplification",
+       kEnabled ? std::to_string(spent) + " retries spent against an allowance of " +
+                      std::to_string(allowed)
+                : std::string{});
+}
+
 }  // namespace pio::sim::check

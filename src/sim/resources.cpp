@@ -15,15 +15,34 @@ FifoServer::FifoServer(Engine& engine, std::string name)
     : engine_(engine), name_(std::move(name)) {}
 
 void FifoServer::submit(SimTime service_time, std::function<void()> on_done) {
+  submit(service_time, std::move(on_done), nullptr);
+}
+
+void FifoServer::submit(SimTime service_time, std::function<void()> on_done,
+                        std::function<void()> on_shed) {
   if (service_time < SimTime::zero()) {
     throw std::invalid_argument("FifoServer::submit: negative service time");
   }
-  queue_.push_back(Job{service_time, engine_.now(), std::move(on_done)});
+  queue_.push_back(Job{service_time, engine_.now(), std::move(on_done), std::move(on_shed)});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
   if (!busy_) start_next();
 }
 
 void FifoServer::start_next() {
+  // CoDel-style head drop: a sheddable job whose queueing delay already
+  // exceeds the target is not worth serving — by the time it completes the
+  // client has timed out and retried, so serving it is pure goodput loss.
+  while (!queue_.empty() && shed_target_ > SimTime::zero() && queue_.front().on_shed &&
+         engine_.now() - queue_.front().enqueued > shed_target_) {
+    Job shed = std::move(queue_.front());
+    queue_.pop_front();
+    const SimTime sojourn = engine_.now() - shed.enqueued;
+    ++stats_.shed_jobs;
+    stats_.sojourn_us.add(static_cast<std::uint64_t>(sojourn.ns() / 1000));
+    engine_.schedule_after(SimTime::zero(), [notify = std::move(shed.on_shed)]() mutable {
+      if (notify) notify();
+    });
+  }
   if (queue_.empty()) {
     busy_ = false;
     return;
@@ -31,7 +50,9 @@ void FifoServer::start_next() {
   busy_ = true;
   Job job = std::move(queue_.front());
   queue_.pop_front();
-  stats_.total_wait += engine_.now() - job.enqueued;
+  const SimTime wait = engine_.now() - job.enqueued;
+  stats_.total_wait += wait;
+  stats_.sojourn_us.add(static_cast<std::uint64_t>(wait.ns() / 1000));
   stats_.busy_time += job.service;
   engine_.schedule_after(job.service, [this, done = std::move(job.on_done)]() mutable {
     ++stats_.jobs_completed;

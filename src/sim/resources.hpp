@@ -13,6 +13,7 @@
 #include <list>
 #include <string>
 
+#include "common/histogram.hpp"
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 
@@ -24,6 +25,10 @@ struct ServerStats {
   SimTime busy_time = SimTime::zero();   ///< time with >= 1 job in service
   SimTime total_wait = SimTime::zero();  ///< queueing delay, excludes service
   std::uint64_t max_queue_depth = 0;
+  std::uint64_t shed_jobs = 0;  ///< jobs dropped at dequeue (sojourn > target)
+  /// Queueing-delay distribution in microseconds, recorded at dequeue for
+  /// served and shed jobs alike (the CoDel view of the queue).
+  Log2Histogram sojourn_us;
 
   [[nodiscard]] SimTime mean_wait() const {
     return jobs_completed == 0 ? SimTime::zero()
@@ -43,6 +48,16 @@ class FifoServer {
   /// Enqueue a job; `on_done` fires when its service completes.
   void submit(SimTime service_time, std::function<void()> on_done);
 
+  /// Enqueue a sheddable job: if a shed target is set and the job's queueing
+  /// delay exceeds it when the job reaches the head, the job is dropped
+  /// without service and `on_shed` fires (next delta) instead of `on_done`.
+  /// Jobs submitted without an `on_shed` are never shed.
+  void submit(SimTime service_time, std::function<void()> on_done,
+              std::function<void()> on_shed);
+
+  /// CoDel-style sojourn bound for sheddable jobs; zero (default) disables.
+  void set_shed_target(SimTime target) { shed_target_ = target; }
+
   [[nodiscard]] std::uint64_t queue_depth() const { return queue_.size() + (busy_ ? 1u : 0u); }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -52,6 +67,7 @@ class FifoServer {
     SimTime service;
     SimTime enqueued;
     std::function<void()> on_done;
+    std::function<void()> on_shed;
   };
 
   void start_next();
@@ -60,6 +76,7 @@ class FifoServer {
   std::string name_;
   std::deque<Job> queue_;
   bool busy_ = false;
+  SimTime shed_target_ = SimTime::zero();
   ServerStats stats_;
 };
 

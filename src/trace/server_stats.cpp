@@ -60,6 +60,11 @@ void ServerStatsCollector::on_resilience_record(const pfs::ResilienceRecord& rec
     case pfs::ResilienceEventKind::kStaleMapRetry: ++sample.stale_map_retries; break;
     case pfs::ResilienceEventKind::kDetectedDown: ++sample.down_detections; break;
     case pfs::ResilienceEventKind::kDetectedUp: ++sample.up_detections; break;
+    case pfs::ResilienceEventKind::kBudgetExhausted: ++sample.budget_exhaustions; break;
+    case pfs::ResilienceEventKind::kBreakerOpen: ++sample.breaker_opens; break;
+    case pfs::ResilienceEventKind::kBreakerProbe: ++sample.breaker_probes; break;
+    case pfs::ResilienceEventKind::kBreakerClose: ++sample.breaker_closes; break;
+    case pfs::ResilienceEventKind::kDeadlineGiveUp: ++sample.deadline_giveups; break;
     case pfs::ResilienceEventKind::kRebuildStart:
     case pfs::ResilienceEventKind::kRebuildDone: {
       auto& rebuild = rebuild_series_[record.ost][sample.window];

@@ -51,6 +51,12 @@ struct ResilienceSample {
   std::uint64_t stale_map_retries = 0;  ///< kStaleMap bounces refreshed + retried
   std::uint64_t down_detections = 0;    ///< monitor down declarations this window
   std::uint64_t up_detections = 0;      ///< monitor up re-declarations this window
+  // Overload-control activity (DESIGN.md §14); zero unless the knobs are on.
+  std::uint64_t budget_exhaustions = 0;  ///< retries denied by the token bucket
+  std::uint64_t breaker_opens = 0;       ///< breaker open/re-open transitions
+  std::uint64_t breaker_probes = 0;      ///< half-open probes admitted
+  std::uint64_t breaker_closes = 0;      ///< probes that closed a breaker
+  std::uint64_t deadline_giveups = 0;    ///< ops that ran out of deadline
 };
 
 using ResilienceSeries = std::map<std::uint64_t, ResilienceSample>;

@@ -181,6 +181,76 @@ std::uint64_t run_fault_campaign(std::uint64_t engine_seed) {
   return h.digest();
 }
 
+/// An overload campaign: the fault weather of run_fault_campaign with the
+/// whole overload-control stack armed — CoDel shedding on bounded queues,
+/// token-bucket retry budget, per-OST breakers whose open-window jitter
+/// draws from kBreakerRngStream, adaptive timeouts, end-to-end deadlines.
+/// The digest folds in every overload counter and the server-side
+/// rejected/shed totals, so a breaker or shed decision drawing outside the
+/// engine's streams diverges immediately on a same-seed pair.
+std::uint64_t run_overload_campaign(std::uint64_t engine_seed) {
+  auto config = small_pfs();
+  fault::InjectorConfig injector;
+  injector.horizon = SimTime::from_ms(100.0);
+  injector.ost_crash_rate_hz = 60.0;
+  injector.ost_outage_mean = SimTime::from_ms(4.0);
+  injector.ost_straggler_rate_hz = 60.0;
+  injector.ost_straggler_mean = SimTime::from_ms(10.0);
+  config.fault_injector = injector;
+  config.admission.policy = pfs::AdmissionPolicy::kCodelShed;
+  config.admission.shed_target = SimTime::from_ms(2.0);
+  config.retry.max_attempts = 4;
+  config.retry.adaptive_timeout = true;
+  config.retry.initial_timeout = SimTime::from_ms(20.0);
+  config.retry.op_deadline = SimTime::from_ms(120.0);
+  config.retry.retry_budget = true;
+  config.retry.budget_ratio = 0.5;
+  config.retry.breaker = true;
+  config.retry.breaker_threshold = 3;
+  config.retry.breaker_open_base = SimTime::from_ms(10.0);
+
+  sim::Engine engine{engine_seed};
+  pfs::PfsModel model{engine, config};
+  driver::ExecutionDrivenSimulator sim{engine, model};
+  workload::IorConfig ior;
+  ior.ranks = 4;
+  ior.block_size = Bytes::from_mib(4);
+  ior.transfer_size = Bytes::from_mib(1);
+  trace::Tracer tracer;
+  const auto result = sim.run(*workload::ior_like(ior), &tracer);
+  engine.assert_drained();
+  model.assert_quiescent();
+  const auto& res = model.resilience_stats();
+  const auto server = model.server_overload_totals();
+  Fnv1a h;
+  h.mix(hash_trace(tracer.snapshot()));
+  h.mix(static_cast<std::uint64_t>(result.makespan.ns()));
+  h.mix(result.failed_ops);
+  h.mix(result.retries);
+  h.mix(res.overload_rejections);
+  h.mix(res.budget_spent);
+  h.mix(res.budget_denied);
+  h.mix(res.breaker_opens);
+  h.mix(res.breaker_probes);
+  h.mix(res.breaker_fast_fails);
+  h.mix(res.deadline_giveups);
+  h.mix(server.rejected);
+  h.mix(server.shed);
+  h.mix(engine.events_executed());
+  return h.digest();
+}
+
+TEST(DeterminismRegression, SameSeedOverloadCampaignsHashIdentical) {
+  const std::uint64_t first = run_overload_campaign(31);
+  const std::uint64_t second = run_overload_campaign(31);
+  EXPECT_EQ(first, second) << "same-seed overload campaign diverged: a shed, "
+                              "budget or breaker decision draws outside engine streams";
+}
+
+TEST(DeterminismRegression, DifferentSeedOverloadCampaignsDiverge) {
+  EXPECT_NE(run_overload_campaign(31), run_overload_campaign(32));
+}
+
 /// A durability campaign: replicated layout, tracked contents, OST crashes
 /// that force degraded reads, and an online rebuild whose pacing jitter
 /// draws from the kRebuildRngStream engine substream. The digest covers the

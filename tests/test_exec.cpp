@@ -221,6 +221,13 @@ std::uint64_t hash_campaign(const eval::CampaignResult& result) {
       h.mix(p.map_refreshes);
       h.mix(p.down_detections);
       h.mix(p.migration_marked_bytes.count());
+      h.mix(p.overload_rejections);
+      h.mix(p.budget_denied);
+      h.mix(p.breaker_opens);
+      h.mix(p.breaker_fast_fails);
+      h.mix(p.deadline_giveups);
+      h.mix(p.server_overload_rejected);
+      h.mix(p.server_shed);
       h.mix(p.cache_hits);
       h.mix(p.cache_misses);
       h.mix(p.cache_evictions);
@@ -357,6 +364,38 @@ TEST(CampaignThreadDeterminism, MembershipCampaignHashesIdenticalAt1_2_8Threads)
   // tracking requirement as the durability campaign above).
   config.model.durability.track_contents = true;
   config.seed = 41;
+  const auto serial = run_campaign_at(1, config);
+  EXPECT_EQ(serial, run_campaign_at(2, config));
+  EXPECT_EQ(serial, run_campaign_at(8, config));
+}
+
+TEST(CampaignThreadDeterminism, OverloadCampaignHashesIdenticalAt1_2_8Threads) {
+  // Full overload-control stack on the testbed: bounded server queues with
+  // CoDel shedding, retry budget, per-OST circuit breakers with jittered
+  // open windows (kBreakerRngStream), adaptive timeouts and an end-to-end
+  // deadline — under injector weather so the knobs actually fire. Every
+  // rejection, shed, budget denial and breaker transition flows into the
+  // digest, which must not move with the thread count.
+  eval::CampaignConfig config;
+  config.testbed = small_pfs();
+  fault::InjectorConfig injector;
+  injector.horizon = SimTime::from_ms(100.0);
+  injector.ost_crash_rate_hz = 40.0;
+  injector.ost_outage_mean = SimTime::from_ms(4.0);
+  config.testbed.fault_injector = injector;
+  config.testbed.admission.policy = pfs::AdmissionPolicy::kCodelShed;
+  config.testbed.admission.shed_target = SimTime::from_ms(2.0);
+  config.testbed.retry.max_attempts = 4;
+  config.testbed.retry.adaptive_timeout = true;
+  config.testbed.retry.initial_timeout = SimTime::from_ms(20.0);
+  config.testbed.retry.op_deadline = SimTime::from_ms(120.0);
+  config.testbed.retry.retry_budget = true;
+  config.testbed.retry.budget_ratio = 0.5;
+  config.testbed.retry.breaker = true;
+  config.testbed.retry.breaker_threshold = 3;
+  config.testbed.retry.breaker_open_base = SimTime::from_ms(10.0);
+  config.model = small_pfs();
+  config.seed = 17;
   const auto serial = run_campaign_at(1, config);
   EXPECT_EQ(serial, run_campaign_at(2, config));
   EXPECT_EQ(serial, run_campaign_at(8, config));

@@ -225,7 +225,7 @@ TEST(OstFaultTest, RequestDuringDownIsRejected) {
   ost.set_op_observer([&](const pfs::OstOpRecord& r) { records.push_back(r); });
   bool result = true;
   engine.schedule_at(ms(2), [&] {
-    ost.submit(0, 1_MiB, true, [&](bool ok) { result = ok; });
+    ost.submit(0, 1_MiB, true, [&](pfs::OstCompletion c) { result = c.ok(); });
   });
   engine.run();
   EXPECT_FALSE(result);
@@ -247,8 +247,8 @@ TEST(OstFaultTest, InServiceOpInterruptedByCrashFailsAtRecovery) {
   ost.set_fault_timeline(&timeline);
   bool ok = true;
   SimTime completed = SimTime::zero();
-  ost.submit(0, 1_MiB, true, [&](bool r) {
-    ok = r;
+  ost.submit(0, 1_MiB, true, [&](pfs::OstCompletion c) {
+    ok = c.ok();
     completed = engine.now();
   });
   engine.run();
@@ -271,7 +271,7 @@ TEST(OstFaultTest, StragglerSlowdownStretchesServiceTime) {
     }
     ost.set_fault_timeline(&timeline);
     SimTime completed = SimTime::zero();
-    ost.submit(0, 4_MiB, true, [&](bool) { completed = engine.now(); });
+    ost.submit(0, 4_MiB, true, [&](pfs::OstCompletion) { completed = engine.now(); });
     engine.run();
     return completed;
   };

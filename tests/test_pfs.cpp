@@ -146,8 +146,8 @@ TEST(OstServerTest, CountsAndObserver) {
   std::vector<OstOpRecord> records;
   ost.set_op_observer([&](const OstOpRecord& r) { records.push_back(r); });
   int done = 0;
-  ost.submit(0, 1_MiB, true, [&](bool ok) { done += ok ? 1 : 0; });
-  ost.submit(1 << 20, 1_MiB, false, [&](bool ok) { done += ok ? 1 : 0; });
+  ost.submit(0, 1_MiB, true, [&](OstCompletion c) { done += c.ok() ? 1 : 0; });
+  ost.submit(1 << 20, 1_MiB, false, [&](OstCompletion c) { done += c.ok() ? 1 : 0; });
   e.run();
   EXPECT_EQ(done, 2);
   EXPECT_EQ(ost.stats().write_ops, 1u);
