@@ -15,6 +15,11 @@
 #                                 controlled stack (admission control, retry
 #                                 budget, breakers, deadlines) through a
 #                                 transient capacity loss
+#   BENCH_service.json          — C-F5 campaign-service load harness: 1200
+#                                 client sessions through one pioevald
+#                                 instance; result-cache hit rate, cold vs
+#                                 served per-point cost, byte-identity and
+#                                 cache-accounting audit
 #
 # Usage:  bench/run_benches.sh [build-dir]
 #
@@ -51,4 +56,8 @@ echo "== C-F4 overload control -> BENCH_overload.json"
 "$build_dir/bench/bench_cf4_overload" \
   --json-out "$repo_root/BENCH_overload.json"
 
-echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json $repo_root/BENCH_overload.json"
+echo "== C-F5 campaign service -> BENCH_service.json"
+"$build_dir/bench/bench_cf5_service" \
+  --json-out "$repo_root/BENCH_service.json"
+
+echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json $repo_root/BENCH_overload.json $repo_root/BENCH_service.json"

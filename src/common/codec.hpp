@@ -1,0 +1,112 @@
+// PIOEval common: bounds-checked binary encode/decode primitives.
+//
+// The service layer (DESIGN.md §15) speaks a length-prefixed, CRC-guarded
+// frame protocol; these are the byte-level building blocks. Encoding is
+// explicit little-endian regardless of host order, so encoded bytes are a
+// stable wire/cache format. Decoding never throws and never reads out of
+// bounds: a `Reader` goes *sticky-bad* on the first short or malformed
+// read, every subsequent extraction returns a default value, and the
+// caller checks `ok()` (and usually `done()`) once at the end — strict
+// decoders reject both truncated and trailing bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pio::codec {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// The frame codec guards every payload with it; check value for the
+/// ASCII bytes "123456789" is 0xCBF43926.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    le(bits, 8);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  void bytes(const std::uint8_t* data, std::size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& view() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sticky-failure little-endian decoder over a borrowed byte span.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), size_(n) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  [[nodiscard]] std::uint64_t u64() { return le(8); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = le(8);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return ok_ ? v : 0.0;
+  }
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+  /// Length-prefixed string; a prefix longer than the remaining bytes or
+  /// than `max_len` marks the reader bad (defends against hostile lengths).
+  [[nodiscard]] std::string str(std::size_t max_len = 1 << 16) {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > max_len || n > size_ - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// True until the first out-of-bounds or malformed extraction.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when every byte has been consumed (and the reader is still ok).
+  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  std::uint64_t le(int width) {
+    if (!ok_ || static_cast<std::size_t>(width) > size_ - pos_) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += static_cast<std::size_t>(width);
+    return v;
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pio::codec

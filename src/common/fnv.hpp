@@ -1,0 +1,51 @@
+// PIOEval common: the canonical FNV-1a 64-bit mixer.
+//
+// Every determinism digest in the repo — the same-seed campaign regression
+// hashes, the thread-count-invariance oracle (C-12), and the service
+// layer's per-point result digests — is an FNV-1a fold over a canonical
+// field order. The mixer lives here so library code (eval::point_digest,
+// svc result cache) and the test/bench hashers agree on one byte-for-byte
+// definition; the historical copies in tests/benches predate this header
+// and fold identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pio {
+
+inline constexpr std::uint64_t kFnv64Offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ULL;
+
+/// FNV-1a 64 accumulator. `mix(std::uint64_t)` folds the value's eight
+/// little-endian bytes; `mix(std::string)` folds the characters followed by
+/// the length (so "ab","c" and "a","bc" digest differently).
+class Fnv64 {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffULL;
+      hash_ *= kFnv64Prime;
+    }
+  }
+  void mix(const std::string& s) {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kFnv64Prime;
+    }
+    mix(s.size());
+  }
+  void mix_bytes(const std::uint8_t* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= data[i];
+      hash_ *= kFnv64Prime;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv64Offset;
+};
+
+}  // namespace pio

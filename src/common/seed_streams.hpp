@@ -63,6 +63,12 @@ inline constexpr std::uint64_t kDrainPaceStream = 0xFA017005ULL;
 /// clients never synchronize into a probe storm.
 inline constexpr std::uint64_t kBreakerProbeStream = 0xFA017006ULL;
 
+/// pio::svc load harness — per-session arrival jitter and campaign-spec
+/// sampling in the many-client generator (bench_cf5_service, pioevald
+/// --load). Service-side scheduling itself draws no randomness; only the
+/// simulated client population does.
+inline constexpr std::uint64_t kSvcArrivalJitterStream = 0xFA017007ULL;
+
 namespace detail {
 
 inline constexpr std::uint64_t kAllStreams[] = {
@@ -73,6 +79,7 @@ inline constexpr std::uint64_t kAllStreams[] = {
     kHeartbeatJitterStream,
     kDrainPaceStream,
     kBreakerProbeStream,
+    kSvcArrivalJitterStream,
 };
 
 constexpr bool all_distinct() {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fnv.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "exec/pool.hpp"
@@ -115,14 +116,23 @@ std::string CampaignResult::to_string() const {
   return out.str();
 }
 
-driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
-                                      const workload::Workload& workload, std::uint64_t seed,
-                                      trace::Sink* sink) const {
+namespace {
+
+/// Seed-split phases (see pio::derive_seed): testbed measurement and
+/// model simulation draw from disjoint streams for every (iteration,
+/// workload) coordinate — `seed + iter` / `seed + 1000 + iter` arithmetic
+/// collided at >= 1000 iterations.
+enum SeedPhase : std::uint64_t { kMeasurePhase = 1, kSimulatePhase = 2 };
+
+/// One execution-driven run on a fresh engine + PFS instance.
+driver::SimRunResult run_on(const CampaignConfig& config, const pfs::PfsConfig& system,
+                            const workload::Workload& workload, std::uint64_t seed,
+                            trace::Sink* sink) {
   sim::Engine engine{seed};
   pfs::PfsModel model{engine, system};
   driver::SimRunConfig run_config;
-  run_config.cache = config_.cache;
-  run_config.layout = config_.layout;
+  run_config.cache = config.cache;
+  run_config.layout = config.layout;
   driver::ExecutionDrivenSimulator sim{engine, model, run_config};
   auto result = sim.run(workload, sink);
   // A leftover event here would mean the model leaked state into the next
@@ -131,6 +141,104 @@ driver::SimRunResult Campaign::run_on(const pfs::PfsConfig& system,
   // Invariant F2: every op abandoned by a retry timeout drained cleanly.
   model.assert_quiescent();
   return result;
+}
+
+}  // namespace
+
+CampaignPoint evaluate_point(const CampaignConfig& config, const workload::Workload& workload,
+                             double calibration, std::uint32_t iteration, std::uint64_t index,
+                             trace::Profiler* profiler) {
+  // Phase 1: measure on the testbed. The trace is the collected statistic;
+  // the profiler only matters on the caller's final-iteration pass.
+  trace::Tracer tracer;
+  trace::MultiSink sinks;
+  sinks.add(tracer);
+  if (profiler != nullptr) sinks.add(*profiler);
+  const auto measured = run_on(config, config.testbed, workload,
+                               derive_seed(config.seed, kMeasurePhase, iteration, index), &sinks);
+
+  // Phase 2: model — replay-based workload from the measured trace.
+  replay::TraceReplayConfig replay_config;
+  const auto replayable = replay::workload_from_trace(tracer.take(), replay_config);
+
+  // Phase 3: simulate the replay on the model system.
+  const auto simulated =
+      run_on(config, config.model, *replayable,
+             derive_seed(config.seed, kSimulatePhase, iteration, index), nullptr);
+
+  CampaignPoint point;
+  point.workload = workload.name();
+  point.measured = measured.makespan;
+  point.simulated_raw = simulated.makespan;
+  point.failed_ops = measured.failed_ops;
+  point.retries = measured.retries;
+  point.timeouts = measured.timeouts;
+  point.giveups = measured.giveups;
+  point.failovers = measured.failovers;
+  point.degraded_reads = measured.degraded_reads;
+  point.data_lost_ops = measured.data_lost_ops;
+  point.rebuilds_completed = measured.rebuilds_completed;
+  point.rebuilt_bytes = measured.rebuilt_bytes;
+  point.stale_map_retries = measured.stale_map_retries;
+  point.map_refreshes = measured.map_refreshes;
+  point.down_detections = measured.down_detections;
+  point.migration_marked_bytes = measured.migration_marked_bytes;
+  point.overload_rejections = measured.overload_rejections;
+  point.budget_denied = measured.budget_denied;
+  point.breaker_opens = measured.breaker_opens;
+  point.breaker_fast_fails = measured.breaker_fast_fails;
+  point.deadline_giveups = measured.deadline_giveups;
+  point.server_overload_rejected = measured.server_overload_rejected;
+  point.server_shed = measured.server_shed;
+  point.cache_hits = measured.cache_hits;
+  point.cache_misses = measured.cache_misses;
+  point.cache_evictions = measured.cache_evictions;
+  point.cache_prefetch_issued = measured.cache_prefetch_issued;
+  point.cache_prefetch_used = measured.cache_prefetch_used;
+  point.cache_prefetch_wasted = measured.cache_prefetch_wasted;
+  point.cache_writebacks = measured.cache_writebacks;
+  point.cache_absorbed_writes = measured.cache_absorbed_writes;
+  point.predicted = SimTime::from_ns(
+      static_cast<std::int64_t>(static_cast<double>(simulated.makespan.ns()) * calibration));
+  return point;
+}
+
+std::uint64_t point_digest(const CampaignConfig& config, const CampaignPoint& point) {
+  Fnv64 h;
+  h.mix(config.seed);
+  h.mix(point.workload);
+  h.mix(static_cast<std::uint64_t>(point.measured.ns()));
+  h.mix(static_cast<std::uint64_t>(point.simulated_raw.ns()));
+  h.mix(static_cast<std::uint64_t>(point.predicted.ns()));
+  h.mix(point.failed_ops);
+  h.mix(point.retries);
+  h.mix(point.timeouts);
+  h.mix(point.giveups);
+  h.mix(point.failovers);
+  h.mix(point.degraded_reads);
+  h.mix(point.data_lost_ops);
+  h.mix(point.rebuilds_completed);
+  h.mix(point.rebuilt_bytes.count());
+  h.mix(point.stale_map_retries);
+  h.mix(point.map_refreshes);
+  h.mix(point.down_detections);
+  h.mix(point.migration_marked_bytes.count());
+  h.mix(point.overload_rejections);
+  h.mix(point.budget_denied);
+  h.mix(point.breaker_opens);
+  h.mix(point.breaker_fast_fails);
+  h.mix(point.deadline_giveups);
+  h.mix(point.server_overload_rejected);
+  h.mix(point.server_shed);
+  h.mix(point.cache_hits);
+  h.mix(point.cache_misses);
+  h.mix(point.cache_evictions);
+  h.mix(point.cache_prefetch_issued);
+  h.mix(point.cache_prefetch_used);
+  h.mix(point.cache_prefetch_wasted);
+  h.mix(point.cache_writebacks);
+  h.mix(point.cache_absorbed_writes);
+  return h.digest();
 }
 
 CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep) {
@@ -163,62 +271,11 @@ CampaignResult Campaign::run(const std::vector<const workload::Workload*>& sweep
     auto outcomes = pool.map_ordered(sweep.size(), [&, iter, final_iter,
                                                     calibration_now](std::size_t w) {
       PointOutcome out;
-      const workload::Workload& workload = *sweep[w];
-
-      // Phase 1: measure on the testbed. The trace is the collected
-      // statistic; the profiler only matters on the final iteration's pass.
-      trace::Tracer tracer;
       trace::Profiler profiler;
-      trace::MultiSink sinks;
-      sinks.add(tracer);
-      if (final_iter) sinks.add(profiler);
-      const auto measured = run_on(config_.testbed, workload,
-                                   derive_seed(config_.seed, kMeasurePhase, iter, w), &sinks);
-
-      // Phase 2: model — replay-based workload from the measured trace.
-      replay::TraceReplayConfig replay_config;
-      const auto replayable = replay::workload_from_trace(tracer.take(), replay_config);
-
-      // Phase 3: simulate the replay on the model system.
-      const auto simulated = run_on(config_.model, *replayable,
-                                    derive_seed(config_.seed, kSimulatePhase, iter, w), nullptr);
-
-      CampaignPoint& point = out.point;
-      point.workload = workload.name();
-      point.measured = measured.makespan;
-      point.simulated_raw = simulated.makespan;
-      point.failed_ops = measured.failed_ops;
-      point.retries = measured.retries;
-      point.timeouts = measured.timeouts;
-      point.giveups = measured.giveups;
-      point.failovers = measured.failovers;
-      point.degraded_reads = measured.degraded_reads;
-      point.data_lost_ops = measured.data_lost_ops;
-      point.rebuilds_completed = measured.rebuilds_completed;
-      point.rebuilt_bytes = measured.rebuilt_bytes;
-      point.stale_map_retries = measured.stale_map_retries;
-      point.map_refreshes = measured.map_refreshes;
-      point.down_detections = measured.down_detections;
-      point.migration_marked_bytes = measured.migration_marked_bytes;
-      point.overload_rejections = measured.overload_rejections;
-      point.budget_denied = measured.budget_denied;
-      point.breaker_opens = measured.breaker_opens;
-      point.breaker_fast_fails = measured.breaker_fast_fails;
-      point.deadline_giveups = measured.deadline_giveups;
-      point.server_overload_rejected = measured.server_overload_rejected;
-      point.server_shed = measured.server_shed;
-      point.cache_hits = measured.cache_hits;
-      point.cache_misses = measured.cache_misses;
-      point.cache_evictions = measured.cache_evictions;
-      point.cache_prefetch_issued = measured.cache_prefetch_issued;
-      point.cache_prefetch_used = measured.cache_prefetch_used;
-      point.cache_prefetch_wasted = measured.cache_prefetch_wasted;
-      point.cache_writebacks = measured.cache_writebacks;
-      point.cache_absorbed_writes = measured.cache_absorbed_writes;
-      point.predicted = SimTime::from_ns(static_cast<std::int64_t>(
-          static_cast<double>(simulated.makespan.ns()) * calibration_now));
-      if (simulated.makespan > SimTime::zero()) {
-        out.ratio = measured.makespan.sec() / simulated.makespan.sec();
+      out.point = evaluate_point(config_, *sweep[w], calibration_now, iter, w,
+                                 final_iter ? &profiler : nullptr);
+      if (out.point.simulated_raw > SimTime::zero()) {
+        out.ratio = out.point.measured.sec() / out.point.simulated_raw.sec();
         out.has_ratio = true;
       }
       if (final_iter) out.profile = profiler.snapshot();

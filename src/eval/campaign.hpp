@@ -127,6 +127,31 @@ struct CampaignResult {
   [[nodiscard]] bool converged() const;
 };
 
+/// Evaluate one sweep point: measure `workload` on the testbed, derive a
+/// replay workload from the trace, simulate the replay on the model, and
+/// fold every counter into a CampaignPoint whose `predicted` applies the
+/// given calibration. This is the body of one Campaign::run task, exposed
+/// so the campaign service (DESIGN.md §15) can compute points one at a
+/// time with byte-identical results: seeds derive from
+/// `derive_seed(config.seed, phase, iteration, index)` exactly as inside
+/// `Campaign::run`. When `profiler` is non-null it observes the
+/// measurement pass (the final-iteration profile path).
+[[nodiscard]] CampaignPoint evaluate_point(const CampaignConfig& config,
+                                           const workload::Workload& workload,
+                                           double calibration, std::uint32_t iteration,
+                                           std::uint64_t index,
+                                           trace::Profiler* profiler = nullptr);
+
+/// The per-point determinism digest: an FNV-1a fold of the campaign seed
+/// and every field a computed CampaignPoint carries, in the canonical
+/// order the whole-campaign hash uses (tests/test_exec.cpp folds one of
+/// these per point). Two equal digests mean byte-identical points — this
+/// is the service result cache's byte-identity oracle, and its value is
+/// pinned by golden tests, so treat the field order as frozen: new
+/// CampaignPoint fields append, never reorder.
+[[nodiscard]] std::uint64_t point_digest(const CampaignConfig& config,
+                                         const CampaignPoint& point);
+
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config) : config_(std::move(config)) {}
@@ -136,16 +161,6 @@ class Campaign {
   CampaignResult run(const std::vector<const workload::Workload*>& sweep);
 
  private:
-  /// Seed-split phases (see pio::derive_seed): testbed measurement and
-  /// model simulation draw from disjoint streams for every (iteration,
-  /// workload) coordinate — `seed + iter` / `seed + 1000 + iter` arithmetic
-  /// collided at >= 1000 iterations.
-  enum SeedPhase : std::uint64_t { kMeasurePhase = 1, kSimulatePhase = 2 };
-
-  /// One execution-driven run on a fresh engine + PFS instance.
-  driver::SimRunResult run_on(const pfs::PfsConfig& system, const workload::Workload& workload,
-                              std::uint64_t seed, trace::Sink* sink) const;
-
   CampaignConfig config_;
 };
 

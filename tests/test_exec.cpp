@@ -195,47 +195,18 @@ pfs::PfsConfig small_pfs() {
   return config;
 }
 
-/// Hash everything a CampaignResult carries: per-point timings and every
-/// resilience/durability/cache counter, plus the calibration trajectory and
-/// the merged final profile.
-std::uint64_t hash_campaign(const eval::CampaignResult& result) {
+/// Hash everything a CampaignResult carries: one eval::point_digest per
+/// point (the public per-point determinism digest the service cache keys
+/// byte-identity on), plus the calibration trajectory and the merged final
+/// profile.
+std::uint64_t hash_campaign(const eval::CampaignConfig& config,
+                            const eval::CampaignResult& result) {
   Fnv1a h;
   for (const auto& iteration : result.iterations) {
     h.mix(iteration.index);
     h.mix(static_cast<std::uint64_t>(iteration.calibration_in_use * 1e12));
     for (const auto& p : iteration.points) {
-      h.mix(p.workload);
-      h.mix(static_cast<std::uint64_t>(p.measured.ns()));
-      h.mix(static_cast<std::uint64_t>(p.simulated_raw.ns()));
-      h.mix(static_cast<std::uint64_t>(p.predicted.ns()));
-      h.mix(p.failed_ops);
-      h.mix(p.retries);
-      h.mix(p.timeouts);
-      h.mix(p.giveups);
-      h.mix(p.failovers);
-      h.mix(p.degraded_reads);
-      h.mix(p.data_lost_ops);
-      h.mix(p.rebuilds_completed);
-      h.mix(p.rebuilt_bytes.count());
-      h.mix(p.stale_map_retries);
-      h.mix(p.map_refreshes);
-      h.mix(p.down_detections);
-      h.mix(p.migration_marked_bytes.count());
-      h.mix(p.overload_rejections);
-      h.mix(p.budget_denied);
-      h.mix(p.breaker_opens);
-      h.mix(p.breaker_fast_fails);
-      h.mix(p.deadline_giveups);
-      h.mix(p.server_overload_rejected);
-      h.mix(p.server_shed);
-      h.mix(p.cache_hits);
-      h.mix(p.cache_misses);
-      h.mix(p.cache_evictions);
-      h.mix(p.cache_prefetch_issued);
-      h.mix(p.cache_prefetch_used);
-      h.mix(p.cache_prefetch_wasted);
-      h.mix(p.cache_writebacks);
-      h.mix(p.cache_absorbed_writes);
+      h.mix(eval::point_digest(config, p));
     }
   }
   h.mix(static_cast<std::uint64_t>(result.final_calibration * 1e12));
@@ -286,7 +257,7 @@ std::uint64_t run_campaign_at(std::uint32_t threads, eval::CampaignConfig config
   const auto wd = workload::workflow_dag(wf);
 
   eval::Campaign campaign{config};
-  return hash_campaign(campaign.run({wa.get(), wb.get(), wc.get(), wd.get()}));
+  return hash_campaign(config, campaign.run({wa.get(), wb.get(), wc.get(), wd.get()}));
 }
 
 TEST(CampaignThreadDeterminism, PlainCampaignHashesIdenticalAt1_2_8Threads) {

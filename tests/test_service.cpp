@@ -1,0 +1,718 @@
+// Tests for pio::svc — the pioevald campaign service (DESIGN.md §15).
+//
+// Three layers under test:
+//   1. The frame codec: round-trips for every message type, the CRC check
+//      vector, and a malformed-input sweep (truncated, bad CRC, oversized,
+//      unknown type, trailing garbage) asserting typed Error responses and
+//      no state corruption — never a crash.
+//   2. The per-point determinism digest: pinned golden values freeze the
+//      canonical field order of eval::point_digest, and the service's
+//      carried digest matches a recomputation from the decoded blob.
+//   3. Cache semantics and scheduling: cross-session hits, in-flight
+//      coalescing, cancel paths, admission control with deterministic
+//      retry-after, per-session caps, and byte-identical output streams at
+//      any worker thread count — closed by the exact accounting audit.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "eval/campaign.hpp"
+#include "svc/evald.hpp"
+#include "svc/messages.hpp"
+
+using namespace pio;
+
+namespace {
+
+/// A cheap deterministic spec: `points` IOR-like workloads distinguished by
+/// (j, salt), so specs with different salts request disjoint cache keys and
+/// equal salts collide completely.
+svc::CampaignSpec make_spec(std::uint32_t points, std::uint32_t salt = 0) {
+  svc::CampaignSpec spec;
+  spec.seed = 7;
+  spec.calibration = 0.9;
+  spec.testbed = {4, 2, 4, 1};
+  spec.model = {4, 2, 2, 1};
+  for (std::uint32_t j = 0; j < points; ++j) {
+    svc::WorkloadSpec w;
+    w.kind = svc::WorkloadKind::kIor;
+    w.ranks = 2;
+    w.block_kib = 128 * (1 + j + salt);
+    w.transfer_kib = 32;
+    w.read_phase = (j + salt) % 2 == 0;
+    spec.workloads.push_back(w);
+  }
+  return spec;
+}
+
+std::vector<std::uint8_t> frame_bytes(svc::MsgType type,
+                                      const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> wire;
+  svc::append_frame(type, payload, wire);
+  return wire;
+}
+
+std::vector<std::uint8_t> submit_bytes(const svc::CampaignSpec& spec) {
+  return frame_bytes(svc::MsgType::kSubmitCampaign, svc::encode(svc::SubmitCampaign{spec}));
+}
+
+/// Take and parse a session's pending output.
+std::vector<svc::Frame> collect(svc::Evald& evald, svc::SessionId sid) {
+  return svc::split_frames(evald.take_output(sid));
+}
+
+/// The PointResult frames of a parsed stream, in delivery order.
+std::vector<svc::PointResult> points_of(const std::vector<svc::Frame>& frames) {
+  std::vector<svc::PointResult> points;
+  for (const svc::Frame& f : frames) {
+    if (f.type != svc::MsgType::kPointResult) continue;
+    svc::PointResult p;
+    EXPECT_TRUE(svc::decode(f.payload, &p));
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+/// The single Error frame expected in a parsed stream.
+svc::Error only_error(const std::vector<svc::Frame>& frames) {
+  svc::Error err;
+  std::size_t count = 0;
+  for (const svc::Frame& f : frames) {
+    if (f.type != svc::MsgType::kError) continue;
+    EXPECT_TRUE(svc::decode(f.payload, &err));
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  return err;
+}
+
+// ------------------------------------------------------------ frame codec
+
+TEST(ServiceCodec, Crc32CheckVector) {
+  const std::string check = "123456789";
+  EXPECT_EQ(codec::crc32(reinterpret_cast<const std::uint8_t*>(check.data()), check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(codec::crc32(nullptr, 0), 0u);
+}
+
+TEST(ServiceCodec, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto wire = frame_bytes(svc::MsgType::kPointResult, payload);
+  ASSERT_EQ(wire.size(), svc::kHeaderBytes + payload.size());
+  svc::Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(svc::next_frame(wire.data(), wire.size(), &consumed, &frame),
+            svc::FrameStatus::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(frame.type, svc::MsgType::kPointResult);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ServiceCodec, SubmitCampaignRoundTrip) {
+  svc::SubmitCampaign in{make_spec(3, 5)};
+  in.spec.workloads[1].kind = svc::WorkloadKind::kDlio;
+  in.spec.workloads[2].kind = svc::WorkloadKind::kWorkflow;
+  svc::SubmitCampaign out;
+  ASSERT_TRUE(svc::decode(svc::encode(in), &out));
+  EXPECT_EQ(in.spec, out.spec);
+}
+
+TEST(ServiceCodec, EveryReplyTypeRoundTrips) {
+  svc::SubmitAck ack{42, 7};
+  svc::SubmitAck ack2;
+  ASSERT_TRUE(svc::decode(svc::encode(ack), &ack2));
+  EXPECT_EQ(ack2.campaign_id, 42u);
+  EXPECT_EQ(ack2.points, 7u);
+
+  svc::PointResult pr;
+  pr.campaign_id = 3;
+  pr.index = 2;
+  pr.key = 0xDEADBEEFu;
+  pr.digest = 0xFEEDFACEu;
+  pr.source = svc::ResultSource::kCoalesced;
+  pr.blob = {9, 8, 7};
+  svc::PointResult pr2;
+  ASSERT_TRUE(svc::decode(svc::encode(pr), &pr2));
+  EXPECT_EQ(pr2.campaign_id, 3u);
+  EXPECT_EQ(pr2.index, 2u);
+  EXPECT_EQ(pr2.key, 0xDEADBEEFu);
+  EXPECT_EQ(pr2.digest, 0xFEEDFACEu);
+  EXPECT_EQ(pr2.source, svc::ResultSource::kCoalesced);
+  EXPECT_EQ(pr2.blob, pr.blob);
+
+  svc::CampaignDone done{11, 4, 2, true};
+  svc::CampaignDone done2;
+  ASSERT_TRUE(svc::decode(svc::encode(done), &done2));
+  EXPECT_EQ(done2.campaign_id, 11u);
+  EXPECT_EQ(done2.completed, 4u);
+  EXPECT_EQ(done2.cancelled, 2u);
+  EXPECT_TRUE(done2.was_cancelled);
+
+  svc::CancelCampaign cancel{11};
+  svc::CancelCampaign cancel2;
+  ASSERT_TRUE(svc::decode(svc::encode(cancel), &cancel2));
+  EXPECT_EQ(cancel2.campaign_id, 11u);
+
+  svc::Stats stats;
+  svc::Stats stats2;
+  ASSERT_TRUE(svc::decode(svc::encode(stats), &stats2));
+
+  svc::StatsReply reply;
+  reply.stats.points_completed = 123;
+  reply.stats.cache_hits = 45;
+  svc::StatsReply reply2;
+  ASSERT_TRUE(svc::decode(svc::encode(reply), &reply2));
+  EXPECT_EQ(reply.stats, reply2.stats);
+
+  svc::Error err{svc::ErrorCode::kOverloaded, 2500, "queue full"};
+  svc::Error err2;
+  ASSERT_TRUE(svc::decode(svc::encode(err), &err2));
+  EXPECT_EQ(err2.code, svc::ErrorCode::kOverloaded);
+  EXPECT_EQ(err2.retry_after_ns, 2500u);
+  EXPECT_EQ(err2.detail, "queue full");
+}
+
+TEST(ServiceCodec, StrictDecodeRejectsTruncationAndTrailingBytes) {
+  auto payload = svc::encode(svc::SubmitCampaign{make_spec(2)});
+  svc::SubmitCampaign out;
+  ASSERT_TRUE(svc::decode(payload, &out));
+  // Truncated at every prefix length.
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    const std::vector<std::uint8_t> cut(payload.begin(),
+                                        payload.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_FALSE(svc::decode(cut, &out)) << "accepted a " << n << "-byte prefix";
+  }
+  // One trailing byte.
+  payload.push_back(0);
+  EXPECT_FALSE(svc::decode(payload, &out));
+  // Hostile workload count: header claims more entries than bytes follow.
+  auto hostile = svc::encode(svc::SubmitCampaign{make_spec(1)});
+  hostile[8 + 8 + 13 + 13] = 0xFF;  // the u32 workload count field, low byte
+  EXPECT_FALSE(svc::decode(hostile, &out));
+}
+
+TEST(ServiceCodec, PointBlobRoundTrip) {
+  eval::CampaignPoint p;
+  p.workload = "ior[r=2]";
+  p.measured = SimTime::from_ms(12.5);
+  p.simulated_raw = SimTime::from_ms(11.0);
+  p.predicted = SimTime::from_ms(9.9);
+  p.retries = 3;
+  p.cache_hits = 17;
+  p.rebuilt_bytes = Bytes::from_kib(64);
+  const auto blob = svc::encode_point(p);
+  eval::CampaignPoint q;
+  ASSERT_TRUE(svc::decode_point(blob, &q));
+  EXPECT_EQ(q.workload, p.workload);
+  EXPECT_EQ(q.measured, p.measured);
+  EXPECT_EQ(q.simulated_raw, p.simulated_raw);
+  EXPECT_EQ(q.predicted, p.predicted);
+  EXPECT_EQ(q.retries, 3u);
+  EXPECT_EQ(q.cache_hits, 17u);
+  EXPECT_EQ(q.rebuilt_bytes, Bytes::from_kib(64));
+  // A truncated blob is rejected, not misparsed.
+  const std::vector<std::uint8_t> cut(blob.begin(), blob.end() - 1);
+  EXPECT_FALSE(svc::decode_point(cut, &q));
+}
+
+// -------------------------------------------- malformed frames, live service
+
+TEST(ServiceProtocol, ByteAtATimeFeedStillParses) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  const auto wire = submit_bytes(make_spec(1));
+  for (const std::uint8_t byte : wire) evald.feed(sid, &byte, 1);
+  const auto frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, svc::MsgType::kSubmitAck);
+  evald.drain();
+  evald.close_session(sid);
+}
+
+TEST(ServiceProtocol, BadCrcSkipsFrameAndRecovers) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  auto damaged = submit_bytes(make_spec(1));
+  damaged.back() ^= 0xFF;  // corrupt the payload, keep the header
+  evald.feed(sid, damaged);
+  auto frames = collect(evald, sid);
+  EXPECT_EQ(only_error(frames).code, svc::ErrorCode::kBadCrc);
+  // The stream recovered: the next well-formed frame is served normally.
+  evald.feed(sid, submit_bytes(make_spec(1)));
+  frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, svc::MsgType::kSubmitAck);
+  evald.drain();
+  (void)evald.take_output(sid);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+  EXPECT_EQ(evald.stats().protocol_errors, 1u);
+}
+
+TEST(ServiceProtocol, HeaderFaultsPoisonTheSession) {
+  struct Case {
+    const char* name;
+    std::size_t offset;   // byte to clobber in the header
+    std::uint8_t value;
+    svc::ErrorCode expect;
+  };
+  const Case cases[] = {
+      {"magic", 0, 0x00, svc::ErrorCode::kBadMagic},
+      {"version", 4, 0x77, svc::ErrorCode::kBadVersion},
+      {"length", 11, 0xFF, svc::ErrorCode::kOversizedFrame},  // top byte of len
+  };
+  for (const Case& c : cases) {
+    svc::Evald evald{{.threads = 1}};
+    const svc::SessionId sid = evald.open_session();
+    auto wire = submit_bytes(make_spec(1));
+    wire[c.offset] = c.value;
+    evald.feed(sid, wire);
+    EXPECT_EQ(only_error(collect(evald, sid)).code, c.expect) << c.name;
+    // Poisoned: even a valid follow-up frame is ignored, silently.
+    evald.feed(sid, submit_bytes(make_spec(1)));
+    EXPECT_TRUE(collect(evald, sid).empty()) << c.name;
+    evald.close_session(sid);
+    evald.audit_quiescent();
+  }
+}
+
+TEST(ServiceProtocol, UnknownAndUnexpectedTypesGetTypedErrors) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, frame_bytes(static_cast<svc::MsgType>(99), {}));
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kUnknownType);
+  // A server→client type sent by the client is known but not acceptable.
+  evald.feed(sid, frame_bytes(svc::MsgType::kSubmitAck, svc::encode(svc::SubmitAck{1, 1})));
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kUnexpectedType);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceProtocol, ZeroAndMalformedPayloads) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  // Zero-length payload where one is required → typed malformed error.
+  evald.feed(sid, frame_bytes(svc::MsgType::kSubmitCampaign, {}));
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kMalformed);
+  // Zero-length payload where it is the contract → served.
+  evald.feed(sid, frame_bytes(svc::MsgType::kStats, {}));
+  const auto frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, svc::MsgType::kStatsReply);
+  // Stats with a stray payload byte → malformed, not a crash.
+  evald.feed(sid, frame_bytes(svc::MsgType::kStats, {1}));
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kMalformed);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceProtocol, SemanticallyInvalidSpecIsLimitExceeded) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  auto spec = make_spec(1);
+  spec.workloads[0].ranks = 1u << 20;
+  evald.feed(sid, submit_bytes(spec));
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kLimitExceeded);
+  EXPECT_EQ(evald.stats().campaigns_rejected, 1u);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceProtocol, FinishInsideFrameReportsTruncation) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  const auto wire = submit_bytes(make_spec(1));
+  evald.feed(sid, wire.data(), wire.size() - 3);
+  EXPECT_TRUE(collect(evald, sid).empty());  // incomplete: nothing happened yet
+  evald.finish(sid);
+  EXPECT_EQ(only_error(collect(evald, sid)).code, svc::ErrorCode::kTruncatedFrame);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+// ------------------------------------------------------- digest goldens
+
+TEST(ServiceDigest, PointDigestGoldenValues) {
+  // Frozen oracle for the canonical field order of eval::point_digest. If
+  // this test breaks, the digest definition changed — which invalidates
+  // every recorded campaign digest and the service cache's byte-identity
+  // contract. Append new CampaignPoint fields; never reorder.
+  eval::CampaignConfig config;
+  config.seed = 7;
+  eval::CampaignPoint zero;
+  EXPECT_EQ(eval::point_digest(config, zero), 218557649205177348ULL);
+
+  eval::CampaignPoint p;
+  p.workload = "golden[r=4]";
+  p.measured = SimTime::from_ns(1'000'000'001);
+  p.simulated_raw = SimTime::from_ns(900'000'000);
+  p.predicted = SimTime::from_ns(810'000'000);
+  p.failed_ops = 1;
+  p.retries = 2;
+  p.timeouts = 3;
+  p.giveups = 4;
+  p.failovers = 5;
+  p.degraded_reads = 6;
+  p.data_lost_ops = 7;
+  p.rebuilds_completed = 8;
+  p.rebuilt_bytes = Bytes::from_kib(9);
+  p.stale_map_retries = 10;
+  p.map_refreshes = 11;
+  p.down_detections = 12;
+  p.migration_marked_bytes = Bytes::from_kib(13);
+  p.overload_rejections = 14;
+  p.budget_denied = 15;
+  p.breaker_opens = 16;
+  p.breaker_fast_fails = 17;
+  p.deadline_giveups = 18;
+  p.server_overload_rejected = 19;
+  p.server_shed = 20;
+  p.cache_hits = 21;
+  p.cache_misses = 22;
+  p.cache_evictions = 23;
+  p.cache_prefetch_issued = 24;
+  p.cache_prefetch_used = 25;
+  p.cache_prefetch_wasted = 26;
+  p.cache_writebacks = 27;
+  p.cache_absorbed_writes = 28;
+  EXPECT_EQ(eval::point_digest(config, p), 10869046104899268794ULL);
+
+  // The seed is part of the digest: same point, different campaign seed.
+  config.seed = 8;
+  EXPECT_NE(eval::point_digest(config, p), 10869046104899268794ULL);
+}
+
+TEST(ServiceDigest, CarriedDigestMatchesDecodedBlob) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  const auto spec = make_spec(2);
+  evald.feed(sid, submit_bytes(spec));
+  evald.drain();
+  const auto results = points_of(collect(evald, sid));
+  ASSERT_EQ(results.size(), 2u);
+  const eval::CampaignConfig config = svc::to_campaign_config(spec);
+  for (const svc::PointResult& r : results) {
+    eval::CampaignPoint point;
+    ASSERT_TRUE(svc::decode_point(r.blob, &point));
+    EXPECT_EQ(eval::point_digest(config, point), r.digest);
+    EXPECT_EQ(r.key, svc::point_key(spec, r.index));
+  }
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+// ------------------------------------------------------- cache semantics
+
+TEST(ServiceCache, CrossSessionHitIsByteIdentical) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId a = evald.open_session();
+  evald.feed(a, submit_bytes(make_spec(3)));
+  evald.drain();
+  const auto cold = points_of(collect(evald, a));
+  ASSERT_EQ(cold.size(), 3u);
+  for (const auto& r : cold) EXPECT_EQ(r.source, svc::ResultSource::kComputed);
+
+  const svc::SessionId b = evald.open_session();
+  evald.feed(b, submit_bytes(make_spec(3)));
+  evald.drain();
+  const auto warm = points_of(collect(evald, b));
+  ASSERT_EQ(warm.size(), 3u);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i].source, svc::ResultSource::kCached);
+    EXPECT_EQ(warm[i].key, cold[i].key);
+    EXPECT_EQ(warm[i].digest, cold[i].digest);
+    EXPECT_EQ(warm[i].blob, cold[i].blob);  // the byte-identity contract
+  }
+  const svc::ServiceStats& s = evald.stats();
+  EXPECT_EQ(s.points_computed, 3u);
+  EXPECT_EQ(s.points_cached, 3u);
+  EXPECT_EQ(s.cache_hits, 3u);
+  EXPECT_EQ(s.cache_entries, 3u);
+  evald.close_session(a);
+  evald.close_session(b);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceCache, InflightRequestsCoalesce) {
+  // Both sessions submit the same spec before any scheduling round: the
+  // first selection of each key computes, the second waits on the in-flight
+  // result instead of recomputing.
+  svc::Evald evald{{.threads = 2}};
+  const svc::SessionId a = evald.open_session();
+  const svc::SessionId b = evald.open_session();
+  evald.feed(a, submit_bytes(make_spec(3)));
+  evald.feed(b, submit_bytes(make_spec(3)));
+  evald.drain();
+  const auto ra = points_of(collect(evald, a));
+  const auto rb = points_of(collect(evald, b));
+  ASSERT_EQ(ra.size(), 3u);
+  ASSERT_EQ(rb.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ra[i].source, svc::ResultSource::kComputed);
+    EXPECT_EQ(rb[i].source, svc::ResultSource::kCoalesced);
+    EXPECT_EQ(ra[i].blob, rb[i].blob);
+  }
+  const svc::ServiceStats& s = evald.stats();
+  EXPECT_EQ(s.points_computed, 3u);
+  EXPECT_EQ(s.points_coalesced, 3u);
+  EXPECT_EQ(s.points_cached, 0u);
+  EXPECT_EQ(s.cache_misses, 6u);  // every selection missed; half coalesced
+  evald.close_session(a);
+  evald.close_session(b);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceCache, CancelQueuedCampaign) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, submit_bytes(make_spec(4)));
+  auto frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  svc::SubmitAck ack;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &ack));
+  evald.feed(sid, frame_bytes(svc::MsgType::kCancelCampaign,
+                              svc::encode(svc::CancelCampaign{ack.campaign_id})));
+  frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, svc::MsgType::kCampaignDone);
+  svc::CampaignDone done;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &done));
+  EXPECT_TRUE(done.was_cancelled);
+  EXPECT_EQ(done.completed, 0u);
+  EXPECT_EQ(done.cancelled, 4u);
+  EXPECT_EQ(evald.pending_points(), 0u);
+  EXPECT_EQ(evald.stats().points_cancelled, 4u);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceCache, CancelPartwayLeavesCacheConsistent) {
+  svc::EvaldConfig config;
+  config.threads = 1;
+  config.batch_points = 1;  // one point per round, so a cancel lands mid-campaign
+  svc::Evald evald{config};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, submit_bytes(make_spec(3)));
+  (void)evald.pump();  // computes exactly point 0
+  auto frames = collect(evald, sid);
+  svc::SubmitAck ack;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &ack));
+  const auto delivered = points_of(frames);
+  ASSERT_EQ(delivered.size(), 1u);
+  evald.feed(sid, frame_bytes(svc::MsgType::kCancelCampaign,
+                              svc::encode(svc::CancelCampaign{ack.campaign_id})));
+  frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  svc::CampaignDone done;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &done));
+  EXPECT_TRUE(done.was_cancelled);
+  EXPECT_EQ(done.completed, 1u);
+  EXPECT_EQ(done.cancelled, 2u);
+  // The completed point's cache entry survived the cancellation: a fresh
+  // session is served from cache, byte-identically.
+  const svc::SessionId other = evald.open_session();
+  evald.feed(other, submit_bytes(make_spec(3)));
+  evald.drain();
+  const auto warm = points_of(collect(evald, other));
+  ASSERT_EQ(warm.size(), 3u);
+  EXPECT_EQ(warm[0].source, svc::ResultSource::kCached);
+  EXPECT_EQ(warm[0].blob, delivered[0].blob);
+  EXPECT_EQ(warm[1].source, svc::ResultSource::kComputed);
+  evald.close_session(sid);
+  evald.close_session(other);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceCache, CancelUnknownOrForeignCampaign) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId a = evald.open_session();
+  const svc::SessionId b = evald.open_session();
+  evald.feed(a, submit_bytes(make_spec(1)));
+  auto frames = collect(evald, a);
+  svc::SubmitAck ack;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &ack));
+  // Unknown id.
+  evald.feed(a, frame_bytes(svc::MsgType::kCancelCampaign,
+                            svc::encode(svc::CancelCampaign{999})));
+  EXPECT_EQ(only_error(collect(evald, a)).code, svc::ErrorCode::kUnknownCampaign);
+  // Another session's campaign is invisible to b.
+  evald.feed(b, frame_bytes(svc::MsgType::kCancelCampaign,
+                            svc::encode(svc::CancelCampaign{ack.campaign_id})));
+  EXPECT_EQ(only_error(collect(evald, b)).code, svc::ErrorCode::kUnknownCampaign);
+  evald.drain();
+  evald.close_session(a);
+  evald.close_session(b);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceCache, CloseSessionCancelsItsQueuedWork) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, submit_bytes(make_spec(5)));
+  evald.close_session(sid);  // no pump ever ran
+  EXPECT_EQ(evald.pending_points(), 0u);
+  EXPECT_EQ(evald.stats().points_cancelled, 5u);
+  EXPECT_EQ(evald.stats().campaigns_cancelled, 1u);
+  evald.audit_quiescent();
+}
+
+// -------------------------------------------------- admission & fairness
+
+TEST(ServiceAdmission, RejectsAtTheDoorWithDeterministicRetryAfter) {
+  svc::EvaldConfig config;
+  config.threads = 1;
+  config.max_queue_points = 4;
+  config.retry_after_floor_ns = 1000;
+  config.per_point_cost_hint_ns = 500;
+  svc::Evald evald{config};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, submit_bytes(make_spec(3)));
+  ASSERT_EQ(collect(evald, sid)[0].type, svc::MsgType::kSubmitAck);
+  // 3 queued + 3 requested > 4 → rejected, hint = floor + 3 × cost.
+  evald.feed(sid, submit_bytes(make_spec(3, 10)));
+  const svc::Error err = only_error(collect(evald, sid));
+  EXPECT_EQ(err.code, svc::ErrorCode::kOverloaded);
+  EXPECT_EQ(err.retry_after_ns, 1000u + 3u * 500u);
+  EXPECT_EQ(evald.stats().campaigns_rejected, 1u);
+  // After the backlog drains the same submit is accepted.
+  evald.drain();
+  (void)evald.take_output(sid);  // discard the first campaign's results
+  evald.feed(sid, submit_bytes(make_spec(3, 10)));
+  EXPECT_EQ(collect(evald, sid)[0].type, svc::MsgType::kSubmitAck);
+  evald.drain();
+  (void)evald.take_output(sid);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceScheduler, RoundRobinWithInflightCapKeepsSmallCampaignsLive) {
+  // A first-come 8-point campaign must not monopolize the round: with a
+  // per-session cap of 2 and a batch of 4, the later 2-point campaign
+  // finishes in the very first round.
+  svc::EvaldConfig config;
+  config.threads = 1;
+  config.batch_points = 4;
+  config.session_inflight_cap = 2;
+  svc::Evald evald{config};
+  const svc::SessionId big = evald.open_session();
+  const svc::SessionId small = evald.open_session();
+  evald.feed(big, submit_bytes(make_spec(8)));
+  evald.feed(small, submit_bytes(make_spec(2, 20)));
+  (void)evald.pump();
+  const auto big_frames = collect(evald, big);
+  const auto small_frames = collect(evald, small);
+  EXPECT_EQ(points_of(big_frames).size(), 2u);   // capped
+  EXPECT_EQ(points_of(small_frames).size(), 2u); // complete
+  bool small_done = false;
+  for (const auto& f : small_frames)
+    if (f.type == svc::MsgType::kCampaignDone) small_done = true;
+  EXPECT_TRUE(small_done);
+  evald.drain();
+  EXPECT_EQ(points_of(collect(evald, big)).size(), 6u);
+  (void)evald.take_output(big);
+  evald.close_session(big);
+  evald.close_session(small);
+  evald.audit_quiescent();
+}
+
+// ------------------------------------------------ determinism & accounting
+
+TEST(ServiceDeterminism, OutputBytesInvariantAcrossThreadCounts) {
+  // The full server→client byte stream of a mixed scenario — submissions,
+  // partial rounds, a cancel, cache hits and coalescing — must be identical
+  // at 1, 2, and 8 worker threads.
+  const auto run = [](int threads) {
+    svc::EvaldConfig config;
+    config.threads = threads;
+    config.batch_points = 4;
+    svc::Evald evald{config};
+    const svc::SessionId a = evald.open_session();
+    const svc::SessionId b = evald.open_session();
+    const svc::SessionId c = evald.open_session();
+    evald.feed(a, submit_bytes(make_spec(4)));
+    evald.feed(b, submit_bytes(make_spec(4)));      // coalesces with a
+    evald.feed(c, submit_bytes(make_spec(3, 30)));  // disjoint keys
+    (void)evald.pump();
+    evald.feed(c, submit_bytes(make_spec(2, 40)));
+    auto frames = collect(evald, c);
+    svc::SubmitAck ack;  // cancel c's *second* campaign mid-flight
+    for (const auto& f : frames) {
+      if (f.type == svc::MsgType::kSubmitAck) {
+        EXPECT_TRUE(svc::decode(f.payload, &ack));
+      }
+    }
+    evald.feed(c, frame_bytes(svc::MsgType::kCancelCampaign,
+                              svc::encode(svc::CancelCampaign{ack.campaign_id})));
+    evald.drain();
+    evald.feed(a, submit_bytes(make_spec(4)));  // fully cached replay
+    evald.drain();
+    std::vector<std::uint8_t> all;
+    for (const svc::SessionId sid : {a, b, c}) {
+      // Frames already taken mid-scenario for c are not replayed; what
+      // matters is that the remaining stream and counters agree.
+      const auto rest = evald.take_output(sid);
+      all.insert(all.end(), rest.begin(), rest.end());
+      evald.close_session(sid);
+    }
+    evald.audit_quiescent();
+    return std::make_pair(all, evald.stats());
+  };
+  const auto [bytes1, stats1] = run(1);
+  const auto [bytes2, stats2] = run(2);
+  const auto [bytes8, stats8] = run(8);
+  EXPECT_EQ(bytes1, bytes2);
+  EXPECT_EQ(bytes1, bytes8);
+  EXPECT_EQ(stats1, stats2);
+  EXPECT_EQ(stats1, stats8);
+  EXPECT_GT(stats1.points_coalesced, 0u);
+  EXPECT_GT(stats1.points_cached, 0u);
+}
+
+TEST(ServiceStats, StatsRequestSnapshotsCounters) {
+  svc::Evald evald{{.threads = 1}};
+  const svc::SessionId sid = evald.open_session();
+  evald.feed(sid, submit_bytes(make_spec(2)));
+  evald.drain();
+  (void)evald.take_output(sid);
+  evald.feed(sid, frame_bytes(svc::MsgType::kStats, {}));
+  const auto frames = collect(evald, sid);
+  ASSERT_EQ(frames.size(), 1u);
+  svc::StatsReply reply;
+  ASSERT_TRUE(svc::decode(frames[0].payload, &reply));
+  EXPECT_EQ(reply.stats.sessions_opened, 1u);
+  EXPECT_EQ(reply.stats.campaigns_completed, 1u);
+  EXPECT_EQ(reply.stats.points_completed, 2u);
+  EXPECT_EQ(reply.stats.points_computed, 2u);
+  // The snapshot was taken before the reply frame was emitted.
+  EXPECT_EQ(reply.stats.frames_out, evald.stats().frames_out - 1);
+  evald.close_session(sid);
+  evald.audit_quiescent();
+}
+
+TEST(ServiceAudit, AccountingExactAfterMixedLoad) {
+  svc::Evald evald{{.threads = 2}};
+  std::vector<svc::SessionId> ids;
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    const svc::SessionId sid = evald.open_session();
+    ids.push_back(sid);
+    evald.feed(sid, submit_bytes(make_spec(2 + s % 3, s % 4)));
+    if (s % 3 == 2) (void)evald.pump();
+  }
+  evald.drain();
+  const svc::ServiceStats& s = evald.stats();
+  EXPECT_EQ(s.cache_lookups, s.cache_hits + s.cache_misses);
+  EXPECT_EQ(s.cache_misses, s.points_computed + s.points_coalesced);
+  EXPECT_EQ(s.points_completed, s.points_computed + s.points_cached + s.points_coalesced);
+  EXPECT_GT(s.cache_hits, 0u);
+  for (const svc::SessionId sid : ids) {
+    (void)evald.take_output(sid);
+    evald.close_session(sid);
+  }
+  evald.audit_quiescent();
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// pioevald — the PIOEval campaign service, driven in-process.
+//
+// Runs one `pio::svc::Evald` instance and a population of framed client
+// sessions against it: every session submits a campaign spec drawn from a
+// deterministic pool, the service schedules the points round-robin onto
+// its worker pool, computes each distinct point once (digest-keyed result
+// cache), and streams PointResult/CampaignDone frames back. The tool
+// prints the service counters, verifies the cache accounting audit, and
+// demonstrates the byte-identity contract: cold, cached, and coalesced
+// deliveries of one point carry identical bytes.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/seed_streams.hpp"
+#include "svc/evald.hpp"
+#include "trace/event.hpp"
+
+using namespace pio;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "\n"
+      << "In-process pioevald campaign service demo (DESIGN.md section 15).\n"
+      << "Opens --sessions framed client sessions against one Evald instance;\n"
+      << "each submits a campaign drawn from a pool of --pool distinct specs,\n"
+      << "so identical points are computed once and served from the digest-\n"
+      << "keyed result cache afterwards. Exits 0 when every campaign resolves\n"
+      << "and the cache-accounting audit holds.\n"
+      << "\n"
+      << "options:\n"
+      << "  --sessions N   client sessions to open (default 64)\n"
+      << "  --pool N       distinct campaign specs in the pool (default 8)\n"
+      << "  --threads N    service worker threads, 0 = PIO_THREADS (default 0)\n"
+      << "  --seed S       campaign seed shared by every spec (default 7)\n"
+      << "  --help         this text\n";
+}
+
+/// Deterministic spec pool: small, fast campaigns over the three workload
+/// families, identical across runs so cache keys repeat across sessions.
+svc::CampaignSpec pool_spec(std::uint64_t seed, std::uint32_t which) {
+  svc::CampaignSpec spec;
+  spec.seed = seed;
+  spec.calibration = 0.9;
+  spec.testbed = {4, 2, 4, 1};
+  spec.model = {4, 2, 2, 1};
+  const std::uint32_t points = 3 + which % 3;
+  for (std::uint32_t j = 0; j < points; ++j) {
+    const std::uint32_t v = which * 7 + j;
+    svc::WorkloadSpec w;
+    switch (v % 3) {
+      case 0:
+        w.kind = svc::WorkloadKind::kIor;
+        w.ranks = 2 + (v % 2) * 2;
+        w.block_kib = 256 * (1 + which);
+        w.transfer_kib = 32u << (j % 3);
+        w.read_phase = v % 2 == 0;
+        break;
+      case 1:
+        w.kind = svc::WorkloadKind::kDlio;
+        w.ranks = 2;
+        w.samples = 32;
+        w.sample_kib = 16;
+        w.samples_per_file = 8;
+        w.batch = 4;
+        w.workload_seed = 100 + v;
+        break;
+      default:
+        w.kind = svc::WorkloadKind::kWorkflow;
+        w.ranks = 2;
+        w.stages = 2;
+        w.tasks_per_stage = 2 + which % 8;
+        w.files_per_task = 1 + j % 2;
+        break;
+    }
+    spec.workloads.push_back(w);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t sessions = 64;
+  std::uint32_t pool = 8;
+  int threads = 0;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--sessions" && i + 1 < argc) {
+      sessions = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--pool" && i + 1 < argc) {
+      pool = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::stoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (sessions == 0 || pool == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  trace::WallClock clock;
+  svc::EvaldConfig config;
+  config.threads = threads;
+  svc::Evald evald{config};
+
+  // Open every session and submit one pool spec each; the arrival-jitter
+  // stream decides which spec a session draws, so the population is a
+  // deterministic mix and most submissions repeat an earlier spec.
+  Rng arrivals{seed, seeds::kSvcArrivalJitterStream};
+  std::vector<svc::SessionId> ids;
+  ids.reserve(sessions);
+  for (std::uint32_t s = 0; s < sessions; ++s) {
+    const svc::SessionId sid = evald.open_session();
+    ids.push_back(sid);
+    const auto which = static_cast<std::uint32_t>(arrivals.next_below(pool));
+    std::vector<std::uint8_t> wire;
+    svc::append_frame(svc::MsgType::kSubmitCampaign,
+                      svc::encode(svc::SubmitCampaign{pool_spec(seed, which)}), wire);
+    evald.feed(sid, wire);
+    // Interleave scheduling with arrivals: overlapping sweeps, not a
+    // submit-everything-then-drain batch run.
+    if (s % 8 == 7) (void)evald.pump();
+  }
+  evald.drain();
+
+  // Collect and verify: one SubmitAck and one CampaignDone per session,
+  // per-key blobs identical across delivery sources.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> blob_by_key;
+  std::uint64_t done = 0, acked = 0, mismatched = 0;
+  for (const svc::SessionId sid : ids) {
+    for (const svc::Frame& frame : svc::split_frames(evald.take_output(sid))) {
+      if (frame.type == svc::MsgType::kSubmitAck) ++acked;
+      if (frame.type == svc::MsgType::kCampaignDone) ++done;
+      if (frame.type != svc::MsgType::kPointResult) continue;
+      svc::PointResult result;
+      if (!svc::decode(frame.payload, &result)) return 1;
+      const auto [it, fresh] = blob_by_key.emplace(result.key, result.blob);
+      if (!fresh && it->second != result.blob) ++mismatched;
+    }
+    evald.finish(sid);
+    evald.close_session(sid);
+  }
+  const double elapsed_ms = clock.now().ms();
+
+  const svc::ServiceStats& s = evald.stats();
+  TextTable table{{"sessions", "campaigns", "points", "computed", "cached", "coalesced",
+                   "hit rate", "cache entries", "elapsed"}};
+  const double hit_rate =
+      s.cache_lookups == 0 ? 0.0
+                           : static_cast<double>(s.cache_hits) / static_cast<double>(s.cache_lookups);
+  table.add_row({std::to_string(s.sessions_opened), std::to_string(s.campaigns_completed),
+                 std::to_string(s.points_completed), std::to_string(s.points_computed),
+                 std::to_string(s.points_cached), std::to_string(s.points_coalesced),
+                 format_double(hit_rate * 100.0, 1) + " %", std::to_string(s.cache_entries),
+                 format_double(elapsed_ms, 1) + " ms"});
+  std::cout << table.to_string();
+
+  evald.audit_quiescent();
+  const bool ok = acked == sessions && done == sessions && mismatched == 0 &&
+                  s.protocol_errors == 0;
+  std::cout << (ok ? "ok" : "FAILED") << ": " << acked << " acks, " << done
+            << " completions, " << mismatched << " byte-identity violations, audit passed\n";
+  return ok ? 0 : 1;
+}
