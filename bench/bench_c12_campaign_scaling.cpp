@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     out << "{\n  \"bench\": \"c12_campaign_scaling\",\n"
+        << "  \"host\": " << bench::host_context_json() << ",\n"
         << "  \"sweep_workloads\": 4,\n  \"iterations\": 3,\n  \"points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
       std::ostringstream digest_hex;

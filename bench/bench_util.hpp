@@ -5,8 +5,11 @@
 // machine-readable JSON lines prefixed with "##" for re-plotting.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/format.hpp"
 #include "common/record_io.hpp"
@@ -58,6 +61,26 @@ inline void banner(const std::string& id, const std::string& claim) {
 /// Emit one machine-readable series row.
 inline void emit_row(const Record& record) {
   std::cout << "## " << record.to_json_line() << "\n";
+}
+
+/// Host execution context as a JSON object fragment, for committed bench
+/// artifacts: numbers collected on a loaded host, a different core count, or
+/// a debug build are not comparable, so the artifact records all three.
+inline std::string host_context_json() {
+  double load[3] = {-1.0, -1.0, -1.0};
+  if (::getloadavg(load, 3) != 3) load[0] = load[1] = load[2] = -1.0;
+#if defined(NDEBUG)
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::ostringstream out;
+  out << "{\"num_cpus\": " << std::thread::hardware_concurrency()
+      << ", \"load_avg_1m\": " << format_double(load[0], 2)
+      << ", \"load_avg_5m\": " << format_double(load[1], 2)
+      << ", \"load_avg_15m\": " << format_double(load[2], 2) << ", \"build_type\": \""
+      << build_type << "\"}";
+  return out.str();
 }
 
 }  // namespace pio::bench

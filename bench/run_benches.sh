@@ -3,9 +3,13 @@
 #
 #   BENCH_engine.json           — google-benchmark JSON for the C-10 DES
 #                                 engine microbenchmarks (event storm,
-#                                 self-scheduling cascade, cancel paths)
+#                                 self-scheduling cascade, scheduler-queue
+#                                 heap-vs-calendar rows, payload slab vs
+#                                 arena)
 #   BENCH_campaign_scaling.json — C-12 campaign thread-scaling curve with
 #                                 the cross-thread determinism digest
+#   BENCH_parsim.json           — C-13 sharded facility shard-count scaling
+#                                 with the cross-shard determinism digest
 #   BENCH_membership.json       — C-F3 cluster-membership curves: detection
 #                                 latency vs heartbeat grace, migration
 #                                 volume by placement mode, drain window vs
@@ -37,16 +41,36 @@ if [[ ! -x "$build_dir/bench/bench_c10_sim_engine" ]]; then
   exit 1
 fi
 
+# Committed BENCH_*.json artifacts must come from an optimized build: debug
+# numbers are meaningless as a performance record (and google-benchmark would
+# stamp them "library_build_type": "debug").
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$build_type" != "Release" ]]; then
+  echo "error: refusing to record BENCH_*.json from a non-Release build" >&2
+  echo "       (CMAKE_BUILD_TYPE='${build_type:-<unset>}' in $build_dir/CMakeCache.txt)" >&2
+  echo "hint: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
+# Repetitions + aggregates: on a small (often 1-CPU) host a single run's
+# mean is hostage to scheduler noise; recording mean/median/stddev across
+# repetitions makes the committed number reproducible — read the median.
 echo "== C-10 engine microbenchmarks -> BENCH_engine.json"
 "$build_dir/bench/bench_c10_sim_engine" \
   --benchmark_format=json \
   --benchmark_out="$repo_root/BENCH_engine.json" \
   --benchmark_out_format=json \
-  --benchmark_min_time=0.2
+  --benchmark_min_time=0.3 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
 
 echo "== C-12 campaign scaling -> BENCH_campaign_scaling.json"
 "$build_dir/bench/bench_c12_campaign_scaling" \
   --json-out "$repo_root/BENCH_campaign_scaling.json"
+
+echo "== C-13 sharded facility -> BENCH_parsim.json"
+"$build_dir/bench/bench_c13_sharded_engine" \
+  --json-out "$repo_root/BENCH_parsim.json"
 
 echo "== C-F3 cluster membership -> BENCH_membership.json"
 "$build_dir/bench/bench_cf3_membership" \
@@ -60,4 +84,4 @@ echo "== C-F5 campaign service -> BENCH_service.json"
 "$build_dir/bench/bench_cf5_service" \
   --json-out "$repo_root/BENCH_service.json"
 
-echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_membership.json $repo_root/BENCH_overload.json $repo_root/BENCH_service.json"
+echo "done: $repo_root/BENCH_engine.json $repo_root/BENCH_campaign_scaling.json $repo_root/BENCH_parsim.json $repo_root/BENCH_membership.json $repo_root/BENCH_overload.json $repo_root/BENCH_service.json"

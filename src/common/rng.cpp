@@ -6,17 +6,7 @@
 
 namespace pio {
 
-namespace {
-
-/// SplitMix64 finaliser: a high-quality 64-bit mix.
-constexpr std::uint64_t mix64(std::uint64_t z) {
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
+using detail::mix64;
 
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase, std::uint64_t iteration,
                           std::uint64_t index) {
@@ -28,24 +18,7 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t phase, std::uint64_t
   return mix64(h ^ index);
 }
 
-Rng::Rng(std::uint64_t seed, std::uint64_t stream) : seed_(seed), stream_(stream) {}
-
-std::uint64_t Rng::next_u64() {
-  // Counter mode: output = mix(mix(seed) ^ mix(stream) ^ counter). Counter
-  // increments per draw; no hidden state beyond it.
-  const std::uint64_t key = mix64(seed_) ^ mix64(~stream_);
-  return mix64(key ^ mix64(counter_++));
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) {
-  if (bound == 0) throw std::domain_error("Rng::next_below(0)");
-  // Rejection sampling on the top of the range to kill modulo bias.
-  const std::uint64_t threshold = (0ULL - bound) % bound;
-  for (;;) {
-    const std::uint64_t r = next_u64();
-    if (r >= threshold) return r % bound;
-  }
-}
+void Rng::throw_zero_bound() { throw std::domain_error("Rng::next_below(0)"); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::domain_error("Rng::uniform_int: lo > hi");

@@ -13,6 +13,20 @@
 
 namespace pio {
 
+namespace detail {
+
+/// SplitMix64 finaliser: a high-quality 64-bit mix. Header-inline because it
+/// is the whole per-draw cost of `Rng` — keeping draws out-of-line costs a
+/// call plus redundant key mixing per event in the DES hot loop.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
 /// Deterministic seed split: derive a collision-resistant seed for one
 /// (phase, iteration, index) coordinate of a campaign. Unlike `seed + k`
 /// arithmetic — where `seed + iter` and `seed + 1000 + iter` collide at
@@ -26,14 +40,26 @@ namespace pio {
 class Rng {
  public:
   /// Stream keyed by (seed, stream). Identical keys yield identical draws.
-  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+  /// The per-stream key is mixed once here, not on every draw.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : seed_(seed), stream_(stream), key_(detail::mix64(seed) ^ detail::mix64(~stream)) {}
 
-  /// Uniform on [0, 2^64).
-  std::uint64_t next_u64();
+  /// Uniform on [0, 2^64). Counter mode: output = mix(key ^ mix(counter));
+  /// counter increments per draw, no hidden state beyond it.
+  std::uint64_t next_u64() { return detail::mix64(key_ ^ detail::mix64(counter_++)); }
 
   /// Uniform on [0, bound). `bound` must be > 0. Uses rejection sampling to
-  /// avoid modulo bias.
-  std::uint64_t next_below(std::uint64_t bound);
+  /// avoid modulo bias. Header-inline so a loop-constant `bound` lets the
+  /// compiler hoist the threshold and strength-reduce both `%`s.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) throw_zero_bound();
+    // Rejection sampling on the top of the range to kill modulo bias.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// Uniform integer on [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -79,8 +105,11 @@ class Rng {
   [[nodiscard]] std::uint64_t stream() const { return stream_; }
 
  private:
+  [[noreturn]] static void throw_zero_bound();
+
   std::uint64_t seed_;
   std::uint64_t stream_;
+  std::uint64_t key_;  ///< mix64(seed) ^ mix64(~stream), fixed per stream
   std::uint64_t counter_ = 0;
 };
 

@@ -69,6 +69,11 @@ inline constexpr std::uint64_t kBreakerProbeStream = 0xFA017006ULL;
 /// simulated client population does.
 inline constexpr std::uint64_t kSvcArrivalJitterStream = 0xFA017007ULL;
 
+/// pio::eval facility runs — per-cell campaign arrival jitter (facility.hpp).
+/// Each cell forks substream(cell index), so adding a cell never shifts
+/// another cell's start time; sharded execution itself draws no randomness.
+inline constexpr std::uint64_t kFacilityArrivalStream = 0xFA017008ULL;
+
 namespace detail {
 
 inline constexpr std::uint64_t kAllStreams[] = {
@@ -80,6 +85,7 @@ inline constexpr std::uint64_t kAllStreams[] = {
     kDrainPaceStream,
     kBreakerProbeStream,
     kSvcArrivalJitterStream,
+    kFacilityArrivalStream,
 };
 
 constexpr bool all_distinct() {

@@ -41,8 +41,8 @@ const pfs::StripeLayout& ExecutionDrivenSimulator::layout_of(const std::string& 
   return it == layouts_.end() ? config_.layout : it->second;
 }
 
-SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
-                                           trace::Sink* sink) {
+void ExecutionDrivenSimulator::begin_impl(const workload::Workload& workload,
+                                          trace::Sink* sink) {
   sink_ = sink;
   result_ = SimRunResult{};
   layouts_.clear();
@@ -59,9 +59,9 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
   ranks_.resize(n);
   result_.rank_finish.assign(n, SimTime::zero());
   active_ranks_ = n;
-  const pfs::ResilienceStats res_before = model_.resilience_stats();
-  const pfs::PfsModel::ServerOverloadTotals srv_before = model_.server_overload_totals();
-  const SimTime start_time = engine_.now();
+  res_before_ = model_.resilience_stats();
+  srv_before_ = model_.server_overload_totals();
+  start_time_ = engine_.now();
   for (std::size_t r = 0; r < n; ++r) {
     ranks_[r].stream = workload.stream(static_cast<std::int32_t>(r));
     // Stagger nothing: all ranks start together, like an MPI job after
@@ -69,7 +69,27 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
     engine_.schedule_after(SimTime::zero(),
                            [this, r] { advance(static_cast<std::int32_t>(r)); });
   }
-  engine_.run(start_time + config_.time_limit);
+}
+
+void ExecutionDrivenSimulator::begin(const workload::Workload& workload, trace::Sink* sink) {
+  external_drive_ = true;
+  begin_impl(workload, sink);
+}
+
+SimRunResult ExecutionDrivenSimulator::collect() {
+  if (active_ranks_ != 0) {
+    throw std::runtime_error(
+        "ExecutionDrivenSimulator: run stalled (mismatched barriers or time limit); "
+        "active ranks: " + std::to_string(active_ranks_));
+  }
+  return collect_impl();
+}
+
+SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
+                                           trace::Sink* sink) {
+  external_drive_ = false;
+  begin_impl(workload, sink);
+  engine_.run(start_time_ + config_.time_limit);
   if (active_ranks_ != 0) {
     throw std::runtime_error(
         "ExecutionDrivenSimulator: run stalled (mismatched barriers or time limit); "
@@ -79,7 +99,14 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
     // Quiescence drain: any dirty page a workload left behind (a file never
     // closed) is written back now; C1 then requires zero residual.
     tier_->flush_all();
-    engine_.run(start_time + config_.time_limit);
+    engine_.run(start_time_ + config_.time_limit);
+  }
+  return collect_impl();
+}
+
+SimRunResult ExecutionDrivenSimulator::collect_impl() {
+  const std::size_t n = ranks_.size();
+  if (tier_ != nullptr) {
     tier_->finalize();
     sim::check::cache_writeback_drained(tier_->dirty_pages());
     const cache::CacheStats cs = tier_->stats();
@@ -96,34 +123,34 @@ SimRunResult ExecutionDrivenSimulator::run(const workload::Workload& workload,
     result_.cache_miss_bytes = cs.miss_bytes;
     result_.cache_writeback_bytes = cs.writeback_bytes;
   }
-  SimTime last = start_time;
+  SimTime last = start_time_;
   for (std::size_t r = 0; r < n; ++r) last = std::max(last, ranks_[r].finish);
-  result_.makespan = last - start_time;
+  result_.makespan = last - start_time_;
   for (std::size_t r = 0; r < n; ++r) {
-    result_.rank_finish[r] = ranks_[r].finish - start_time;
+    result_.rank_finish[r] = ranks_[r].finish - start_time_;
   }
   const pfs::ResilienceStats& res_after = model_.resilience_stats();
-  result_.retries = res_after.retries - res_before.retries;
-  result_.timeouts = res_after.timeouts - res_before.timeouts;
-  result_.giveups = res_after.giveups - res_before.giveups;
-  result_.failovers = res_after.failovers - res_before.failovers;
-  result_.degraded_reads = res_after.degraded_reads - res_before.degraded_reads;
-  result_.data_lost_ops = res_after.data_lost_ops - res_before.data_lost_ops;
-  result_.rebuilds_completed = res_after.rebuilds_completed - res_before.rebuilds_completed;
-  result_.rebuilt_bytes = res_after.rebuilt_bytes - res_before.rebuilt_bytes;
-  result_.stale_map_retries = res_after.stale_map_retries - res_before.stale_map_retries;
-  result_.map_refreshes = res_after.map_refreshes - res_before.map_refreshes;
-  result_.down_detections = res_after.down_detections - res_before.down_detections;
+  result_.retries = res_after.retries - res_before_.retries;
+  result_.timeouts = res_after.timeouts - res_before_.timeouts;
+  result_.giveups = res_after.giveups - res_before_.giveups;
+  result_.failovers = res_after.failovers - res_before_.failovers;
+  result_.degraded_reads = res_after.degraded_reads - res_before_.degraded_reads;
+  result_.data_lost_ops = res_after.data_lost_ops - res_before_.data_lost_ops;
+  result_.rebuilds_completed = res_after.rebuilds_completed - res_before_.rebuilds_completed;
+  result_.rebuilt_bytes = res_after.rebuilt_bytes - res_before_.rebuilt_bytes;
+  result_.stale_map_retries = res_after.stale_map_retries - res_before_.stale_map_retries;
+  result_.map_refreshes = res_after.map_refreshes - res_before_.map_refreshes;
+  result_.down_detections = res_after.down_detections - res_before_.down_detections;
   result_.migration_marked_bytes =
-      res_after.migration_marked_bytes - res_before.migration_marked_bytes;
-  result_.overload_rejections = res_after.overload_rejections - res_before.overload_rejections;
-  result_.budget_denied = res_after.budget_denied - res_before.budget_denied;
-  result_.breaker_opens = res_after.breaker_opens - res_before.breaker_opens;
-  result_.breaker_fast_fails = res_after.breaker_fast_fails - res_before.breaker_fast_fails;
-  result_.deadline_giveups = res_after.deadline_giveups - res_before.deadline_giveups;
+      res_after.migration_marked_bytes - res_before_.migration_marked_bytes;
+  result_.overload_rejections = res_after.overload_rejections - res_before_.overload_rejections;
+  result_.budget_denied = res_after.budget_denied - res_before_.budget_denied;
+  result_.breaker_opens = res_after.breaker_opens - res_before_.breaker_opens;
+  result_.breaker_fast_fails = res_after.breaker_fast_fails - res_before_.breaker_fast_fails;
+  result_.deadline_giveups = res_after.deadline_giveups - res_before_.deadline_giveups;
   const pfs::PfsModel::ServerOverloadTotals srv_after = model_.server_overload_totals();
-  result_.server_overload_rejected = srv_after.rejected - srv_before.rejected;
-  result_.server_shed = srv_after.shed - srv_before.shed;
+  result_.server_overload_rejected = srv_after.rejected - srv_before_.rejected;
+  result_.server_shed = srv_after.shed - srv_before_.shed;
   return result_;
 }
 
@@ -138,6 +165,13 @@ void ExecutionDrivenSimulator::advance(std::int32_t rank) {
     // participate, so symmetric workloads with early-exiting ranks cannot
     // deadlock the rest.
     if (barrier_waiting_ > 0 && barrier_waiting_ == active_ranks_) release_barrier();
+    if (active_ranks_ == 0 && external_drive_) {
+      // Externally driven run: nobody calls engine_.run() on our behalf
+      // after the workload, so kick off the cache quiescence flush from the
+      // completing event and tell the owner (the facility cell) we're done.
+      if (tier_ != nullptr) tier_->flush_all();
+      if (on_complete_) on_complete_();
+    }
     return;
   }
   issue(rank, std::move(*op));

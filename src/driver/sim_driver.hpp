@@ -125,6 +125,28 @@ class ExecutionDrivenSimulator {
   /// closed loop observes the simulated testbed.
   SimRunResult run(const workload::Workload& workload, trace::Sink* sink = nullptr);
 
+  /// External-drive mode, for composing many simulators into one facility
+  /// run (eval::run_facility / sim::ShardedEngine): `begin` installs the
+  /// workload and schedules every rank's first step on the engine but does
+  /// not run it — the caller owns engine advancement. When the last rank
+  /// finishes, the cache tier (if any) starts its quiescence flush and the
+  /// `set_on_complete` hook fires from inside the completing event. Once the
+  /// engine has fully drained, `collect` finalizes and returns the result
+  /// (throwing the same stall diagnostic as `run` if ranks never finished).
+  /// `run` itself is unaffected by this API — identical event sequence,
+  /// identical digests.
+  void begin(const workload::Workload& workload, trace::Sink* sink = nullptr);
+
+  /// Hook invoked (at most once per begin) from the event in which the last
+  /// rank finishes. External-drive mode only.
+  void set_on_complete(std::function<void()> hook) { on_complete_ = std::move(hook); }
+
+  /// True once every rank of the begun workload has finished.
+  [[nodiscard]] bool completed() const { return active_ranks_ == 0 && !ranks_.empty(); }
+
+  /// Finalize and return the result of a `begin`-driven run.
+  SimRunResult collect();
+
   /// Subscribe to cache activity records of subsequent runs (no-op while
   /// the cache is disabled).
   void set_cache_observer(std::function<void(const cache::CacheRecord&)> observer) {
@@ -142,6 +164,12 @@ class ExecutionDrivenSimulator {
     SimTime barrier_arrival = SimTime::zero();
     SimTime finish = SimTime::zero();
   };
+
+  /// Shared setup: reset state, build the cache tier, snapshot the model's
+  /// stat baselines, schedule every rank's first step.
+  void begin_impl(const workload::Workload& workload, trace::Sink* sink);
+  /// Shared teardown: cache finalize + stats, makespan, model stat deltas.
+  [[nodiscard]] SimRunResult collect_impl();
 
   void advance(std::int32_t rank);
   void issue(std::int32_t rank, workload::Op op);
@@ -162,6 +190,13 @@ class ExecutionDrivenSimulator {
   std::uint64_t barrier_waiting_ = 0;
   std::uint64_t active_ranks_ = 0;
   SimRunResult result_;
+  // External-drive (begin/collect) state. `run` keeps external_drive_ false
+  // so its event sequence is untouched by the split.
+  bool external_drive_ = false;
+  std::function<void()> on_complete_;
+  pfs::ResilienceStats res_before_{};
+  pfs::PfsModel::ServerOverloadTotals srv_before_{};
+  SimTime start_time_ = SimTime::zero();
 };
 
 }  // namespace pio::driver

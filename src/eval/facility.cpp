@@ -1,0 +1,166 @@
+#include "eval/facility.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fnv.hpp"
+#include "common/rng.hpp"
+#include "common/seed_streams.hpp"
+#include "exec/pool.hpp"
+#include "sim/shard.hpp"
+
+namespace pio::eval {
+
+namespace {
+
+/// Seed-derivation phase for facility domain engines. Phases 1–2 belong to
+/// the campaign loop (campaign.cpp SeedPhase); this claims the next value so
+/// facility domains never share engine seeds with campaign runs.
+constexpr std::uint64_t kFacilityDomainPhase = 3;
+
+void mix_result(Fnv64& fnv, const driver::SimRunResult& r) {
+  fnv.mix(static_cast<std::uint64_t>(r.makespan.ns()));
+  fnv.mix(r.ops);
+  fnv.mix(r.data_ops);
+  fnv.mix(r.meta_ops);
+  fnv.mix(r.failed_ops);
+  fnv.mix(r.retries);
+  fnv.mix(r.timeouts);
+  fnv.mix(r.giveups);
+  fnv.mix(r.failovers);
+  fnv.mix(r.degraded_reads);
+  fnv.mix(r.data_lost_ops);
+  fnv.mix(r.rebuilds_completed);
+  fnv.mix(static_cast<std::uint64_t>(r.rebuilt_bytes.count()));
+  fnv.mix(r.stale_map_retries);
+  fnv.mix(r.map_refreshes);
+  fnv.mix(r.down_detections);
+  fnv.mix(static_cast<std::uint64_t>(r.migration_marked_bytes.count()));
+  fnv.mix(r.overload_rejections);
+  fnv.mix(r.budget_denied);
+  fnv.mix(r.breaker_opens);
+  fnv.mix(r.breaker_fast_fails);
+  fnv.mix(r.deadline_giveups);
+  fnv.mix(r.server_overload_rejected);
+  fnv.mix(r.server_shed);
+  fnv.mix(r.cache_hits);
+  fnv.mix(r.cache_misses);
+  fnv.mix(r.cache_evictions);
+  fnv.mix(r.cache_prefetch_issued);
+  fnv.mix(r.cache_prefetch_used);
+  fnv.mix(r.cache_prefetch_wasted);
+  fnv.mix(r.cache_writebacks);
+  fnv.mix(r.cache_writeback_failures);
+  fnv.mix(r.cache_absorbed_writes);
+  fnv.mix(static_cast<std::uint64_t>(r.cache_hit_bytes.count()));
+  fnv.mix(static_cast<std::uint64_t>(r.cache_miss_bytes.count()));
+  fnv.mix(static_cast<std::uint64_t>(r.cache_writeback_bytes.count()));
+  fnv.mix(static_cast<std::uint64_t>(r.bytes_read.count()));
+  fnv.mix(static_cast<std::uint64_t>(r.bytes_written.count()));
+  fnv.mix(static_cast<std::uint64_t>(r.read_time.ns()));
+  fnv.mix(static_cast<std::uint64_t>(r.write_time.ns()));
+  fnv.mix(static_cast<std::uint64_t>(r.meta_time.ns()));
+  fnv.mix(r.rank_finish.size());
+  for (const SimTime t : r.rank_finish) fnv.mix(static_cast<std::uint64_t>(t.ns()));
+}
+
+}  // namespace
+
+std::uint64_t FacilityResult::digest() const {
+  Fnv64 fnv;
+  fnv.mix(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    fnv.mix(i);
+    fnv.mix(static_cast<std::uint64_t>(cells[i].started.ns()));
+    fnv.mix(static_cast<std::uint64_t>(cells[i].completed.ns()));
+    mix_result(fnv, cells[i].result);
+  }
+  fnv.mix(completion_order.size());
+  for (const std::uint32_t c : completion_order) fnv.mix(c);
+  fnv.mix(static_cast<std::uint64_t>(makespan.ns()));
+  fnv.mix(windows);
+  fnv.mix(events);
+  fnv.mix(messages);
+  return fnv.digest();
+}
+
+FacilityResult run_facility(const FacilityConfig& config,
+                            const std::vector<FacilityCell>& cells) {
+  if (cells.empty()) throw std::invalid_argument("run_facility: no cells");
+  for (const FacilityCell& cell : cells) {
+    if (cell.workload == nullptr) {
+      throw std::invalid_argument("run_facility: cell without a workload");
+    }
+  }
+  const auto n_cells = static_cast<std::uint32_t>(cells.size());
+  const std::uint32_t coordinator = n_cells;  // domain index past the cells
+
+  std::vector<std::uint64_t> domain_seeds;
+  domain_seeds.reserve(n_cells + 1);
+  for (std::uint32_t d = 0; d <= n_cells; ++d) {
+    domain_seeds.push_back(derive_seed(config.seed, kFacilityDomainPhase, 0, d));
+  }
+  sim::ShardedConfig shard_config;
+  shard_config.shards = config.shards;
+  shard_config.lookahead = config.lookahead;
+  shard_config.time_limit = config.time_limit;
+  shard_config.queue = config.queue;
+  shard_config.payload_arenas = config.payload_arenas;
+  sim::ShardedEngine se{std::move(domain_seeds), shard_config};
+
+  // Build each cell against its own domain engine. Models are heap-held:
+  // PfsModel and the simulator pin their engine by reference.
+  std::vector<std::unique_ptr<pfs::PfsModel>> models;
+  std::vector<std::unique_ptr<driver::ExecutionDrivenSimulator>> sims;
+  models.reserve(n_cells);
+  sims.reserve(n_cells);
+  FacilityResult out;
+  out.cells.resize(n_cells);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    pfs::PfsConfig system = cells[i].system;
+    system.domain_tag = i;
+    models.push_back(std::make_unique<pfs::PfsModel>(se.domain(i), system));
+    sims.push_back(std::make_unique<driver::ExecutionDrivenSimulator>(
+        se.domain(i), *models[i], cells[i].run));
+    // Completion notice rides the inter-cell fabric back to the coordinator,
+    // which stamps the facility-observed completion time and order.
+    sims[i]->set_on_complete([&se, &out, coordinator, i, la = config.lookahead] {
+      se.send(i, coordinator, la, [&se, &out, coordinator, i] {
+        out.cells[i].completed = se.domain(coordinator).now();
+        out.completion_order.push_back(i);
+      });
+    });
+  }
+
+  // Dispatch: the coordinator launches every cell's campaign across the
+  // fabric, jittered per cell from a registry stream substream so adding a
+  // cell never moves another cell's arrival.
+  Rng arrivals{config.seed, seeds::kFacilityArrivalStream};
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    const std::uint64_t spread_ns =
+        static_cast<std::uint64_t>(config.arrival_spread.ns()) + 1;
+    const auto jitter = SimTime::from_ns(
+        static_cast<std::int64_t>(arrivals.substream(i).next_below(spread_ns)));
+    se.send(coordinator, i, config.lookahead + jitter, [&se, &sims, &cells, &out, i] {
+      out.cells[i].started = se.domain(i).now();
+      sims[i]->begin(*cells[i].workload, nullptr);
+    });
+  }
+
+  exec::Pool pool{config.threads};
+  se.run(pool);
+
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    out.cells[i].result = sims[i]->collect();  // throws on a stalled cell
+    models[i]->assert_quiescent();
+    if (out.cells[i].completed > out.makespan) out.makespan = out.cells[i].completed;
+  }
+  se.assert_drained();
+  out.windows = se.windows();
+  out.events = se.events_executed();
+  out.messages = se.messages_delivered();
+  return out;
+}
+
+}  // namespace pio::eval

@@ -1,0 +1,85 @@
+// PIOEval eval: facility-scale composition — many cells, one parallel run.
+//
+// The campaign layer (campaign.hpp) parallelises *across* independent
+// simulation runs; this layer parallelises *within* one: a facility is a set
+// of simulation cells — each a full PFS model plus an execution-driven
+// workload on its own engine — coupled through a coordinator domain over a
+// simulated inter-cell fabric, all advancing in lockstep under
+// sim::ShardedEngine (DESIGN.md §16). That is the shape of ROADMAP item 1
+// (multi-tenant facility, paper §V) on the parallel core of ROADMAP item 2:
+// what-if questions like "what does tenant B's burst do to tenant A's
+// checkpoint?" become one deterministic run instead of a hand-stitched
+// sequence of independent ones.
+//
+// The determinism contract carries over whole: FacilityResult::digest() is
+// byte-identical at every shard count (1/2/4/8 proven by test_parsim) and
+// for both queue kinds, with randomness confined to the per-cell arrival
+// jitter drawn from seeds::kFacilityArrivalStream substreams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "driver/sim_driver.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/calendar_queue.hpp"
+#include "workload/op.hpp"
+
+namespace pio::eval {
+
+/// One tenant cell: a PFS system plus the workload run against it. The
+/// workload is borrowed and must outlive `run_facility`.
+struct FacilityCell {
+  pfs::PfsConfig system{};
+  driver::SimRunConfig run{};
+  const workload::Workload* workload = nullptr;
+};
+
+struct FacilityConfig {
+  std::uint64_t seed = 1;
+  /// Logical engine shards (clamped to the domain count). 1 is the serial
+  /// baseline — same protocol, same digest.
+  std::uint32_t shards = 1;
+  /// exec::Pool worker threads; 0 resolves via PIO_THREADS (else serial).
+  int threads = 0;
+  /// Inter-cell fabric latency: the conservative lookahead. Cells interact
+  /// no faster than this, so it bounds how far domains run unsynchronised.
+  SimTime lookahead = SimTime::from_us(100.0);
+  /// Cell campaign arrivals are jittered uniformly over [0, spread] —
+  /// facilities do not start every tenant on the same nanosecond.
+  SimTime arrival_spread = SimTime::from_ms(1.0);
+  /// Simulated-time abort guard for the whole facility run.
+  SimTime time_limit = SimTime::from_sec(86'400.0);
+  /// Scheduler queue for every domain engine (perf knob, digest-neutral).
+  sim::QueueKind queue = sim::QueueKind::kQuadHeap;
+  /// Per-domain event-payload bump arenas recycled at window barriers.
+  bool payload_arenas = true;
+};
+
+/// Per-cell outcome, timestamped on the facility clock.
+struct FacilityCellOutcome {
+  driver::SimRunResult result;
+  SimTime started = SimTime::zero();    ///< cell campaign begin (cell clock)
+  SimTime completed = SimTime::zero();  ///< coordinator observed completion
+};
+
+struct FacilityResult {
+  std::vector<FacilityCellOutcome> cells;
+  /// Cell indices in the order the coordinator observed their completions.
+  std::vector<std::uint32_t> completion_order;
+  SimTime makespan = SimTime::zero();  ///< last coordinator-observed completion
+  std::uint64_t windows = 0;           ///< safe windows (shard-count-invariant)
+  std::uint64_t events = 0;            ///< events executed across all domains
+  std::uint64_t messages = 0;          ///< cross-domain messages delivered
+  /// FNV-1a fold over every field above in canonical order — the sharded
+  /// determinism oracle (field order frozen: append, never reorder).
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Run `cells` to completion as one facility. Throws on a stalled cell
+/// (mismatched barriers or time limit), and asserts every domain drained.
+[[nodiscard]] FacilityResult run_facility(const FacilityConfig& config,
+                                          const std::vector<FacilityCell>& cells);
+
+}  // namespace pio::eval

@@ -155,7 +155,17 @@ void Pool::for_all(std::size_t n, const std::function<void(std::size_t)>& body) 
       impl_->job = job;
       ++impl_->epoch;
     }
-    impl_->wake.notify_all();
+    // Targeted wake: a job with fewer tasks than workers needs at most n - 1
+    // helpers (the submitter drains too). Waking the surplus workers would
+    // only make them contend for the mutex, find nothing to claim, and go
+    // back to sleep — measurable on the sharded engine's per-window
+    // barriers, where n is the shard count and windows are short.
+    const std::size_t helpers = std::min(n - 1, impl_->workers.size());
+    if (helpers == impl_->workers.size()) {
+      impl_->wake.notify_all();
+    } else {
+      for (std::size_t w = 0; w < helpers; ++w) impl_->wake.notify_one();
+    }
     impl_->drain(job);  // the submitting thread is worker 0
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->finished.wait(lock, [&] { return job->completed == job->n; });

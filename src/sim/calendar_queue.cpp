@@ -1,0 +1,170 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace pio::sim::detail {
+
+namespace {
+
+/// a + b for non-negative a, b, clamped to int64 max instead of overflowing.
+/// Slice arithmetic near SimTime::max saturates; locate_min falls back to a
+/// direct scan whenever a comparison would involve a saturated bound.
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) return std::numeric_limits<std::int64_t>::max();
+  return out;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+void CalendarQueue::prepare(SimTime t) {
+  const std::size_t n = buckets_.size();
+  if (size_ + 1 > 2 * n) {
+    rebuild(n * 2);
+  } else if (n > kMinBuckets && (size_ + 1) * 2 < n) {
+    rebuild(n / 2);
+  }
+  auto& bucket = buckets_[bucket_of(t.ns())];
+  if (bucket.size() == bucket.capacity()) {
+    bucket.reserve(bucket.capacity() == 0 ? 4 : bucket.capacity() * 2);
+  }
+}
+
+void CalendarQueue::push_prepared(SimTime t, std::uint64_t seq, EventId id) noexcept {
+  const std::int64_t ns = t.ns();
+  if (ns < year_start_ns_) {
+    // Push behind the cursor: rewind so the ordering invariant (no entry
+    // precedes the cursor slice) keeps holding.
+    cursor_ = bucket_of(ns);
+    year_start_ns_ = slice_start(ns);
+  }
+  auto& bucket = buckets_[bucket_of(ns)];
+  const Entry entry{t, seq, id};
+  // Descending by (time, seq): find the first element the new entry
+  // precedes-in-bucket-order, i.e. the first element *earlier* than it.
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), entry,
+      [](const Entry& value, const Entry& elem) { return earlier(elem, value); });
+  bucket.insert(pos, entry);  // capacity reserved: cannot throw
+  ++size_;
+  min_located_ = false;
+}
+
+void CalendarQueue::locate_min() {
+  if (min_located_) return;
+  const std::size_t n = buckets_.size();
+  // Lap scan: walk one year forward from the cursor; the first bucket whose
+  // minimum falls inside its current slice holds the global minimum (events
+  // land in a given bucket only at year strides, so everything skipped is at
+  // least a year later than its slice). Saturated slice bounds would break
+  // that argument, so bail to the direct scan instead.
+  std::int64_t year_start = year_start_ns_;
+  std::int64_t slice_end = sat_add(year_start, width_ns_);
+  const std::int64_t max_ns = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t k = 0; k < n && slice_end != max_ns; ++k) {
+    const std::size_t b = (cursor_ + k) & mask_;
+    const auto& bucket = buckets_[b];
+    if (!bucket.empty() && bucket.back().time.ns() < slice_end) {
+      cursor_ = b;
+      year_start_ns_ = year_start;
+      min_located_ = true;
+      return;
+    }
+    year_start = slice_end;
+    slice_end = sat_add(slice_end, width_ns_);
+  }
+  // Direct scan: compare all bucket minima, then re-anchor the cursor at the
+  // winner's slice. O(buckets), amortised away by the lap scan's hit rate.
+  std::size_t best = n;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (buckets_[b].empty()) continue;
+    if (best == n || earlier(buckets_[b].back(), buckets_[best].back())) best = b;
+  }
+  cursor_ = best;
+  year_start_ns_ = slice_start(buckets_[best].back().time.ns());
+  min_located_ = true;
+}
+
+Entry& CalendarQueue::peek_min() {
+  locate_min();
+  return buckets_[cursor_].back();
+}
+
+Entry CalendarQueue::pop_min() {
+  locate_min();
+  Entry out = std::move(buckets_[cursor_].back());
+  buckets_[cursor_].pop_back();
+  --size_;
+  // Cursor and year_start_ns_ stay put: the next minimum is in this slice or
+  // later, which is exactly where the next lap scan resumes.
+  min_located_ = false;
+  return out;
+}
+
+void CalendarQueue::reset_cursor() {
+  cursor_ = 0;
+  year_start_ns_ = 0;  // trivially satisfies the invariant: times are >= 0
+  min_located_ = false;
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  std::vector<Entry> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_) {
+    for (auto& entry : bucket) all.push_back(std::move(entry));
+    bucket.clear();
+  }
+  // Width := 2x the mean positive *event* gap rounded up to a power of two
+  // (bucket_of/slice_start are then shifts), so a bucket's slice holds a few
+  // events on average. The gap is estimated from a sorted stride-sample:
+  // adjacent samples span ~`stride` events of the full time order, so the
+  // mean sample gap overestimates the event gap by the stride factor and
+  // must be divided back down — without that correction a large uniform
+  // storm gets a width ~stride× too wide, crams the population into a
+  // handful of buckets, and the insertion sort degrades to O(n) per push.
+  // All-equal samples keep the previous width (any width is as good then).
+  if (all.size() >= 2) {
+    std::vector<std::int64_t> sample;
+    const std::size_t stride = std::max<std::size_t>(1, all.size() / 64);
+    for (std::size_t i = 0; i < all.size(); i += stride) sample.push_back(all[i].time.ns());
+    std::sort(sample.begin(), sample.end());
+    std::int64_t gap_sum = 0;
+    std::int64_t gaps = 0;
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      const std::int64_t gap = sample[i] - sample[i - 1];
+      if (gap > 0 && gap_sum < std::numeric_limits<std::int64_t>::max() / 4 - gap) {
+        gap_sum += gap;
+        ++gaps;
+      }
+    }
+    if (gaps > 0) {
+      const std::int64_t mean_event_gap = gap_sum / (gaps * static_cast<std::int64_t>(stride));
+      const auto target = static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+          2 * mean_event_gap, 1, std::int64_t{1} << 61));
+      width_shift_ = static_cast<unsigned>(std::bit_width(target - 1));  // ceil(log2)
+      width_ns_ = std::int64_t{1} << width_shift_;
+    }
+  }
+  buckets_.clear();
+  buckets_.resize(nbuckets);
+  mask_ = nbuckets - 1;
+  size_ = 0;
+  for (auto& entry : all) insert_rebuilt(std::move(entry));
+  reset_cursor();
+  ++resizes_;
+}
+
+void CalendarQueue::insert_rebuilt(Entry entry) {
+  auto& bucket = buckets_[bucket_of(entry.time.ns())];
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), entry,
+      [](const Entry& value, const Entry& elem) { return earlier(elem, value); });
+  bucket.insert(pos, std::move(entry));
+  ++size_;
+}
+
+}  // namespace pio::sim::detail

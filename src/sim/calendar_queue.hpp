@@ -1,0 +1,156 @@
+// PIOEval sim: calendar event queue — an O(1)-amortised scheduler option.
+//
+// The engine's default priority queue is a 4-ary min-heap: O(log n) per
+// operation, excellent constants, fully general. A *calendar queue*
+// (R. Brown, CACM 1988) instead hashes events by time into "days" (buckets)
+// of one "year" (bucket_count × bucket_width): push indexes directly into a
+// bucket and insertion-sorts within it, pop scans forward from a cursor
+// bucket-by-bucket through the current year. When the bucket width tracks
+// the mean event-time gap — maintained here by resampling on power-of-two
+// resizes — buckets hold O(1) events each and both operations are O(1)
+// amortised, which is why splay trees and calendar queues dominate classic
+// DES cores for storm-like (uniform-ish) event distributions.
+//
+// Determinism: the engine's total order is (time, insertion seq). Bucket
+// index is a pure function of time, so equal-time events always share a
+// bucket, where they sit seq-sorted — the pop sequence is byte-identical to
+// the heap's for any workload, which tests/test_parsim.cpp proves on random
+// storms. `QueueKind` selects the implementation per engine; digests must
+// never depend on the choice.
+//
+// Ordering cursor invariant: no queued event's time precedes `year_start_`
+// (the start of the cursor bucket's current slice). Pops advance the cursor
+// monotonically; a push behind the cursor rewinds it; a full fruitless lap
+// (or saturating slice arithmetic near SimTime::max) falls back to a direct
+// scan of all bucket minima, then re-anchors the cursor at the winner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pio::sim {
+
+/// Event handle used to cancel a scheduled event. Cancellation is lazy: the
+/// slot is marked dead and the entry skipped when popped. Never zero, so 0
+/// can serve as a "no event scheduled" sentinel in models.
+using EventId = std::uint64_t;
+
+/// Which priority-queue implementation an engine schedules on. Both produce
+/// the identical (time, insertion-seq) pop order; the choice is purely a
+/// performance knob (benched head-to-head by BM_SchedulerQueue).
+enum class QueueKind : std::uint8_t {
+  kQuadHeap = 0,  ///< 4-ary min-heap: O(log n), general-purpose default
+  kCalendar = 1,  ///< calendar queue: O(1) amortised on storm-like loads
+};
+
+namespace detail {
+
+/// One queued event: a 24-byte trivially-copyable ordering key. The callable
+/// lives in the engine's per-slot side array, not in the entry, so queue
+/// sifts and bucket inserts move plain PODs (DESIGN.md §11).
+struct Entry {
+  SimTime time;
+  std::uint64_t seq;  // tie-break: insertion order at equal time
+  EventId id;
+};
+
+/// The engine's total event order.
+inline bool earlier(const Entry& a, const Entry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+/// Calendar queue over `Entry`. Buckets are vectors kept sorted descending
+/// by `earlier` (minimum at the back), so the common pop is a pop_back.
+///
+/// Exception contract (mirrors the engine's reserve-before-arm rule): call
+/// `prepare(t)` first — it performs any resize and reserves the destination
+/// bucket, and is the only mutating call that may allocate or throw; then
+/// `push_prepared(t, ...)` with the same `t` is noexcept.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Make the next `push_prepared(t, ...)` non-throwing: resize the calendar
+  /// if the load factor calls for it, then reserve the destination bucket.
+  void prepare(SimTime t);
+
+  /// Insert an event. `t` must equal the time just passed to `prepare`.
+  void push_prepared(SimTime t, std::uint64_t seq, EventId id) noexcept;
+
+  /// The minimum entry by (time, seq). Precondition: !empty().
+  [[nodiscard]] Entry& peek_min();
+
+  /// Remove and return the minimum entry. Precondition: !empty().
+  Entry pop_min();
+
+  /// Erase every entry for which `dead(entry)` holds, preserving order
+  /// (engine compaction). O(n); re-anchors the cursor.
+  template <typename Dead>
+  void remove_if(Dead dead) {
+    std::size_t remaining = 0;
+    for (auto& bucket : buckets_) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (dead(bucket[i])) continue;
+        if (kept != i) bucket[kept] = std::move(bucket[i]);
+        ++kept;
+      }
+      bucket.resize(kept);
+      remaining += kept;
+    }
+    size_ = remaining;
+    reset_cursor();
+  }
+
+  /// Calendar rebuilds (grow + shrink) since construction.
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+  /// Current bucket count (power of two).
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  /// Current bucket width in simulated nanoseconds.
+  [[nodiscard]] std::int64_t width_ns() const { return width_ns_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 8;
+
+  // Bucket width is kept a power of two so the per-push bucket index and the
+  // per-pop slice arithmetic are shifts, not 64-bit divisions (a division
+  // per event is comparable to the entire rest of a push). Event times are
+  // non-negative, so the shift matches the division exactly.
+  [[nodiscard]] std::size_t bucket_of(std::int64_t ns) const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(ns) >> width_shift_) & mask_;
+  }
+  [[nodiscard]] std::int64_t slice_start(std::int64_t ns) const {
+    return static_cast<std::int64_t>((static_cast<std::uint64_t>(ns) >> width_shift_)
+                                     << width_shift_);
+  }
+
+  /// Point cursor_ / year_start_ns_ at the bucket holding the global
+  /// minimum. Precondition: size_ > 0.
+  void locate_min();
+  void reset_cursor();
+  /// Re-bucket everything into `nbuckets` buckets with a freshly estimated
+  /// width (may allocate).
+  void rebuild(std::size_t nbuckets);
+  /// Sorted insert into the home bucket (may allocate — rebuild path only).
+  void insert_rebuilt(Entry entry);
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+  unsigned width_shift_ = 10;  ///< bucket width = 1 << width_shift_ ns
+  std::int64_t width_ns_ = 1024;
+  std::size_t cursor_ = 0;
+  std::int64_t year_start_ns_ = 0;
+  bool min_located_ = false;
+  std::uint64_t resizes_ = 0;
+};
+
+}  // namespace detail
+}  // namespace pio::sim

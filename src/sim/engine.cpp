@@ -9,72 +9,62 @@ namespace pio::sim {
 
 namespace detail {
 
-OversizeSlab::~OversizeSlab() {
-  for (Block* list : free_lists_) {
-    while (list != nullptr) {
-      Block* next = list->next_free;
-      ::operator delete(static_cast<void*>(list));
-      list = next;
-    }
-  }
+namespace {
+/// The engine whose events the current thread is executing (shard windows).
+thread_local const Engine* tl_active_engine = nullptr;
+}  // namespace
+
+ActiveEngineScope::ActiveEngineScope(const Engine* engine) noexcept
+    : prev_(tl_active_engine) {
+  tl_active_engine = engine;
 }
 
-void* OversizeSlab::allocate(std::size_t bytes) {
-  int size_class = 0;
-  while (size_class < kClasses && class_payload_bytes(size_class) < bytes) ++size_class;
-  if (size_class < kClasses) {
-    if (Block* block = free_lists_[size_class]; block != nullptr) {
-      free_lists_[size_class] = block->next_free;
-      return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
-    }
-    auto* block = static_cast<Block*>(
-        ::operator new(kHeaderBytes + class_payload_bytes(size_class)));
-    block->owner = this;
-    block->size_class = static_cast<std::uint32_t>(size_class);
-    block->next_free = nullptr;
-    return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
-  }
-  // Beyond the largest class: plain heap block, freed on release.
-  auto* block = static_cast<Block*>(::operator new(kHeaderBytes + bytes));
-  block->owner = nullptr;
-  block->size_class = 0;
-  block->next_free = nullptr;
-  return reinterpret_cast<unsigned char*>(block) + kHeaderBytes;
-}
+ActiveEngineScope::~ActiveEngineScope() { tl_active_engine = prev_; }
 
-void OversizeSlab::release(void* payload) noexcept {
-  auto* block =
-      reinterpret_cast<Block*>(static_cast<unsigned char*>(payload) - kHeaderBytes);
-  if (block->owner == nullptr) {
-    ::operator delete(static_cast<void*>(block));
-    return;
-  }
-  OversizeSlab& slab = *block->owner;
-  block->next_free = slab.free_lists_[block->size_class];
-  slab.free_lists_[block->size_class] = block;
-}
+const Engine* active_engine() noexcept { return tl_active_engine; }
 
 }  // namespace detail
 
-Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+Engine::Engine(std::uint64_t seed, EngineOptions options)
+    : seed_(seed), kind_(options.queue) {}
 
-EventId Engine::arm_slot() {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(gens_.size());
-    gens_.push_back(1);
-  }
-  ++pending_;
+void Engine::guard_domain() const {
   if constexpr (check::kEnabled) {
-    if (live_slots() != pending_) {
-      check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
-                                                " pending=" + std::to_string(pending_));
+    // A null active engine means setup/drain code between windows (the
+    // coordinator thread), which is sanctioned; a *different* active engine
+    // means a handler reached across domains instead of using send().
+    const Engine* active = detail::tl_active_engine;
+    if (active != nullptr && active != this) {
+      check::fail("domain confinement",
+                  "handler scheduled directly into a foreign domain engine; "
+                  "cross-domain events must go through ShardedEngine::send");
     }
   }
-  return (static_cast<EventId>(gens_[slot]) << 32) | slot;
+}
+
+void Engine::grow_slots() {
+  // Mint slots a whole task chunk at a time: a storm that schedules N fresh
+  // events would otherwise take this cold path N times, and the capacity
+  // checks dominate its cost. Reserve/allocate everything first, then mutate
+  // with noexcept push_backs only: a throw mid-growth must not leave a slot
+  // outside both the free list and the armed population (live_slots() would
+  // drift from pending_). A minted-but-unused task chunk is benign; a leaked
+  // slot is not.
+  const std::size_t base = gens_.size();
+  const std::size_t total = base + (kTaskChunkSize - (base & (kTaskChunkSize - 1)));
+  if (free_slots_.capacity() < total) {
+    free_slots_.reserve(std::max<std::size_t>(total, base * 2));
+  }
+  if (gens_.capacity() < total) gens_.reserve(std::max<std::size_t>(total, base * 2));
+  if (((total - 1) >> kTaskChunkShift) >= task_chunks_.size()) {
+    task_chunks_.push_back(std::make_unique<detail::Task[]>(kTaskChunkSize));
+  }
+  // Push in descending order so fresh slots pop in ascending order — the
+  // same hand-out sequence as one-at-a-time minting produced.
+  for (std::size_t slot = total; slot-- > base;) {
+    gens_.push_back(1);
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
 }
 
 void Engine::retire(EventId id) {
@@ -84,27 +74,7 @@ void Engine::retire(EventId id) {
   --pending_;
 }
 
-void Engine::reserve_entry() {
-  if (heap_.size() == heap_.capacity()) {
-    heap_.reserve(heap_.capacity() == 0 ? 16 : heap_.capacity() * 2);
-  }
-}
-
-void Engine::push_entry(SimTime t, EventId id, detail::Task task) {
-  heap_.push_back(Entry{t, next_seq_++, id, std::move(task)});
-  // Sift up with a hole instead of pairwise swaps: one move per level.
-  std::size_t i = heap_.size() - 1;
-  Entry rising = std::move(heap_[i]);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) >> 2;
-    if (!earlier(rising, heap_[parent])) break;
-    heap_[i] = std::move(heap_[parent]);
-    i = parent;
-  }
-  heap_[i] = std::move(rising);
-}
-
-void Engine::sift_hole(std::size_t i, Entry sinking) {
+void Engine::sift_hole(std::size_t i, detail::Entry sinking) {
   const std::size_t n = heap_.size();
   for (;;) {
     const std::size_t first = i * 4 + 1;
@@ -115,30 +85,36 @@ void Engine::sift_hole(std::size_t i, Entry sinking) {
       if (earlier(heap_[child], heap_[best])) best = child;
     }
     if (!earlier(heap_[best], sinking)) break;
-    heap_[i] = std::move(heap_[best]);
+    heap_[i] = heap_[best];
     i = best;
   }
-  heap_[i] = std::move(sinking);
+  heap_[i] = sinking;
 }
 
-Engine::Entry Engine::pop_top() {
-  Entry out = std::move(heap_.front());
-  Entry sinking = std::move(heap_.back());
+detail::Entry Engine::pop_top() {
+  const detail::Entry out = heap_.front();
+  const detail::Entry sinking = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) sift_hole(0, std::move(sinking));
+  if (!heap_.empty()) sift_hole(0, sinking);
   return out;
 }
 
 void Engine::compact() {
+  if (kind_ == QueueKind::kCalendar) {
+    calq_.remove_if([this](const detail::Entry& entry) { return !armed(entry.id); });
+    dead_ = 0;
+    return;
+  }
   const auto first_dead = std::remove_if(
-      heap_.begin(), heap_.end(), [this](const Entry& entry) { return !armed(entry.id); });
-  heap_.erase(first_dead, heap_.end());  // destroys the cancelled callables
+      heap_.begin(), heap_.end(),
+      [this](const detail::Entry& entry) { return !armed(entry.id); });
+  heap_.erase(first_dead, heap_.end());  // keys only: callables died at cancel
   // Floyd heapify: sift from the last parent down to the root. Order on
   // (time, seq) is a strict total order, so the resulting pop sequence is
   // identical to the lazy path's — compaction cannot move the campaign hash.
   if (heap_.size() > 1) {
     for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
-      sift_hole(i, std::move(heap_[i]));
+      sift_hole(i, heap_[i]);
     }
   }
   dead_ = 0;
@@ -146,71 +122,135 @@ void Engine::compact() {
 
 bool Engine::cancel(EventId id) {
   if (!armed(id)) return false;
+  task_at(slot_of(id)).reset();  // the callable (and its captures) dies now
   retire(id);
   ++dead_;
-  // The heap entry (and its callable) is normally destroyed lazily when it
-  // surfaces; once dead entries outnumber live ones, compact so cancelled
-  // handlers' captures are released and the heap cannot grow without bound
-  // under schedule-far-future-then-cancel. The threshold keeps small queues
-  // on the strict O(1) path, and the trigger depends only on the event
-  // sequence, so it is deterministic across runs and thread counts.
+  // The orphaned queue key is normally dropped lazily when it surfaces; once
+  // dead keys outnumber live ones, compact so the queue cannot grow without
+  // bound under schedule-far-future-then-cancel. The threshold keeps small
+  // queues on the strict O(1) path, and the trigger depends only on the
+  // event sequence, so it is deterministic across runs and thread counts.
   constexpr std::uint64_t kCompactMinDead = 64;
-  if (dead_ >= kCompactMinDead && dead_ * 2 > heap_.size()) compact();
+  if (dead_ >= kCompactMinDead && dead_ * 2 > queue_size()) compact();
   return true;
 }
 
-void Engine::fire(Entry& top) {
+void Engine::fire(const detail::Entry& top) {
   if constexpr (check::kEnabled) {
+    // Semantic per-event check: a time warp must fail on the exact event.
     if (top.time < now_) {
       check::fail("monotonic clock", "event at " + std::to_string(top.time.ns()) +
                                          "ns behind now=" + std::to_string(now_.ns()) + "ns");
     }
-    if (live_slots() != pending_) {
-      check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
-                                                " pending=" + std::to_string(pending_));
-    }
-    if (heap_.size() != pending_ + dead_) {
-      check::fail("heap covers pending + dead events",
-                  "heap=" + std::to_string(heap_.size()) + " pending=" +
-                      std::to_string(pending_) + " dead=" + std::to_string(dead_));
+    // Global accounting invariants drift monotonically once corrupted, so
+    // sampling every 64th event catches the same bug classes as per-event
+    // checking at a fraction of the hot-loop cost; assert_drained() is the
+    // exact backstop at campaign end.
+    if ((executed_ & 63) == 0) {
+      if (live_slots() != pending_ + executing_) {
+        check::fail("slot/pending agreement", "live=" + std::to_string(live_slots()) +
+                                                  " pending=" + std::to_string(pending_) +
+                                                  " executing=" + std::to_string(executing_));
+      }
+      if (queue_size() != pending_ + dead_) {
+        check::fail("queue covers pending + dead events",
+                    "queue=" + std::to_string(queue_size()) + " pending=" +
+                        std::to_string(pending_) + " dead=" + std::to_string(dead_));
+      }
     }
   }
   now_ = top.time;
   ++executed_;
-  top.task();
+}
+
+void Engine::execute_popped(const detail::Entry& top) {
+  // Invalidate the id (a cancel from inside any handler is now a no-op) but
+  // hold the slot off the free list while its callable runs: a re-arm must
+  // not construct a new callable over one that is still executing. The move
+  // this replaces cost a 48-byte relocate per event on the drain path.
+  const std::uint32_t slot = slot_of(top.id);
+  if (++gens_[slot] == 0) gens_[slot] = 1;  // generation 0 is never issued
+  --pending_;
+  ++executing_;
+  fire(top);
+  detail::Task& task = task_at(slot);
+  try {
+    task();
+  } catch (...) {
+    task.reset();
+    --executing_;
+    free_slots_.push_back(slot);
+    throw;
+  }
+  task.reset();  // captures die at fire, not at next slot reuse
+  --executing_;
+  free_slots_.push_back(slot);
 }
 
 bool Engine::step() {
-  while (!heap_.empty()) {
-    if (!armed(heap_.front().id)) {
-      pop_top();  // cancelled: drop the entry, destroying its callable
+  while (!queue_empty()) {
+    if (dead_ != 0 && !armed(queue_top().id)) {
+      queue_pop();  // cancelled: drop the key (its callable died at cancel)
       --dead_;
       continue;
     }
-    Entry top = pop_top();
-    retire(top.id);
-    fire(top);
+    const detail::Entry top = queue_pop();
+    execute_popped(top);
     return true;
   }
   return false;
 }
 
 std::uint64_t Engine::run(SimTime until) {
+  // Specialised per queue kind: the heap loop is the engine's hottest code,
+  // and hoisting the dispatch out of it drops several per-event branches.
   std::uint64_t n = 0;
+  if (kind_ == QueueKind::kCalendar) {
+    while (!calq_.empty()) {
+      // dead_ == 0 means every key in the queue is armed (queue covers
+      // pending + dead): skip the per-event generation probe entirely.
+      if (dead_ != 0 && !armed(calq_.peek_min().id)) {
+        calq_.pop_min();  // cancelled key; its callable died at cancel
+        --dead_;
+        continue;
+      }
+      if (calq_.peek_min().time > until) break;
+      __builtin_prefetch(&task_at(slot_of(calq_.peek_min().id)));
+      const detail::Entry top = calq_.pop_min();
+      execute_popped(top);
+      ++n;
+    }
+    return n;
+  }
   while (!heap_.empty()) {
-    // Skip over cancelled entries to find the true next time.
-    if (!armed(heap_.front().id)) {
+    // Skip over cancelled keys to find the true next time (none exist while
+    // dead_ == 0, so the common case is one predictable register test).
+    if (dead_ != 0 && !armed(heap_.front().id)) {
       pop_top();
       --dead_;
       continue;
     }
     if (heap_.front().time > until) break;
-    Entry top = pop_top();
-    retire(top.id);
-    fire(top);
+    // Pull the callable's cache line in while the pop's sift-down works.
+    __builtin_prefetch(&task_at(slot_of(heap_.front().id)));
+    const detail::Entry top = pop_top();
+    execute_popped(top);
     ++n;
   }
   return n;
+}
+
+std::optional<SimTime> Engine::peek_next_time() {
+  while (!queue_empty()) {
+    detail::Entry& top = queue_top();
+    if (dead_ != 0 && !armed(top.id)) {
+      queue_pop();
+      --dead_;
+      continue;
+    }
+    return top.time;
+  }
+  return std::nullopt;
 }
 
 void Engine::assert_drained() const {

@@ -7,22 +7,32 @@
 // randomness flows through per-purpose `Rng` substreams of one campaign seed,
 // so two runs with equal inputs produce byte-identical outputs. Determinism
 // is load-bearing for the replay-fidelity and extrapolation experiments.
+// (Facility-scale runs parallelise by composing many engines, one per
+// domain, under sim::ShardedEngine — see shard.hpp and DESIGN.md §16; each
+// domain engine remains single-threaded.)
 //
-// Hot-path layout (DESIGN.md §11): an event is one entry in a 4-ary min-heap
-// ordered on (time, insertion seq). The callable lives *inside* the entry —
-// small callables (<= Task::kInlineBytes after decay) in an inline buffer,
-// oversized ones in a per-engine free-list slab — so scheduling an event
-// performs no per-event heap allocation in the common case and firing one
-// touches no side table. Cancellation is amortised O(1) through a
-// generation-tagged slot array: `cancel` bumps the slot's generation, and the
-// orphaned heap entry (with its callable) is dropped lazily when it surfaces
-// at the top — or eagerly via compaction once dead entries outnumber live
-// ones, which bounds both heap growth and destructor deferral.
+// Hot-path layout (DESIGN.md §11): an event is one queue entry ordered on
+// (time, insertion seq), in either a 4-ary min-heap or a calendar queue
+// (`QueueKind`, see calendar_queue.hpp — both produce the identical pop
+// order). The entry itself is a 24-byte trivially-copyable key, so heap
+// sifts and calendar bucket inserts move raw PODs; the callable lives in a
+// per-slot side array indexed by the event's slot — small callables
+// (<= Task::kInlineBytes after decay) in the Task's inline buffer, oversized
+// ones in a per-engine free-list slab or, when `use_arena` attaches one, a
+// bump-allocating PayloadArena (arena.hpp) — so scheduling an event performs
+// no per-event heap allocation in the common case and the callable is
+// written (and later moved out) exactly once, never dragged through queue
+// reorderings. Cancellation is amortised O(1) through the generation-tagged
+// slot array: `cancel` bumps the slot's generation and destroys the callable
+// eagerly (its slot is known); the orphaned key is dropped lazily when it
+// surfaces at the top — or via compaction once dead keys outnumber live
+// ones, which bounds queue growth under schedule-then-cancel churn.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <new>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -30,158 +40,48 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/arena.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/check.hpp"
 
 namespace pio::sim {
 
-/// Event handle used to cancel a scheduled event. Cancellation is lazy: the
-/// slot is marked dead and the entry skipped when popped. Never zero, so 0
-/// can serve as a "no event scheduled" sentinel in models.
-using EventId = std::uint64_t;
+class Engine;
 
 namespace detail {
 
-/// Recycling allocator for event callables too large for the inline buffer
-/// of a heap entry. Freed payloads go on per-size-class free lists (64 B …
-/// 8 KiB, powers of two) owned by the engine, so a model that repeatedly
-/// schedules the same fat closure pays one allocation, not one per event.
-/// Payloads beyond the largest class fall back to plain new/delete.
-class OversizeSlab {
+/// RAII marker: "the current thread is executing events of this engine".
+/// The sharded runner wraps each domain's window execution in one; the
+/// engine's confinement guard (checks builds only) uses it to fail loudly
+/// when a handler schedules directly into a foreign domain instead of going
+/// through the mailbox protocol (shard.hpp).
+class ActiveEngineScope {
  public:
-  OversizeSlab() = default;
-  OversizeSlab(const OversizeSlab&) = delete;
-  OversizeSlab& operator=(const OversizeSlab&) = delete;
-  ~OversizeSlab();
-
-  /// Storage for `bytes`, aligned for std::max_align_t.
-  [[nodiscard]] void* allocate(std::size_t bytes);
-
-  /// Return a payload obtained from `allocate` (any slab). O(1).
-  static void release(void* payload) noexcept;
+  explicit ActiveEngineScope(const Engine* engine) noexcept;
+  ~ActiveEngineScope();
+  ActiveEngineScope(const ActiveEngineScope&) = delete;
+  ActiveEngineScope& operator=(const ActiveEngineScope&) = delete;
 
  private:
-  struct Block {
-    OversizeSlab* owner;       // nullptr: plain heap block, freed on release
-    std::uint32_t size_class;  // index into free_lists_ when owner != nullptr
-    Block* next_free;
-  };
-  // Payload follows the header at the next max_align_t boundary.
-  static constexpr std::size_t kHeaderBytes =
-      (sizeof(Block) + alignof(std::max_align_t) - 1) / alignof(std::max_align_t) *
-      alignof(std::max_align_t);
-  static constexpr int kClasses = 8;
-  static constexpr std::size_t class_payload_bytes(int size_class) {
-    return std::size_t{64} << size_class;
-  }
-
-  Block* free_lists_[kClasses] = {};
+  const Engine* prev_;
 };
 
-/// Move-only type-erased `void()` callable with inline small-buffer storage.
-/// The dispatch table is a plain struct of function pointers (no virtual
-/// call, no RTTI); relocation is noexcept so heap sifts never throw.
-class Task {
- public:
-  /// Inline capacity: sized so a captureful lambda with a handful of
-  /// pointers/values — or a whole std::function — stays in the entry.
-  static constexpr std::size_t kInlineBytes = 48;
-
-  Task() noexcept = default;
-
-  template <typename F, typename Fn = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, Task>>>
-  Task(F&& fn, OversizeSlab& slab) {
-    static_assert(std::is_invocable_r_v<void, Fn&>, "Task requires a void() callable");
-    if constexpr (fits_inline<Fn>()) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
-      ops_ = &kInlineOps<Fn>;
-    } else {
-      static_assert(alignof(Fn) <= alignof(std::max_align_t),
-                    "Task: over-aligned callables are not supported — OversizeSlab "
-                    "guarantees only max_align_t alignment; store the over-aligned "
-                    "state behind a pointer (e.g. unique_ptr) in the capture");
-      void* payload = slab.allocate(sizeof(Fn));
-      try {
-        ::new (payload) Fn(std::forward<F>(fn));
-      } catch (...) {
-        OversizeSlab::release(payload);
-        throw;
-      }
-      *reinterpret_cast<void**>(static_cast<void*>(storage_)) = payload;
-      ops_ = &kOversizeOps<Fn>;
-    }
-  }
-
-  Task(Task&& other) noexcept { move_from(other); }
-  Task& operator=(Task&& other) noexcept {
-    if (this != &other) {
-      reset();
-      move_from(other);
-    }
-    return *this;
-  }
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
-  ~Task() { reset(); }
-
-  void operator()() { ops_->call(storage_); }
-
-  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-  void reset() noexcept {
-    if (ops_ != nullptr) {
-      ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
- private:
-  struct Ops {
-    void (*call)(void* storage);
-    void (*relocate)(void* dst_storage, void* src_storage) noexcept;
-    void (*destroy)(void* storage) noexcept;
-  };
-
-  template <typename Fn>
-  static constexpr bool fits_inline() {
-    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
-           std::is_nothrow_move_constructible_v<Fn>;
-  }
-
-  template <typename Fn>
-  static constexpr Ops kInlineOps{
-      [](void* storage) { (*static_cast<Fn*>(storage))(); },
-      [](void* dst, void* src) noexcept {
-        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
-        static_cast<Fn*>(src)->~Fn();
-      },
-      [](void* storage) noexcept { static_cast<Fn*>(storage)->~Fn(); }};
-
-  template <typename Fn>
-  static constexpr Ops kOversizeOps{
-      [](void* storage) { (**static_cast<Fn**>(storage))(); },
-      [](void* dst, void* src) noexcept { *static_cast<void**>(dst) = *static_cast<void**>(src); },
-      [](void* storage) noexcept {
-        Fn* fn = *static_cast<Fn**>(storage);
-        fn->~Fn();
-        OversizeSlab::release(fn);
-      }};
-
-  void move_from(Task& other) noexcept {
-    ops_ = other.ops_;
-    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
-    other.ops_ = nullptr;
-  }
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
-  const Ops* ops_ = nullptr;
-};
+/// The engine whose events the current thread is executing, or nullptr
+/// outside any ActiveEngineScope (setup code, coordinator between windows).
+[[nodiscard]] const Engine* active_engine() noexcept;
 
 }  // namespace detail
+
+/// Engine construction knobs. Queue choice is pure performance — digests
+/// never depend on it (tests/test_parsim.cpp holds that line).
+struct EngineOptions {
+  QueueKind queue = QueueKind::kQuadHeap;
+};
 
 /// Deterministic discrete-event scheduler.
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 1);
+  explicit Engine(std::uint64_t seed = 1, EngineOptions options = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -198,12 +98,33 @@ class Engine {
     if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
       if (!fn) throw std::invalid_argument("Engine::schedule_at: empty handler");
     }
-    detail::Task task{std::forward<F>(fn), slab_};
-    // Capacity first: once the slot is armed, push_entry must not throw, or
-    // pending_/live_slots() would diverge from the heap.
-    reserve_entry();
-    const EventId id = arm_slot();
-    push_entry(t, id, std::move(task));
+    if (confined_) guard_domain();
+    // Capacity first: every mutation after the callable lands in its slot is
+    // noexcept, or pending_/live_slots() would diverge from the queue.
+    if (kind_ == QueueKind::kCalendar) {
+      calq_.prepare(t);
+    } else {
+      reserve_entry();
+    }
+    ensure_free_slot();
+    const std::uint32_t slot = free_slots_.back();
+    // Construct the callable in place; on throw the slot is still free.
+    task_at(slot).emplace(std::forward<F>(fn), detail::PayloadAlloc{&slab_, arena_});
+    free_slots_.pop_back();  // arm: nothing below throws
+    ++pending_;
+    if constexpr (check::kEnabled) {
+      // Sampled (see Engine::fire): accounting drift persists, so a periodic
+      // probe catches it without a per-arm cost on the hot path.
+      if ((next_seq_ & 63) == 0 && live_slots() != pending_ + executing_) {
+        check::fail("slot/pending agreement", "live/pending diverged on arm");
+      }
+    }
+    const EventId id = (static_cast<EventId>(gens_[slot]) << 32) | slot;
+    if (kind_ == QueueKind::kCalendar) {
+      calq_.push_prepared(t, next_seq_++, id);
+    } else {
+      push_entry(t, id);
+    }
     return id;
   }
 
@@ -217,11 +138,11 @@ class Engine {
   }
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. Amortised O(1); the dead entry is normally dropped when it
-  /// reaches the top of the heap, but once dead entries outnumber live ones
-  /// the heap is compacted, so a cancelled callable (and anything it
-  /// captures) is destroyed after at most O(live) further cancellations —
-  /// schedule-far-future-then-cancel cannot grow the heap without bound.
+  /// cancelled. Amortised O(1). The callable (and anything it captures) is
+  /// destroyed immediately — its slot is known — while the orphaned 24-byte
+  /// queue key is dropped lazily when it surfaces at the top, or via
+  /// compaction once dead keys outnumber live ones, so
+  /// schedule-far-future-then-cancel cannot grow the queue without bound.
   bool cancel(EventId id);
 
   /// Execute the single earliest pending event. Returns false if none.
@@ -230,6 +151,11 @@ class Engine {
   /// Run until the queue drains or simulated time would exceed `until`.
   /// Returns the number of events executed.
   std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Time of the earliest pending event, or nullopt when drained. Skims any
+  /// cancelled entries off the top (hence non-const); does not advance time.
+  /// The sharded runner's safe-window computation is built on this.
+  [[nodiscard]] std::optional<SimTime> peek_next_time();
 
   /// Events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
@@ -248,13 +174,16 @@ class Engine {
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Route oversized event payloads through `arena` instead of the built-in
+  /// slab (nullptr restores the slab). Payloads already allocated are
+  /// unaffected — each one is released to its allocator of origin.
+  void use_arena(PayloadArena* arena) { arena_ = arena; }
+
+  /// Which queue implementation this engine schedules on.
+  [[nodiscard]] QueueKind queue_kind() const { return kind_; }
+
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: insertion order at equal time
-    EventId id;
-    detail::Task task;
-  };
+  friend class ShardedEngine;  // sets confined_ when adopting a domain
 
   static constexpr std::uint32_t slot_of(EventId id) {
     return static_cast<std::uint32_t>(id & 0xffffffffULL);
@@ -262,14 +191,18 @@ class Engine {
   static constexpr std::uint32_t gen_of(EventId id) {
     return static_cast<std::uint32_t>(id >> 32);
   }
-  static bool earlier(const Entry& a, const Entry& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
-  }
 
-  /// Acquire a slot (free list first), tag it armed, return its EventId.
-  [[nodiscard]] EventId arm_slot();
-  /// Invalidate an armed id: bump the generation, recycle the slot.
+  /// Guarantee free_slots_ is non-empty, creating a slot (with its gens_ and
+  /// tasks_ entries) if needed. May allocate/throw; call before arming.
+  void ensure_free_slot() {
+    if (free_slots_.empty()) grow_slots();
+  }
+  /// Cold path of ensure_free_slot: mint a fresh slot. Also keeps
+  /// free_slots_'s capacity ahead of the slot population, so retire()'s
+  /// push_back never reallocates.
+  void grow_slots();
+  /// Invalidate an armed id: bump the generation, recycle the slot
+  /// (cancel path; fired events recycle through execute_popped instead).
   void retire(EventId id);
   [[nodiscard]] bool armed(EventId id) const {
     const std::uint32_t slot = slot_of(id);
@@ -277,28 +210,84 @@ class Engine {
   }
   [[nodiscard]] std::uint64_t live_slots() const { return gens_.size() - free_slots_.size(); }
 
+  /// Confinement check (checks builds): scheduling while a *different*
+  /// domain engine is active on this thread is a cross-domain race.
+  void guard_domain() const;
+
   /// Grow heap_ (amortised doubling) so the next push cannot throw.
-  void reserve_entry();
-  void push_entry(SimTime t, EventId id, detail::Task task);
+  void reserve_entry() {
+    if (heap_.size() == heap_.capacity()) {
+      heap_.reserve(heap_.capacity() == 0 ? 16 : heap_.capacity() * 2);
+    }
+  }
+  /// Append to the heap and sift up — header-inline: this is the hot half of
+  /// every schedule_at. One copy per level, entries are 24-byte PODs.
+  void push_entry(SimTime t, EventId id) {
+    heap_.push_back(detail::Entry{t, next_seq_++, id});
+    std::size_t i = heap_.size() - 1;
+    const detail::Entry rising = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!detail::earlier(rising, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = rising;
+  }
   /// Remove and return the heap top (caller checks non-empty).
-  Entry pop_top();
+  detail::Entry pop_top();
   /// Sink `sinking` into the hole at index `i`, restoring heap order.
-  void sift_hole(std::size_t i, Entry sinking);
-  /// Erase cancelled entries (destroying their callables) and re-heapify.
+  void sift_hole(std::size_t i, detail::Entry sinking);
+  /// Erase cancelled keys (their callables died at cancel), keeping order.
   void compact();
-  /// Fire `top` (already popped and retired). Shared by step/run.
-  void fire(Entry& top);
+  /// Invariant checks + clock advance for a just-popped entry (its slot
+  /// already counted in executing_). The caller invokes the callable.
+  void fire(const detail::Entry& top);
+  /// Run a popped entry's callable *in place* — no move out of its slot.
+  /// The slot is invalidated (cancel misses) but stays off the free list
+  /// while the handler executes, so a re-arm cannot clobber a running
+  /// callable; it recycles when the handler returns (or throws).
+  void execute_popped(const detail::Entry& top);
+
+  // Queue dispatch (kind_ is fixed at construction).
+  [[nodiscard]] bool queue_empty() const {
+    return kind_ == QueueKind::kCalendar ? calq_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t queue_size() const {
+    return kind_ == QueueKind::kCalendar ? calq_.size() : heap_.size();
+  }
+  [[nodiscard]] detail::Entry& queue_top() {
+    return kind_ == QueueKind::kCalendar ? calq_.peek_min() : heap_.front();
+  }
+  detail::Entry queue_pop() {
+    return kind_ == QueueKind::kCalendar ? calq_.pop_min() : pop_top();
+  }
 
   SimTime now_ = SimTime::zero();
   std::uint64_t seed_;
+  QueueKind kind_;
+  bool confined_ = false;  // domain of a ShardedEngine: guard cross-domain use
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t pending_ = 0;
-  std::uint64_t dead_ = 0;  // cancelled entries still sitting in heap_
-  // Slab before heap_: teardown destroys entries (releasing oversized
-  // callables into the slab) before the slab itself is freed.
+  std::uint64_t executing_ = 0;  // slots held by in-place-running callables
+  std::uint64_t dead_ = 0;  // cancelled entries still sitting in the queue
+  /// Per-slot callables live in fixed 512-task chunks (32 KiB): stable
+  /// addresses, and minting a chunk never relocates live tasks — a plain
+  /// vector<Task> would move every task (an indirect call each) on regrowth.
+  static constexpr std::size_t kTaskChunkShift = 9;
+  static constexpr std::size_t kTaskChunkSize = std::size_t{1} << kTaskChunkShift;
+  [[nodiscard]] detail::Task& task_at(std::uint32_t slot) {
+    return task_chunks_[slot >> kTaskChunkShift][slot & (kTaskChunkSize - 1)];
+  }
+
+  PayloadArena* arena_ = nullptr;  // optional; not owned (see shard.hpp)
+  // Slab before task_chunks_: teardown destroys still-pending callables
+  // (releasing oversized ones into the slab) before the slab itself is freed.
   detail::OversizeSlab slab_;
-  std::vector<Entry> heap_;            // 4-ary min-heap on (time, seq)
+  std::vector<detail::Entry> heap_;    // kQuadHeap: 4-ary min-heap on (time, seq)
+  detail::CalendarQueue calq_;         // kCalendar
+  std::vector<std::unique_ptr<detail::Task[]>> task_chunks_;  // slot -> callable
   std::vector<std::uint32_t> gens_;    // per-slot generation; ids embed theirs
   std::vector<std::uint32_t> free_slots_;
 };

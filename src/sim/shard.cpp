@@ -1,0 +1,120 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace pio::sim {
+
+namespace {
+
+/// a + b for non-negative simulated times, clamped at SimTime::max.
+std::int64_t sat_add_ns(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) return std::numeric_limits<std::int64_t>::max();
+  return out;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::vector<std::uint64_t> domain_seeds, ShardedConfig config)
+    : config_(config) {
+  if (domain_seeds.empty()) {
+    throw std::invalid_argument("ShardedEngine: at least one domain seed required");
+  }
+  if (config_.lookahead < SimTime::from_ns(1)) {
+    throw std::invalid_argument(
+        "ShardedEngine: lookahead must be >= 1ns (zero lookahead admits zero-"
+        "width windows, i.e. no conservative parallelism at all)");
+  }
+  const auto n = static_cast<std::uint32_t>(domain_seeds.size());
+  shards_ = std::clamp<std::uint32_t>(config_.shards, 1, n);
+  engines_.reserve(n);
+  outboxes_.resize(n);
+  send_seqs_.assign(n, 0);
+  if (config_.payload_arenas) arenas_.reserve(n);
+  for (std::uint64_t seed : domain_seeds) {
+    auto engine = std::make_unique<Engine>(seed, EngineOptions{config_.queue});
+    engine->confined_ = true;
+    if (config_.payload_arenas) {
+      arenas_.push_back(std::make_unique<PayloadArena>());
+      engine->use_arena(arenas_.back().get());
+    }
+    engines_.push_back(std::move(engine));
+  }
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->events_executed();
+  return total;
+}
+
+void ShardedEngine::drain_mailboxes() {
+  drain_scratch_.clear();
+  for (auto& outbox : outboxes_) {
+    for (Message& message : outbox) drain_scratch_.push_back(std::move(message));
+    outbox.clear();
+  }
+  if (drain_scratch_.empty()) return;
+  // (deliver, src, seq) is a strict total order over messages — src comes
+  // from the partition, seq from the source's deterministic execution order
+  // — so delivery (and thus destination insertion seq) is byte-identical at
+  // every shard count.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.deliver != b.deliver) return a.deliver < b.deliver;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Message& message : drain_scratch_) {
+    engines_[message.dst]->schedule_at(message.deliver, std::move(message.fn));
+    ++messages_delivered_;
+  }
+  drain_scratch_.clear();
+}
+
+void ShardedEngine::run(exec::Pool& pool) {
+  const std::uint32_t n = domains();
+  for (;;) {
+    drain_mailboxes();
+    // T_next: the earliest pending event anywhere. peek skims cancelled
+    // entries, so this is the true next fire time.
+    std::optional<SimTime> t_next;
+    for (auto& engine : engines_) {
+      if (const auto t = engine->peek_next_time()) {
+        if (!t_next || *t < *t_next) t_next = *t;
+      }
+    }
+    if (!t_next || *t_next > config_.time_limit) break;
+    // Safe window [.., T_next + lookahead): every message sent during the
+    // window is stamped >= its send time + lookahead >= T_next + lookahead,
+    // so nothing delivered at the next drain can land inside this window.
+    const std::int64_t window_end_ns = sat_add_ns(t_next->ns(), config_.lookahead.ns());
+    const SimTime bound =
+        SimTime::from_ns(std::min(window_end_ns - 1, config_.time_limit.ns()));
+    pool.for_all(shards_, [this, bound, n](std::size_t shard) {
+      for (std::uint32_t d = static_cast<std::uint32_t>(shard); d < n; d += shards_) {
+        Engine& engine = *engines_[d];
+        detail::ActiveEngineScope scope(&engine);
+        engine.run(bound);
+        // Window boundary: blocks fully drained by this window's fires
+        // recycle; trim returns the surplus beyond one spare.
+        if (!arenas_.empty()) arenas_[d]->trim();
+      }
+    });
+    ++windows_;
+  }
+}
+
+void ShardedEngine::assert_drained() const {
+  for (std::uint32_t d = 0; d < domains(); ++d) {
+    engines_[d]->assert_drained();
+    check::that(outboxes_[d].empty(), "mailboxes drained at campaign end",
+                "domain " + std::to_string(d) + " outbox holds " +
+                    std::to_string(outboxes_[d].size()) + " undelivered messages");
+  }
+}
+
+}  // namespace pio::sim

@@ -1,0 +1,157 @@
+// PIOEval sim: conservative lookahead-sharded parallel event execution.
+//
+// The single-threaded `Engine` is the determinism anchor of every
+// experiment, which rules out optimistic (Time Warp-style) parallelism:
+// rollback would need event reversal through arbitrary model callbacks. The
+// route to facility scale (ROADMAP items 1–2, paper §IV.C) is instead the
+// classic conservative one (Chandy/Misra/Bryant by way of ROSS/CODES):
+//
+//   - The event space is partitioned into *domains* — one `Engine` (plus
+//     models built on it) per domain, each still strictly single-threaded.
+//   - Cross-domain interactions carry a minimum delay, the *lookahead* —
+//     physically, the fabric latency between cells of the simulated
+//     facility. Within a domain, events are unrestricted.
+//   - Execution advances in *safe windows*: with T_next the earliest
+//     pending time across all domains, every domain may run events up to
+//     T_next + lookahead − 1ns without synchronising, because anything a
+//     peer sends during the window arrives no earlier than its own send
+//     time + lookahead ≥ T_next + lookahead. Domains are striped over
+//     logical *shards*, fanned out on the caller's `exec::Pool` (no raw
+//     threads here — piolint P1), and joined at a window barrier.
+//   - Cross-domain events travel through per-source bounded mailboxes,
+//     drained between windows by the coordinating thread: messages are
+//     sorted by (deliver time, source domain, per-source send seq) — all
+//     shard-count-invariant keys — and scheduled into their destination
+//     engines in that order.
+//
+// Determinism: window boundaries derive only from domain queue states and
+// the lookahead; mailbox drain order is a pure function of the messages;
+// each domain fires its own events in (time, seq) order. Hence the entire
+// execution — and any FNV digest folded over it — is byte-identical at any
+// shard count, including shards=1 (the "serial" baseline of EXPERIMENTS.md
+// C-13). tests/test_parsim.cpp enforces this at 1/2/4/8 shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exec/pool.hpp"
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+
+namespace pio::sim {
+
+/// Sharded-execution knobs. `lookahead` is the contract: every cross-domain
+/// send must carry at least this delay — model it on the slowest-to-justify
+/// physical latency between domains (fabric hop, WAN link), because larger
+/// lookahead means longer windows and fewer barriers.
+struct ShardedConfig {
+  std::uint32_t shards = 1;          ///< logical shards; clamped to [1, domains]
+  SimTime lookahead = SimTime::from_us(10);
+  SimTime time_limit = SimTime::max();
+  QueueKind queue = QueueKind::kQuadHeap;  ///< queue for every domain engine
+  bool payload_arenas = true;        ///< per-domain bump arenas, trimmed at barriers
+  std::size_t mailbox_capacity = std::size_t{1} << 20;  ///< per-source outbox bound
+};
+
+/// A set of domain engines advancing in lockstep safe windows.
+class ShardedEngine {
+ public:
+  /// One domain per seed. Seeds should be derived per-domain from the
+  /// campaign seed (`derive_seed`) so domains draw decorrelated randomness.
+  ShardedEngine(std::vector<std::uint64_t> domain_seeds, ShardedConfig config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::uint32_t domains() const {
+    return static_cast<std::uint32_t>(engines_.size());
+  }
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// The engine of domain `d`. Build models against it, schedule intra-domain
+  /// events on it directly; never schedule on a foreign domain's engine from
+  /// inside a handler (checked builds fail loudly via the confinement guard).
+  [[nodiscard]] Engine& domain(std::uint32_t d) { return *engines_.at(d); }
+
+  /// Queue `fn` for execution on domain `dst`, `delay` after domain `src`'s
+  /// current time. `delay` must be >= the configured lookahead (throws
+  /// std::logic_error otherwise — that is the conservative-correctness
+  /// contract, not a tunable). Throws std::overflow_error when `src`'s
+  /// outbox is full. Callable from `src`'s handlers during a window and from
+  /// setup code between windows.
+  template <typename F>
+  void send(std::uint32_t src, std::uint32_t dst, SimTime delay, F&& fn) {
+    if (src >= domains() || dst >= domains()) {
+      throw std::out_of_range("ShardedEngine::send: bad domain index");
+    }
+    if (delay < config_.lookahead) {
+      throw std::logic_error(
+          "ShardedEngine::send: delay below lookahead — cross-domain events "
+          "must carry at least the configured lookahead");
+    }
+    if constexpr (check::kEnabled) {
+      const Engine* active = detail::active_engine();
+      if (active != nullptr && active != engines_[src].get()) {
+        check::fail("send source domain",
+                    "send(src, ...) called from a handler of a different domain");
+      }
+    }
+    std::vector<Message>& outbox = outboxes_[src];
+    if (outbox.size() >= config_.mailbox_capacity) {
+      throw std::overflow_error("ShardedEngine::send: mailbox capacity exceeded");
+    }
+    outbox.push_back(Message{engines_[src]->now() + delay, src, dst,
+                             send_seqs_[src]++, std::function<void()>(std::forward<F>(fn))});
+  }
+
+  /// Advance all domains until every queue drains (and every mailbox is
+  /// delivered) or the next event would exceed the configured time limit.
+  /// Shards are fanned out on `pool`; with a 1-thread pool or shards=1 this
+  /// is the serial baseline, same protocol, same digest.
+  void run(exec::Pool& pool);
+
+  /// Safe windows executed so far (shard-count-invariant by construction).
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Cross-domain messages delivered into destination engines.
+  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Events executed across all domain engines.
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  /// End-of-campaign invariant: every domain drained, every mailbox empty.
+  void assert_drained() const;
+
+ private:
+  struct Message {
+    SimTime deliver;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t seq;  // per-source send order: the deterministic tie-break
+    std::function<void()> fn;
+  };
+
+  /// Deliver every queued message into its destination engine, in
+  /// (deliver, src, seq) order. Coordinator-only, between windows.
+  void drain_mailboxes();
+
+  ShardedConfig config_;
+  std::uint32_t shards_;
+  // Arenas before engines: engines are destroyed first (members are
+  // destroyed in reverse declaration order), releasing queued payloads into
+  // their arenas before the arenas themselves go away.
+  std::vector<std::unique_ptr<PayloadArena>> arenas_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::vector<Message>> outboxes_;   // [src]; owned by src's shard
+  std::vector<std::uint64_t> send_seqs_;         // [src]
+  std::vector<Message> drain_scratch_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace pio::sim
